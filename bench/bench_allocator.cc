@@ -1,0 +1,142 @@
+// C5 (§3.4): "The lowest layer of the OSD is a buddy storage allocator."
+//
+// Measures allocation/free throughput, behaviour under mixed sizes, buddy coalescing,
+// and external fragmentation after a churn workload.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/storage/buddy_allocator.h"
+
+namespace {
+
+using hfad::BuddyAllocator;
+using hfad::Random;
+
+constexpr uint64_t kRegion = 1ull << 30;  // 1 GiB of address space (no backing IO).
+constexpr uint64_t kBase = 4096;
+
+// Fixed-size alloc/free pairs: the pure fast path.
+void BM_AllocFreeFixed(benchmark::State& state) {
+  const uint64_t size = static_cast<uint64_t>(state.range(0));
+  BuddyAllocator alloc(kBase, kRegion);
+  for (auto _ : state) {
+    auto e = alloc.Allocate(size);
+    if (!e.ok()) {
+      state.SkipWithError("allocation failed");
+      break;
+    }
+    benchmark::DoNotOptimize(e->offset);
+    (void)alloc.Free(e->offset);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocFreeFixed)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// Mixed sizes with a standing population: the OSD's steady state.
+void BM_AllocFreeMixed(benchmark::State& state) {
+  BuddyAllocator alloc(kBase, kRegion);
+  Random rng(42);
+  std::vector<uint64_t> live;
+  live.reserve(4096);
+  for (auto _ : state) {
+    if (live.size() < 2048 || rng.OneIn(2)) {
+      auto e = alloc.Allocate(rng.Range(1, 256 * 1024));
+      if (e.ok()) {
+        live.push_back(e->offset);
+      }
+    } else {
+      size_t idx = rng.Uniform(live.size());
+      (void)alloc.Free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["live_allocs"] = static_cast<double>(live.size());
+  state.counters["fragmentation"] = alloc.ExternalFragmentation();
+}
+BENCHMARK(BM_AllocFreeMixed);
+
+// Coalescing: free a fully-carved region in random order; the end state must be one
+// maximal block. Measures the cost of buddy merges.
+void BM_CoalesceFullRegion(benchmark::State& state) {
+  Random rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BuddyAllocator alloc(kBase, 64ull << 20);
+    std::vector<uint64_t> offsets;
+    while (true) {
+      auto e = alloc.Allocate(4096);
+      if (!e.ok()) {
+        break;
+      }
+      offsets.push_back(e->offset);
+    }
+    // Shuffle so merges happen at every order.
+    for (size_t i = offsets.size(); i > 1; i--) {
+      std::swap(offsets[i - 1], offsets[rng.Uniform(i)]);
+    }
+    state.ResumeTiming();
+    for (uint64_t off : offsets) {
+      (void)alloc.Free(off);
+    }
+    if (alloc.largest_free_block() != 64ull << 20) {
+      state.SkipWithError("region failed to coalesce");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ((64ull << 20) / 4096));
+}
+BENCHMARK(BM_CoalesceFullRegion)->Unit(benchmark::kMillisecond);
+
+// Fragmentation under adversarial churn: many small long-lived allocations pinning
+// large free spans.
+void BM_FragmentationUnderChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    BuddyAllocator alloc(kBase, 256ull << 20);
+    Random rng(13);
+    std::vector<uint64_t> pinned;
+    std::vector<uint64_t> churn;
+    for (int i = 0; i < 20000; i++) {
+      auto e = alloc.Allocate(rng.Range(1, 64 * 1024));
+      if (!e.ok()) {
+        break;
+      }
+      if (rng.OneIn(10)) {
+        pinned.push_back(e->offset);
+      } else {
+        churn.push_back(e->offset);
+      }
+    }
+    for (uint64_t off : churn) {
+      (void)alloc.Free(off);
+    }
+    state.counters["fragmentation"] = alloc.ExternalFragmentation();
+    state.counters["largest_free_mb"] =
+        static_cast<double>(alloc.largest_free_block()) / (1 << 20);
+    for (uint64_t off : pinned) {
+      (void)alloc.Free(off);
+    }
+  }
+}
+BENCHMARK(BM_FragmentationUnderChurn)->Unit(benchmark::kMillisecond);
+
+// Snapshot/restore cost: what the OSD pays per checkpoint.
+void BM_SerializeSnapshot(benchmark::State& state) {
+  BuddyAllocator alloc(kBase, kRegion);
+  Random rng(3);
+  for (int i = 0; i < state.range(0); i++) {
+    (void)alloc.Allocate(rng.Range(1, 64 * 1024));
+  }
+  for (auto _ : state) {
+    std::string snap = alloc.Serialize();
+    benchmark::DoNotOptimize(snap.data());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " live allocations");
+}
+BENCHMARK(BM_SerializeSnapshot)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

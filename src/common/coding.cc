@@ -1,0 +1,94 @@
+#include "src/common/coding.h"
+
+namespace hfad {
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  uint8_t buf[5];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<uint8_t>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  uint8_t buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<uint8_t>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) {
+    return false;
+  }
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    input->RemovePrefix(1);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* result) {
+  uint32_t len;
+  if (!GetVarint32(input, &len) || input->size() < len) {
+    return false;
+  }
+  *result = Slice(input->data(), len);
+  input->RemovePrefix(len);
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) {
+    return false;
+  }
+  *value = DecodeFixed32(input->udata());
+  input->RemovePrefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) {
+    return false;
+  }
+  *value = DecodeFixed64(input->udata());
+  input->RemovePrefix(8);
+  return true;
+}
+
+int VarintLength(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    n++;
+  }
+  return n;
+}
+
+}  // namespace hfad

@@ -1,0 +1,68 @@
+// Little-endian fixed-width and varint encoding used by all on-"disk" structures.
+//
+// Every persistent structure in hFAD (superblock, btree pages, journal records, postings)
+// serializes through these helpers so that layout is uniform and auditable in one place.
+#ifndef HFAD_SRC_COMMON_CODING_H_
+#define HFAD_SRC_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/common/slice.h"
+
+namespace hfad {
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) { memcpy(dst, &v, 2); }
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) { memcpy(dst, &v, 4); }
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) { memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  uint16_t v;
+  memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t v;
+  memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t v;
+  memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(reinterpret_cast<uint8_t*>(buf), v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(reinterpret_cast<uint8_t*>(buf), v);
+  dst->append(buf, 8);
+}
+
+// Varint32/64: LEB128, 1-5 / 1-10 bytes.
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+// Returns false if the input is exhausted or malformed. On success advances *input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+// Length-prefixed strings: varint32 length then bytes.
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+bool GetLengthPrefixed(Slice* input, Slice* result);
+
+// Fixed-width reads with bounds checking; advance *input on success.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+// Number of bytes PutVarint64 would emit.
+int VarintLength(uint64_t v);
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_CODING_H_

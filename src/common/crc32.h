@@ -1,0 +1,26 @@
+// CRC-32C (Castagnoli) used to validate journal records and on-disk page headers.
+#ifndef HFAD_SRC_COMMON_CRC32_H_
+#define HFAD_SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/slice.h"
+
+namespace hfad {
+
+// CRC of data, seeded with init (0 for a fresh computation). Streaming use:
+// crc = Crc32c(a); crc = Crc32cExtend(crc, b) == Crc32c(a+b).
+uint32_t Crc32c(Slice data);
+uint32_t Crc32cExtend(uint32_t init, Slice data);
+
+// Masking (as in LevelDB): CRCs of CRCs are weak; store masked values on disk.
+inline uint32_t MaskCrc(uint32_t crc) { return ((crc >> 15) | (crc << 17)) + 0xa282ead8u; }
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_CRC32_H_

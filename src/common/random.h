@@ -1,0 +1,67 @@
+// Deterministic xorshift128+ PRNG for tests, benchmarks, and workload generators.
+//
+// Not cryptographic. Deterministic given a seed so every experiment is reproducible.
+#ifndef HFAD_SRC_COMMON_RANDOM_H_
+#define HFAD_SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hfad {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to spread the seed across both words.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    for (uint64_t* w : {&s0_, &s1_}) {
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      *w = z ^ (z >> 31);
+      z += 0x9e3779b97f4a7c15ull;
+    }
+    if (s0_ == 0 && s1_ == 0) {
+      s0_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  // Zipfian-ish skew: smaller values much more likely. max exclusive.
+  uint64_t Skewed(uint64_t max_log) { return Uniform(uint64_t{1} << Uniform(max_log + 1)); }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) / 9007199254740992.0; }
+
+  // Random lowercase ASCII string of length n.
+  std::string NextString(size_t n) {
+    std::string s(n, 'a');
+    for (size_t i = 0; i < n; i++) {
+      s[i] = static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_RANDOM_H_

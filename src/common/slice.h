@@ -1,0 +1,77 @@
+// Slice: a non-owning (pointer, length) view of bytes, with byte-string comparison helpers.
+//
+// Equivalent in spirit to std::span<const std::byte> but with the string-like operations
+// (compare, starts_with, ToString) that the btree and index code need constantly.
+#ifndef HFAD_SRC_COMMON_SLICE_H_
+#define HFAD_SRC_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hfad {
+
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}     // NOLINT
+  Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}       // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(cstr ? strlen(cstr) : 0) {}  // NOLINT
+  Slice(const std::vector<uint8_t>& v)                                  // NOLINT
+      : data_(reinterpret_cast<const char*>(v.data())), size_(v.size()) {}
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const { return reinterpret_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  // Drop the first n bytes (n must be <= size()).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  // Lexicographic byte comparison: <0, 0, >0 like memcmp.
+  int Compare(const Slice& other) const {
+    size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : memcmp(data_, other.data_, min_len);
+    if (r != 0) {
+      return r;
+    }
+    if (size_ < other.size_) {
+      return -1;
+    }
+    if (size_ > other.size_) {
+      return 1;
+    }
+    return 0;
+  }
+
+  bool StartsWith(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           (prefix.size_ == 0 || memcmp(data_, prefix.data_, prefix.size_) == 0);
+  }
+
+  bool operator==(const Slice& other) const { return Compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return Compare(other) != 0; }
+  bool operator<(const Slice& other) const { return Compare(other) < 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_SLICE_H_

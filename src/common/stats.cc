@@ -1,0 +1,99 @@
+#include "src/common/stats.h"
+
+#include <array>
+
+namespace hfad {
+namespace stats {
+namespace {
+
+std::array<std::atomic<uint64_t>, kNumCounters>& Counters() {
+  static std::array<std::atomic<uint64_t>, kNumCounters> counters{};
+  return counters;
+}
+
+}  // namespace
+
+void Add(Counter c, uint64_t delta) {
+  Counters()[static_cast<int>(c)].fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Get(Counter c) {
+  return Counters()[static_cast<int>(c)].load(std::memory_order_relaxed);
+}
+
+void ResetAll() {
+  for (auto& a : Counters()) {
+    a.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kIndexTraversals:
+      return "index_traversals";
+    case Counter::kBtreeNodeVisits:
+      return "btree_node_visits";
+    case Counter::kPageReads:
+      return "page_reads";
+    case Counter::kPageWrites:
+      return "page_writes";
+    case Counter::kPagerHits:
+      return "pager_hits";
+    case Counter::kLockAcquisitions:
+      return "lock_acquisitions";
+    case Counter::kLockContentions:
+      return "lock_contentions";
+    case Counter::kDirComponentsWalked:
+      return "dir_components_walked";
+    case Counter::kExtentsAllocated:
+      return "extents_allocated";
+    case Counter::kExtentsFreed:
+      return "extents_freed";
+    case Counter::kJournalRecords:
+      return "journal_records";
+    case Counter::kJournalBytes:
+      return "journal_bytes";
+    case Counter::kFulltextDocsIndexed:
+      return "fulltext_docs_indexed";
+    case Counter::kFulltextTermsPosted:
+      return "fulltext_terms_posted";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "unknown";
+}
+
+Snapshot Snapshot::Take() {
+  Snapshot s;
+  for (int i = 0; i < kNumCounters; i++) {
+    s.values[i] = Counters()[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Snapshot Snapshot::Delta(const Snapshot& earlier) const {
+  Snapshot d;
+  for (int i = 0; i < kNumCounters; i++) {
+    d.values[i] = values[i] - earlier.values[i];
+  }
+  return d;
+}
+
+std::string Snapshot::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumCounters; i++) {
+    if (values[i] == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += CounterName(static_cast<Counter>(i));
+    out += "=";
+    out += std::to_string(values[i]);
+  }
+  return out.empty() ? "(all zero)" : out;
+}
+
+}  // namespace stats
+}  // namespace hfad

@@ -1,0 +1,66 @@
+// Global instrumentation counters behind the paper's Section 2.3 experiment.
+//
+// The paper's central quantitative claim is a count: "at a minimum, we encountered four index
+// traversals" between a search term and a data block in a hierarchical system. These counters
+// let the benchmarks report *index traversals*, *page IOs*, and *lock acquisitions* directly
+// instead of inferring them from wall-clock time.
+//
+// Counters are process-global, thread-safe (relaxed atomics), and cheap enough to stay enabled
+// in release builds. Benchmarks snapshot-and-subtract around a measured region.
+#ifndef HFAD_SRC_COMMON_STATS_H_
+#define HFAD_SRC_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hfad {
+namespace stats {
+
+enum class Counter : int {
+  kIndexTraversals = 0,  // One complete descent of any index structure (btree, dir, postings).
+  kBtreeNodeVisits,      // Individual btree node inspections.
+  kPageReads,            // Pager cache misses that hit the device.
+  kPageWrites,           // Dirty page write-backs.
+  kPagerHits,            // Pager cache hits.
+  kLockAcquisitions,     // Directory/structure lock acquisitions.
+  kLockContentions,      // Lock acquisitions that had to wait.
+  kDirComponentsWalked,  // Path components resolved by hierarchical lookup.
+  kExtentsAllocated,
+  kExtentsFreed,
+  kJournalRecords,
+  kJournalBytes,
+  kFulltextDocsIndexed,
+  kFulltextTermsPosted,
+  kNumCounters,  // Sentinel.
+};
+
+constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
+
+// Increment a counter by delta.
+void Add(Counter c, uint64_t delta = 1);
+
+// Current value.
+uint64_t Get(Counter c);
+
+// Reset every counter to zero (benchmark setup).
+void ResetAll();
+
+// Human-readable name ("index_traversals", ...).
+std::string_view CounterName(Counter c);
+
+// A point-in-time copy of all counters; Delta() gives per-region costs.
+struct Snapshot {
+  uint64_t values[kNumCounters] = {};
+
+  static Snapshot Take();
+  // this - earlier, element-wise.
+  Snapshot Delta(const Snapshot& earlier) const;
+  uint64_t operator[](Counter c) const { return values[static_cast<int>(c)]; }
+  std::string ToString() const;
+};
+
+}  // namespace stats
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_STATS_H_

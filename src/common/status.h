@@ -1,0 +1,148 @@
+// Error model for hFAD: Status / Result<T>, no exceptions on hot paths.
+//
+// Every fallible operation in the library returns either a Status (for operations with no
+// payload) or a Result<T> (a value-or-Status union). Codes are deliberately few; the message
+// carries detail for humans, the code carries detail for programs.
+#ifndef HFAD_SRC_COMMON_STATUS_H_
+#define HFAD_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hfad {
+
+// Machine-readable error category. Keep in sync with StatusCodeName().
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,         // Key, object, path, or term does not exist.
+  kAlreadyExists = 2,    // Create collided with an existing entity.
+  kInvalidArgument = 3,  // Caller error: bad offset, malformed query, etc.
+  kOutOfRange = 4,       // Offset/length beyond the end of an object or device.
+  kNoSpace = 5,          // Allocator or device exhausted.
+  kCorruption = 6,       // On-disk structure failed validation (bad magic, CRC, ...).
+  kNotSupported = 7,     // Operation valid but not implemented for this configuration.
+  kBusy = 8,             // Resource locked or has active references.
+  kIoError = 9,          // Underlying device failed.
+  kInternal = 10,        // Invariant violation inside the library.
+};
+
+// Human-readable name for a code ("NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-less success/error result. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string_view msg) { return Status(StatusCode::kNotFound, msg); }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status OutOfRange(std::string_view msg) { return Status(StatusCode::kOutOfRange, msg); }
+  static Status NoSpace(std::string_view msg) { return Status(StatusCode::kNoSpace, msg); }
+  static Status Corruption(std::string_view msg) { return Status(StatusCode::kCorruption, msg); }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status Busy(std::string_view msg) { return Status(StatusCode::kBusy, msg); }
+  static Status IoError(std::string_view msg) { return Status(StatusCode::kIoError, msg); }
+  static Status Internal(std::string_view msg) { return Status(StatusCode::kInternal, msg); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+
+  const std::string& message() const { return message_; }
+
+  // "NotFound: no object with oid 17" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Value-or-Status. Access to value() when !ok() asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}                     // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {               // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result<T> built from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Status of the operation; Status::Ok() when a value is present.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(repr_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagate errors: RETURN_IF_ERROR(DoThing()).
+#define HFAD_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::hfad::Status _s = (expr);           \
+    if (!_s.ok()) {                       \
+      return _s;                          \
+    }                                     \
+  } while (0)
+
+// Assign-or-propagate: HFAD_ASSIGN_OR_RETURN(auto v, Compute()).
+#define HFAD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define HFAD_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define HFAD_ASSIGN_OR_RETURN_NAME(a, b) HFAD_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define HFAD_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HFAD_ASSIGN_OR_RETURN_IMPL(HFAD_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_STATUS_H_

@@ -1,0 +1,468 @@
+#include "src/core/filesystem.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/coding.h"
+
+namespace hfad {
+namespace core {
+
+namespace {
+
+// Foreign (namespace) journal record ops.
+constexpr uint8_t kNsAddTag = 1;
+constexpr uint8_t kNsRemoveTag = 2;
+constexpr uint8_t kNsIndexContent = 3;
+constexpr uint8_t kNsUnindexContent = 4;
+
+constexpr char kReverseRootName[] = "core/reverse-tags";
+
+std::string OidBytes(ObjectId oid) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; i--) {
+    key[i] = static_cast<char>(oid & 0xff);
+    oid >>= 8;
+  }
+  return key;
+}
+
+std::string ReverseKey(ObjectId oid, const TagValue& name) {
+  std::string key = OidBytes(oid);
+  key += name.tag;
+  key.push_back('\0');
+  key += name.value;
+  return key;
+}
+
+std::string EncodeTagRecord(uint8_t op, ObjectId oid, const TagValue& name) {
+  std::string rec;
+  rec.push_back(static_cast<char>(op));
+  PutVarint64(&rec, oid);
+  PutLengthPrefixed(&rec, name.tag);
+  PutLengthPrefixed(&rec, name.value);
+  return rec;
+}
+
+std::string EncodeOidRecord(uint8_t op, ObjectId oid) {
+  std::string rec;
+  rec.push_back(static_cast<char>(op));
+  PutVarint64(&rec, oid);
+  return rec;
+}
+
+bool TaggableTag(const std::string& tag) {
+  return tag != index::kTagFulltext && tag != index::kTagId;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- construction
+
+FileSystem::FileSystem(std::unique_ptr<osd::Osd> osd,
+                       std::unique_ptr<index::IndexCollection> indexes,
+                       const FileSystemOptions& options)
+    : options_(options), osd_(std::move(osd)), indexes_(std::move(indexes)) {
+  auto root = osd_->GetNamedRoot(kReverseRootName);
+  reverse_root_ = root.ok() ? *root : 0;
+  reverse_tags_ = std::make_unique<btree::BTree>(osd_->pager(), osd_->allocator(),
+                                                 reverse_root_);
+  query_engine_ = std::make_unique<query::QueryEngine>(indexes_.get());
+  if (options_.lazy_indexing_threads > 0) {
+    auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
+    lazy_indexer_ = std::make_unique<fulltext::LazyIndexer>(ft->engine(),
+                                                            options_.lazy_indexing_threads);
+  }
+}
+
+FileSystem::~FileSystem() {
+  // Drain background indexing before the indexes are torn down.
+  lazy_indexer_.reset();
+  (void)Checkpoint();
+}
+
+Result<std::unique_ptr<FileSystem>> FileSystem::Create(std::shared_ptr<BlockDevice> device,
+                                                       FileSystemOptions options) {
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::Osd> osd,
+                        osd::Osd::Create(std::move(device), options.osd));
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<index::IndexCollection> indexes,
+                        index::IndexCollection::Mount(osd.get()));
+  return std::unique_ptr<FileSystem>(
+      new FileSystem(std::move(osd), std::move(indexes), options));
+}
+
+Result<std::unique_ptr<FileSystem>> FileSystem::Open(std::shared_ptr<BlockDevice> device,
+                                                     FileSystemOptions options) {
+  // Namespace records replay through a lazily-mounted index collection on the volume
+  // being opened; the collection is then adopted by the FileSystem.
+  std::unique_ptr<index::IndexCollection> replay_indexes;
+  auto hook = [&replay_indexes](osd::Osd* volume, Slice payload) -> Status {
+    if (replay_indexes == nullptr) {
+      HFAD_ASSIGN_OR_RETURN(replay_indexes, index::IndexCollection::Mount(volume));
+    }
+    return ApplyNamespaceRecord(volume, replay_indexes.get(), payload);
+  };
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::Osd> osd,
+                        osd::Osd::Open(std::move(device), options.osd, hook));
+  std::unique_ptr<index::IndexCollection> indexes = std::move(replay_indexes);
+  if (indexes == nullptr) {
+    HFAD_ASSIGN_OR_RETURN(indexes, index::IndexCollection::Mount(osd.get()));
+  }
+  return std::unique_ptr<FileSystem>(
+      new FileSystem(std::move(osd), std::move(indexes), options));
+}
+
+// ---------------------------------------------------------------- replay
+
+Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
+                                        index::IndexCollection* indexes, Slice payload) {
+  if (payload.empty()) {
+    return Status::Corruption("empty namespace record");
+  }
+  uint8_t op = static_cast<uint8_t>(payload[0]);
+  Slice in = payload;
+  in.RemovePrefix(1);
+  uint64_t oid;
+  if (!GetVarint64(&in, &oid)) {
+    return Status::Corruption("bad namespace record oid");
+  }
+  switch (op) {
+    case kNsAddTag:
+    case kNsRemoveTag: {
+      Slice tag, value;
+      if (!GetLengthPrefixed(&in, &tag) || !GetLengthPrefixed(&in, &value)) {
+        return Status::Corruption("bad tag record");
+      }
+      index::IndexStore* store = indexes->store(tag.view());
+      if (store == nullptr) {
+        return Status::Corruption("tag record for unknown store '" + tag.ToString() + "'");
+      }
+      btree::BTree reverse(volume->pager(), volume->allocator(),
+                           volume->GetNamedRoot(kReverseRootName).value_or(0));
+      TagValue name{tag.ToString(), value.ToString()};
+      Status s;
+      if (op == kNsAddTag) {
+        s = store->Add(name.value, oid);
+        if (s.ok()) {
+          s = reverse.Put(ReverseKey(oid, name), Slice());
+        }
+      } else {
+        s = store->Remove(name.value, oid);
+        if (s.ok() || s.IsNotFound()) {
+          Status rs = reverse.Delete(ReverseKey(oid, name));
+          s = rs.IsNotFound() ? Status::Ok() : rs;
+        }
+      }
+      if (s.IsNotFound()) {
+        s = Status::Ok();  // The original op may have failed after journaling; tolerate.
+      }
+      HFAD_RETURN_IF_ERROR(s);
+      return volume->SetNamedRoot(kReverseRootName, reverse.root());
+    }
+    case kNsIndexContent: {
+      auto size = volume->Size(oid);
+      if (size.status().IsNotFound()) {
+        return Status::Ok();  // Object deleted later in the log.
+      }
+      HFAD_RETURN_IF_ERROR(size.status());
+      std::string content;
+      HFAD_RETURN_IF_ERROR(volume->Read(oid, 0, *size, &content));
+      auto* ft = static_cast<index::FullTextIndexStore*>(indexes->store(index::kTagFulltext));
+      return ft->Add(content, oid);
+    }
+    case kNsUnindexContent: {
+      auto* ft = static_cast<index::FullTextIndexStore*>(indexes->store(index::kTagFulltext));
+      Status s = ft->Remove(Slice(), oid);
+      return s.IsNotFound() ? Status::Ok() : s;
+    }
+    default:
+      return Status::Corruption("unknown namespace record op " + std::to_string(op));
+  }
+}
+
+// ---------------------------------------------------------------- naming
+
+Result<std::vector<ObjectId>> FileSystem::Lookup(const std::vector<TagValue>& terms) const {
+  return indexes_->Lookup(terms);
+}
+
+Result<std::vector<ObjectId>> FileSystem::Query(Slice query_text) const {
+  return query_engine_->Run(query_text);
+}
+
+Result<std::vector<fulltext::SearchHit>> FileSystem::SearchText(
+    const std::vector<std::string>& terms, size_t limit) const {
+  const auto* ft =
+      static_cast<const index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
+  return ft->engine()->Search(terms, limit);
+}
+
+SearchCursor FileSystem::OpenCursor() const { return SearchCursor(this); }
+
+// ---------------------------------------------------------------- lifecycle
+
+Result<ObjectId> FileSystem::Create(const std::vector<TagValue>& names) {
+  for (const TagValue& name : names) {
+    if (!TaggableTag(name.tag)) {
+      return Status::InvalidArgument("tag '" + name.tag + "' cannot be assigned manually");
+    }
+    if (indexes_->store(name.tag) == nullptr) {
+      return Status::NotFound("no index store for tag '" + name.tag + "'");
+    }
+  }
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, osd_->CreateObject());
+  for (const TagValue& name : names) {
+    HFAD_RETURN_IF_ERROR(AddTag(oid, name));
+  }
+  return oid;
+}
+
+Status FileSystem::Remove(ObjectId oid) {
+  HFAD_ASSIGN_OR_RETURN(std::vector<TagValue> names, Tags(oid));
+  for (const TagValue& name : names) {
+    HFAD_RETURN_IF_ERROR(RemoveTag(oid, name));
+  }
+  // Strip any full-text postings (journaled so replay stays in sync).
+  {
+    std::lock_guard<std::mutex> lock(TagLock(oid));
+    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeOidRecord(kNsUnindexContent, oid)));
+    auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
+    Status s = ft->Remove(Slice(), oid);
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+  }
+  return osd_->DeleteObject(oid);
+}
+
+// ---------------------------------------------------------------- tags
+
+Status FileSystem::AddTagApply(ObjectId oid, const TagValue& name) {
+  index::IndexStore* store = indexes_->store(name.tag);
+  HFAD_RETURN_IF_ERROR(store->Add(name.value, oid));
+  std::lock_guard<std::mutex> lock(reverse_mu_);
+  HFAD_RETURN_IF_ERROR(reverse_tags_->Put(ReverseKey(oid, name), Slice()));
+  if (reverse_tags_->root() != reverse_root_) {
+    reverse_root_ = reverse_tags_->root();
+    HFAD_RETURN_IF_ERROR(osd_->SetNamedRoot(kReverseRootName, reverse_root_));
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::RemoveTagApply(ObjectId oid, const TagValue& name) {
+  index::IndexStore* store = indexes_->store(name.tag);
+  HFAD_RETURN_IF_ERROR(store->Remove(name.value, oid));
+  std::lock_guard<std::mutex> lock(reverse_mu_);
+  Status s = reverse_tags_->Delete(ReverseKey(oid, name));
+  if (!s.ok() && !s.IsNotFound()) {
+    return s;
+  }
+  if (reverse_tags_->root() != reverse_root_) {
+    reverse_root_ = reverse_tags_->root();
+    HFAD_RETURN_IF_ERROR(osd_->SetNamedRoot(kReverseRootName, reverse_root_));
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
+  if (!TaggableTag(name.tag)) {
+    return Status::InvalidArgument("tag '" + name.tag +
+                                   "' cannot be assigned manually (use IndexContent for "
+                                   "FULLTEXT; IDs are intrinsic)");
+  }
+  if (indexes_->store(name.tag) == nullptr) {
+    return Status::NotFound("no index store for tag '" + name.tag + "'");
+  }
+  if (!osd_->Exists(oid)) {
+    return Status::NotFound("no object " + std::to_string(oid));
+  }
+  std::lock_guard<std::mutex> lock(TagLock(oid));
+  HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsAddTag, oid, name)));
+  return AddTagApply(oid, name);
+}
+
+Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
+  if (indexes_->store(name.tag) == nullptr) {
+    return Status::NotFound("no index store for tag '" + name.tag + "'");
+  }
+  std::lock_guard<std::mutex> lock(TagLock(oid));
+  // Validate first so a journaled remove always corresponds to a real association.
+  if (!reverse_tags_->Contains(ReverseKey(oid, name))) {
+    return Status::NotFound("object " + std::to_string(oid) + " has no name " + name.tag +
+                            ":" + name.value);
+  }
+  HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsRemoveTag, oid, name)));
+  return RemoveTagApply(oid, name);
+}
+
+Result<std::vector<TagValue>> FileSystem::Tags(ObjectId oid) const {
+  if (!osd_->Exists(oid)) {
+    return Status::NotFound("no object " + std::to_string(oid));
+  }
+  std::vector<TagValue> out;
+  std::string prefix = OidBytes(oid);
+  HFAD_RETURN_IF_ERROR(reverse_tags_->ScanPrefix(prefix, [&](Slice key, Slice) {
+    Slice rest(key.data() + prefix.size(), key.size() - prefix.size());
+    // tag '\0' value
+    size_t sep = 0;
+    while (sep < rest.size() && rest[sep] != '\0') {
+      sep++;
+    }
+    TagValue tv;
+    tv.tag = std::string(rest.data(), sep);
+    if (sep + 1 <= rest.size()) {
+      tv.value = std::string(rest.data() + sep + 1, rest.size() - sep - 1);
+    }
+    out.push_back(std::move(tv));
+    return true;
+  }));
+  return out;
+}
+
+bool FileSystem::HasName(ObjectId oid, const TagValue& name) const {
+  return reverse_tags_->Contains(ReverseKey(oid, name));
+}
+
+Status FileSystem::ScanAllNames(
+    const std::function<bool(ObjectId, const TagValue&)>& fn) const {
+  return reverse_tags_->Scan("", "", [&](Slice key, Slice) {
+    if (key.size() < 9) {
+      return true;  // Malformed; fsck reports it via the forward pass.
+    }
+    ObjectId oid = 0;
+    for (int i = 0; i < 8; i++) {
+      oid = (oid << 8) | static_cast<uint8_t>(key[i]);
+    }
+    Slice rest(key.data() + 8, key.size() - 8);
+    size_t sep = 0;
+    while (sep < rest.size() && rest[sep] != '\0') {
+      sep++;
+    }
+    TagValue tv;
+    tv.tag = std::string(rest.data(), sep);
+    if (sep + 1 <= rest.size()) {
+      tv.value = std::string(rest.data() + sep + 1, rest.size() - sep - 1);
+    }
+    return fn(oid, tv);
+  });
+}
+
+Status FileSystem::IndexContentNow(ObjectId oid) {
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, osd_->Size(oid));
+  std::string content;
+  HFAD_RETURN_IF_ERROR(osd_->Read(oid, 0, size, &content));
+  auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
+  return ft->Add(content, oid);
+}
+
+Status FileSystem::IndexContent(ObjectId oid) {
+  if (!osd_->Exists(oid)) {
+    return Status::NotFound("no object " + std::to_string(oid));
+  }
+  std::lock_guard<std::mutex> lock(TagLock(oid));
+  HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeOidRecord(kNsIndexContent, oid)));
+  if (lazy_indexer_ == nullptr) {
+    return IndexContentNow(oid);
+  }
+  // Snapshot the content now so later writes do not race the background worker; the
+  // worker indexes exactly these bytes.
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, osd_->Size(oid));
+  std::string content;
+  HFAD_RETURN_IF_ERROR(osd_->Read(oid, 0, size, &content));
+  lazy_indexer_->Submit(oid, std::move(content));
+  return Status::Ok();
+}
+
+Status FileSystem::WaitForIndexing() {
+  if (lazy_indexer_ == nullptr) {
+    return Status::Ok();
+  }
+  lazy_indexer_->Drain();
+  return lazy_indexer_->first_error();
+}
+
+// ---------------------------------------------------------------- access
+
+Status FileSystem::Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const {
+  return osd_->Read(oid, offset, n, out);
+}
+
+Status FileSystem::Write(ObjectId oid, uint64_t offset, Slice data) {
+  return osd_->Write(oid, offset, data);
+}
+
+Status FileSystem::Insert(ObjectId oid, uint64_t offset, Slice data) {
+  return osd_->Insert(oid, offset, data);
+}
+
+Status FileSystem::Truncate(ObjectId oid, uint64_t offset, uint64_t length) {
+  return osd_->RemoveRange(oid, offset, length);
+}
+
+Result<uint64_t> FileSystem::Size(ObjectId oid) const { return osd_->Size(oid); }
+
+Result<osd::ObjectMeta> FileSystem::Stat(ObjectId oid) const { return osd_->Stat(oid); }
+
+Status FileSystem::SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid) {
+  return osd_->SetAttributes(oid, mode, uid, gid);
+}
+
+Status FileSystem::Sync() { return osd_->Sync(); }
+
+Status FileSystem::Checkpoint() { return osd_->Checkpoint(); }
+
+// ---------------------------------------------------------------- SearchCursor
+
+Status SearchCursor::Refine(const TagValue& term) {
+  const index::IndexStore* store = fs_->indexes()->store(term.tag);
+  if (store == nullptr) {
+    return Status::NotFound("no index store for tag '" + term.tag + "'");
+  }
+  HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, store->Lookup(term.value));
+  if (cached_) {
+    results_ = index::IntersectSorted(results_, ids);
+  } else if (!path_.empty()) {
+    // Shouldn't happen (cache tracks path), but recompute defensively.
+    HFAD_ASSIGN_OR_RETURN(results_, fs_->Lookup(path_));
+    results_ = index::IntersectSorted(results_, ids);
+  } else {
+    results_ = std::move(ids);
+  }
+  cached_ = true;
+  path_.push_back(term);
+  return Status::Ok();
+}
+
+Status SearchCursor::Up() {
+  if (path_.empty()) {
+    return Status::Ok();
+  }
+  path_.pop_back();
+  cached_ = false;
+  results_.clear();
+  return Status::Ok();
+}
+
+Result<std::vector<ObjectId>> SearchCursor::Results() const {
+  if (cached_) {
+    return results_;
+  }
+  if (path_.empty()) {
+    // Root: every object on the volume.
+    std::vector<ObjectId> all;
+    HFAD_RETURN_IF_ERROR(const_cast<FileSystem*>(fs_)->volume()->ScanObjects(
+        [&](ObjectId oid, const osd::ObjectMeta&) {
+          all.push_back(oid);
+          return true;
+        }));
+    results_ = std::move(all);
+    cached_ = true;
+    return results_;
+  }
+  HFAD_ASSIGN_OR_RETURN(results_, fs_->Lookup(path_));
+  cached_ = true;
+  return results_;
+}
+
+}  // namespace core
+}  // namespace hfad

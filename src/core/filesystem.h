@@ -1,0 +1,201 @@
+// The native hFAD API (§3.1): the paper's primary contribution, assembled.
+//
+// A FileSystem is a tagged, search-based namespace over an OSD volume. There are two
+// halves, exactly as §3.1 lays them out:
+//
+//   * Naming interfaces map tagged search terms to objects. A name is any vector of
+//     tag/value pairs; the result is the conjunction of per-index lookups, may contain
+//     many objects, and no name need be unique (§3.1.1). Boolean queries and ranked
+//     full-text search are layered on the same index stores. A POSIX path is just one
+//     name among many (src/posix builds that layer on top of this API).
+//
+//   * Access interfaces manipulate an object once located: POSIX-compatible read and
+//     write, plus insert (grow the middle) and the two-off_t truncate (shrink anywhere)
+//     (§3.1.2).
+//
+// Tag mutations are journaled through the OSD (write-ahead), so the namespace and the
+// object store recover together, in order, after a crash.
+//
+// Content indexing follows §3.4: "we use background threads to perform lazy full-text
+// indexing." IndexContent(oid) snapshots the object's bytes and either indexes them
+// synchronously (lazy_indexing_threads == 0) or queues them for the background workers;
+// WaitForIndexing() drains the queue.
+//
+// Open question #2 ("extend the notion of a current directory to be an iterative
+// refinement of a search") is implemented by SearchCursor: a stack of refinements whose
+// intersection is the cursor's "directory contents"; Up() pops one refinement like cd ..
+#ifndef HFAD_SRC_CORE_FILESYSTEM_H_
+#define HFAD_SRC_CORE_FILESYSTEM_H_
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/fulltext/fulltext.h"
+#include "src/index/index_store.h"
+#include "src/osd/osd.h"
+#include "src/query/query.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace core {
+
+using index::ObjectId;
+using index::TagValue;
+
+struct FileSystemOptions {
+  osd::OsdOptions osd;
+  // Background full-text indexing workers; 0 indexes synchronously in IndexContent.
+  int lazy_indexing_threads = 2;
+};
+
+class SearchCursor;
+
+class FileSystem {
+ public:
+  // Format a fresh volume.
+  static Result<std::unique_ptr<FileSystem>> Create(std::shared_ptr<BlockDevice> device,
+                                                    FileSystemOptions options = {});
+  // Open an existing volume, recovering object store and namespace together.
+  static Result<std::unique_ptr<FileSystem>> Open(std::shared_ptr<BlockDevice> device,
+                                                  FileSystemOptions options = {});
+
+  ~FileSystem();
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  // ---- Naming interfaces (§3.1.1) ----
+
+  // Objects matching every tag/value term (ascending oid; possibly many; possibly none).
+  Result<std::vector<ObjectId>> Lookup(const std::vector<TagValue>& terms) const;
+
+  // Boolean query over the same namespace, e.g. "UDEF:beach AND NOT USER:nick".
+  Result<std::vector<ObjectId>> Query(Slice query_text) const;
+
+  // Ranked conjunctive full-text search (BM25).
+  Result<std::vector<fulltext::SearchHit>> SearchText(const std::vector<std::string>& terms,
+                                                      size_t limit = 0) const;
+
+  // Iterative search refinement (open question #2).
+  SearchCursor OpenCursor() const;
+
+  // ---- Object lifecycle ----
+
+  // Create an object carrying the given initial names.
+  Result<ObjectId> Create(const std::vector<TagValue>& names = {});
+
+  // Remove an object: every name, any full-text postings, then the object itself.
+  Status Remove(ObjectId oid);
+
+  // ---- Tag management ----
+
+  // Associate a name with an object. FULLTEXT and ID are not taggable: full-text names
+  // come from IndexContent, and IDs are intrinsic.
+  Status AddTag(ObjectId oid, const TagValue& name);
+  Status RemoveTag(ObjectId oid, const TagValue& name);
+
+  // Every name the object carries, sorted by (tag, value).
+  Result<std::vector<TagValue>> Tags(ObjectId oid) const;
+
+  // True when the reverse map records this exact name on the object (fsck support).
+  bool HasName(ObjectId oid, const TagValue& name) const;
+
+  // Visit every (object, name) pair on the volume, in oid order (fsck support).
+  Status ScanAllNames(const std::function<bool(ObjectId, const TagValue&)>& fn) const;
+
+  // (Re)index the object's current bytes for full-text search. Queued to the background
+  // workers when lazy indexing is enabled; WaitForIndexing() makes results visible.
+  Status IndexContent(ObjectId oid);
+
+  // Drain the lazy indexer (no-op when synchronous). Returns the first indexing error.
+  Status WaitForIndexing();
+
+  // ---- Access interfaces (§3.1.2) ----
+
+  Status Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const;
+  Status Write(ObjectId oid, uint64_t offset, Slice data);
+  // Insert bytes at offset, shifting the tail up.
+  Status Insert(ObjectId oid, uint64_t offset, Slice data);
+  // The hFAD truncate: remove `length` bytes at `offset` (two off_t's, §3.1.2).
+  Status Truncate(ObjectId oid, uint64_t offset, uint64_t length);
+  Result<uint64_t> Size(ObjectId oid) const;
+  Result<osd::ObjectMeta> Stat(ObjectId oid) const;
+  Status SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid);
+
+  // ---- Durability ----
+
+  Status Sync();
+  Status Checkpoint();
+
+  // ---- Lower layers (for the POSIX shim, benches, and tests) ----
+
+  osd::Osd* volume() { return osd_.get(); }
+  index::IndexCollection* indexes() { return indexes_.get(); }
+  const index::IndexCollection* indexes() const { return indexes_.get(); }
+
+ private:
+  FileSystem(std::unique_ptr<osd::Osd> osd, std::unique_ptr<index::IndexCollection> indexes,
+             const FileSystemOptions& options);
+
+  // Apply one foreign journal record (shared by live journaling and crash replay).
+  static Status ApplyNamespaceRecord(osd::Osd* volume, index::IndexCollection* indexes,
+                                     Slice payload);
+
+  Status AddTagApply(ObjectId oid, const TagValue& name);
+  Status RemoveTagApply(ObjectId oid, const TagValue& name);
+  Status IndexContentNow(ObjectId oid);
+
+  std::mutex& TagLock(ObjectId oid) const { return tag_locks_[oid % tag_locks_.size()]; }
+
+  const FileSystemOptions options_;
+  std::unique_ptr<osd::Osd> osd_;
+  std::unique_ptr<index::IndexCollection> indexes_;
+  // Reverse map oid -> names, so Remove() can strip every name. Backed by a named btree.
+  std::unique_ptr<btree::BTree> reverse_tags_;
+  uint64_t reverse_root_ = 0;
+  std::unique_ptr<query::QueryEngine> query_engine_;
+  std::unique_ptr<fulltext::LazyIndexer> lazy_indexer_;
+
+  mutable std::array<std::mutex, 64> tag_locks_;
+  mutable std::mutex reverse_mu_;  // reverse_tags_ root bookkeeping.
+};
+
+// Iterative refinement of a search as a "current directory" (§4, open question #2).
+// Each Refine() pushes one tag/value term; results() is the conjunction of all terms.
+// Up() pops the most recent term — the search-namespace analogue of "cd ..".
+class SearchCursor {
+ public:
+  explicit SearchCursor(const FileSystem* fs) : fs_(fs) {}
+
+  // Narrow the cursor by one more term. The result set only ever shrinks.
+  Status Refine(const TagValue& term);
+
+  // Drop the most recent refinement. No-op at the root.
+  Status Up();
+
+  // Current result set (every object when no refinements are active — callers should
+  // refine before materializing; at the root this enumerates the volume).
+  Result<std::vector<ObjectId>> Results() const;
+
+  // The refinement stack, oldest first — the cursor's "working directory path".
+  const std::vector<TagValue>& path() const { return path_; }
+
+  size_t depth() const { return path_.size(); }
+
+ private:
+  const FileSystem* fs_;
+  std::vector<TagValue> path_;
+  // Cached results for the current path (kept incrementally on Refine).
+  mutable bool cached_ = false;
+  mutable std::vector<ObjectId> results_;
+};
+
+}  // namespace core
+}  // namespace hfad
+
+#endif  // HFAD_SRC_CORE_FILESYSTEM_H_

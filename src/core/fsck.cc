@@ -1,0 +1,96 @@
+#include "src/core/fsck.h"
+
+#include "src/index/index_store.h"
+
+namespace hfad {
+namespace core {
+
+std::string FsckReport::ToString() const {
+  std::string out = "fsck: " + std::to_string(objects_checked) + " objects, " +
+                    std::to_string(names_checked) + " names, " +
+                    std::to_string(postings_checked) + " indexed documents";
+  if (clean()) {
+    return out + " — clean";
+  }
+  out += " — " + std::to_string(problems.size()) + " problem(s):";
+  for (const std::string& p : problems) {
+    out += "\n  " + p;
+  }
+  return out;
+}
+
+Result<FsckReport> CheckFileSystem(FileSystem* fs) {
+  FsckReport report;
+  osd::Osd* volume = fs->volume();
+  index::IndexCollection* indexes = fs->indexes();
+
+  // 1. Every object's data structures are internally consistent.
+  HFAD_RETURN_IF_ERROR(volume->ScanObjects([&](ObjectId oid, const osd::ObjectMeta&) {
+    report.objects_checked++;
+    Status s = volume->CheckObject(oid);
+    if (!s.ok()) {
+      report.problems.push_back("object " + std::to_string(oid) + ": " + s.ToString());
+    }
+    return true;
+  }));
+
+  // 2. Reverse map -> forward indexes: no dangling names.
+  HFAD_RETURN_IF_ERROR(fs->ScanAllNames([&](ObjectId oid, const TagValue& name) {
+    report.names_checked++;
+    if (!volume->Exists(oid)) {
+      report.problems.push_back("name " + name.tag + ":" + name.value +
+                                " references dead object " + std::to_string(oid));
+      return true;
+    }
+    const index::IndexStore* store = indexes->store(name.tag);
+    if (store == nullptr) {
+      report.problems.push_back("name with unregistered tag '" + name.tag + "' on object " +
+                                std::to_string(oid));
+      return true;
+    }
+    auto has = store->Contains(name.value, oid);
+    if (!has.ok() || !*has) {
+      report.problems.push_back("reverse name " + name.tag + ":" + name.value +
+                                " missing from forward index (object " +
+                                std::to_string(oid) + ")");
+    }
+    return true;
+  }));
+
+  // 3. Forward indexes -> reverse map: no orphaned entries, no dead objects.
+  for (const std::string& tag : indexes->tags()) {
+    const index::IndexStore* store = indexes->store(tag);
+    Status scan = store->ScanValues("", [&](Slice value, ObjectId oid) {
+      if (!volume->Exists(oid)) {
+        report.problems.push_back("index " + tag + " entry '" + value.ToString() +
+                                  "' references dead object " + std::to_string(oid));
+        return true;
+      }
+      if (!fs->HasName(oid, {tag, value.ToString()})) {
+        report.problems.push_back("index " + tag + " entry '" + value.ToString() +
+                                  "' has no reverse name (object " + std::to_string(oid) +
+                                  ")");
+      }
+      return true;
+    });
+    if (!scan.ok() && scan.code() != StatusCode::kNotSupported) {
+      return scan;  // Real IO failure; NotSupported just means non-enumerable store.
+    }
+  }
+
+  // 4. Full-text postings reference live objects.
+  auto* ft = static_cast<index::FullTextIndexStore*>(indexes->store(index::kTagFulltext));
+  HFAD_RETURN_IF_ERROR(ft->engine()->ScanDocuments([&](uint64_t docid) {
+    report.postings_checked++;
+    if (!volume->Exists(docid)) {
+      report.problems.push_back("full-text index contains dead object " +
+                                std::to_string(docid));
+    }
+    return true;
+  }));
+
+  return report;
+}
+
+}  // namespace core
+}  // namespace hfad

@@ -1,0 +1,688 @@
+#include "src/extent/extent_tree.h"
+
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/common/stats.h"
+
+namespace hfad {
+namespace extent {
+namespace {
+
+// Page layout (shared by leaf and interior pages):
+//   [0]      u8  page type (kExtentLeaf / kExtentInterior)
+//   [1..23]  unused header space (count at [2..3])
+//   [24..]   entries, 16 bytes each:
+//              leaf:     u64 device offset | u64 byte length
+//              interior: u64 child page    | u64 subtree byte total
+//
+// There are deliberately no sibling links: ranges are resolved by recursive descent, so
+// freeing a drained middle leaf can never leave a dangling chain pointer.
+constexpr uint8_t kExtentLeaf = 3;
+constexpr uint8_t kExtentInterior = 4;
+constexpr size_t kHdrSize = 24;
+constexpr size_t kEntrySize = 16;
+constexpr int kMaxEntries = static_cast<int>((kPageSize - kHdrSize) / kEntrySize);  // 254
+
+struct Entry {
+  uint64_t a = 0;  // Leaf: device offset.  Interior: child page.
+  uint64_t b = 0;  // Leaf: byte length.    Interior: subtree byte total.
+};
+
+uint8_t PageType(const Page& p) { return p.data()[0]; }
+void SetPageType(Page& p, uint8_t t) { p.data()[0] = t; }
+uint16_t Count(const Page& p) { return DecodeFixed16(p.data() + 2); }
+void SetCount(Page& p, uint16_t n) { EncodeFixed16(p.data() + 2, n); }
+
+Entry GetEntry(const Page& p, int i) {
+  Entry e;
+  e.a = DecodeFixed64(p.data() + kHdrSize + kEntrySize * i);
+  e.b = DecodeFixed64(p.data() + kHdrSize + kEntrySize * i + 8);
+  return e;
+}
+
+void SetEntry(Page& p, int i, const Entry& e) {
+  EncodeFixed64(p.data() + kHdrSize + kEntrySize * i, e.a);
+  EncodeFixed64(p.data() + kHdrSize + kEntrySize * i + 8, e.b);
+  p.MarkDirty();
+}
+
+// Insert entry at index i, shifting [i, n) right. Caller checks capacity.
+void InsertEntryAt(Page& p, int i, const Entry& e) {
+  uint16_t n = Count(p);
+  memmove(p.data() + kHdrSize + kEntrySize * (i + 1), p.data() + kHdrSize + kEntrySize * i,
+          kEntrySize * (n - i));
+  SetEntry(p, i, e);
+  SetCount(p, n + 1);
+  p.MarkDirty();
+}
+
+void RemoveEntryAt(Page& p, int i) {
+  uint16_t n = Count(p);
+  memmove(p.data() + kHdrSize + kEntrySize * i, p.data() + kHdrSize + kEntrySize * (i + 1),
+          kEntrySize * (n - i - 1));
+  SetCount(p, n - 1);
+  p.MarkDirty();
+}
+
+// Sum of entry byte totals (leaf lengths or interior subtree sizes).
+uint64_t SumBytes(const Page& p) {
+  uint64_t total = 0;
+  uint16_t n = Count(p);
+  for (int i = 0; i < n; i++) {
+    total += GetEntry(p, i).b;
+  }
+  return total;
+}
+
+void InitPage(Page& p, uint8_t type) {
+  memset(p.data(), 0, kPageSize);
+  SetPageType(p, type);
+  p.MarkDirty();
+}
+
+// A contiguous run of device bytes backing part of a logical range.
+struct Piece {
+  uint64_t device_offset;
+  uint64_t length;
+};
+
+}  // namespace
+
+class ExtentTree::Impl {
+ public:
+  Impl(Pager* pager, BuddyAllocator* alloc, uint64_t root)
+      : pager_(pager), alloc_(alloc), root_(root) {
+    if (root_ != 0) {
+      auto page = pager_->Get(root_);
+      size_ = page.ok() ? SumBytes(**page) : 0;
+    }
+  }
+
+  uint64_t root() const { return root_; }
+  uint64_t Size() const { return size_; }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const {
+    out->clear();
+    if (offset > size_) {
+      return Status::OutOfRange("read at " + std::to_string(offset) + " beyond size " +
+                                std::to_string(size_));
+    }
+    uint64_t want = std::min<uint64_t>(n, size_ - offset);
+    if (want == 0) {
+      return Status::Ok();
+    }
+    stats::Add(stats::Counter::kIndexTraversals);
+    std::vector<Piece> pieces;
+    HFAD_RETURN_IF_ERROR(CollectPieces(root_, offset, want, &pieces));
+    std::string buf;
+    for (const Piece& piece : pieces) {
+      HFAD_RETURN_IF_ERROR(
+          pager_->ReadRaw(piece.device_offset, static_cast<size_t>(piece.length), &buf));
+      out->append(buf);
+    }
+    return Status::Ok();
+  }
+
+  Status Write(uint64_t offset, Slice data) {
+    if (offset > size_) {
+      return Status::OutOfRange("write at " + std::to_string(offset) + " beyond size " +
+                                std::to_string(size_));
+    }
+    if (data.empty()) {
+      return Status::Ok();
+    }
+    // Overwrite the covered part in place, then append whatever extends past the end.
+    uint64_t covered = std::min<uint64_t>(data.size(), size_ - offset);
+    if (covered > 0) {
+      std::vector<Piece> pieces;
+      HFAD_RETURN_IF_ERROR(CollectPieces(root_, offset, covered, &pieces));
+      uint64_t done = 0;
+      for (const Piece& piece : pieces) {
+        HFAD_RETURN_IF_ERROR(pager_->WriteRaw(
+            piece.device_offset, Slice(data.data() + done, piece.length)));
+        done += piece.length;
+      }
+    }
+    if (covered < data.size()) {
+      HFAD_RETURN_IF_ERROR(
+          Insert(size_, Slice(data.data() + covered, data.size() - covered)));
+    }
+    return Status::Ok();
+  }
+
+  Status Insert(uint64_t offset, Slice data) {
+    if (offset > size_) {
+      return Status::OutOfRange("insert at " + std::to_string(offset) + " beyond size " +
+                                std::to_string(size_));
+    }
+    if (data.empty()) {
+      return Status::Ok();
+    }
+    stats::Add(stats::Counter::kIndexTraversals);
+    if (root_ == 0) {
+      HFAD_ASSIGN_OR_RETURN(root_, NewPage(kExtentLeaf));
+    }
+    // Make `offset` an extent boundary, then add the new extents one chunk at a time.
+    HFAD_RETURN_IF_ERROR(SplitBoundary(offset));
+    uint64_t at = offset;
+    size_t done = 0;
+    while (done < data.size()) {
+      size_t chunk = std::min<size_t>(kMaxExtentSize, data.size() - done);
+      HFAD_ASSIGN_OR_RETURN(BuddyAllocator::Extent ext, alloc_->Allocate(chunk));
+      HFAD_RETURN_IF_ERROR(pager_->WriteRaw(ext.offset, Slice(data.data() + done, chunk)));
+      Entry e{ext.offset, chunk};
+      HFAD_RETURN_IF_ERROR(InsertExtentAt(at, e));
+      size_ += chunk;
+      at += chunk;
+      done += chunk;
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveRange(uint64_t offset, uint64_t length) {
+    if (offset > size_ || length > size_ - offset) {
+      return Status::OutOfRange("remove [" + std::to_string(offset) + ", +" +
+                                std::to_string(length) + ") beyond size " +
+                                std::to_string(size_));
+    }
+    if (length == 0) {
+      return Status::Ok();
+    }
+    stats::Add(stats::Counter::kIndexTraversals);
+    HFAD_RETURN_IF_ERROR(SplitBoundary(offset));
+    HFAD_RETURN_IF_ERROR(SplitBoundary(offset + length));
+    uint64_t removed = 0;
+    HFAD_RETURN_IF_ERROR(RemoveRec(root_, offset, length, &removed));
+    if (removed != length) {
+      return Status::Internal("removed " + std::to_string(removed) + " of " +
+                              std::to_string(length) + " bytes");
+    }
+    size_ -= length;
+    // Collapse a root with a single child (or free an empty root).
+    for (;;) {
+      if (root_ == 0) {
+        return Status::Ok();
+      }
+      HFAD_ASSIGN_OR_RETURN(PageRef rootp, pager_->Get(root_));
+      uint16_t n = Count(*rootp);
+      if (PageType(*rootp) == kExtentLeaf) {
+        if (n == 0) {
+          HFAD_RETURN_IF_ERROR(FreePage(root_));
+          root_ = 0;
+        }
+        return Status::Ok();
+      }
+      if (n == 0) {
+        HFAD_RETURN_IF_ERROR(FreePage(root_));
+        root_ = 0;
+        return Status::Ok();
+      }
+      if (n == 1) {
+        uint64_t child = GetEntry(*rootp, 0).a;
+        HFAD_RETURN_IF_ERROR(FreePage(root_));
+        root_ = child;
+        continue;
+      }
+      return Status::Ok();
+    }
+  }
+
+  Status Clear() {
+    if (root_ != 0) {
+      HFAD_RETURN_IF_ERROR(FreeSubtree(root_));
+      root_ = 0;
+    }
+    size_ = 0;
+    return Status::Ok();
+  }
+
+  Result<uint64_t> CountExtents() const {
+    if (root_ == 0) {
+      return uint64_t{0};
+    }
+    return CountExtentsRec(root_);
+  }
+
+  Status CheckInvariants() const {
+    if (root_ == 0) {
+      return size_ == 0 ? Status::Ok() : Status::Corruption("empty tree with nonzero size");
+    }
+    uint64_t total = 0;
+    HFAD_RETURN_IF_ERROR(CheckRec(root_, &total));
+    if (total != size_) {
+      return Status::Corruption("tree total " + std::to_string(total) +
+                                " != cached size " + std::to_string(size_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Result<uint64_t> NewPage(uint8_t type) {
+    HFAD_ASSIGN_OR_RETURN(BuddyAllocator::Extent ext, alloc_->Allocate(kPageSize));
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->GetZeroed(ext.offset));
+    InitPage(*page, type);
+    return ext.offset;
+  }
+
+  Status FreePage(uint64_t off) {
+    pager_->Invalidate(off);
+    return alloc_->Free(off);
+  }
+
+  // Resolve logical [rel, rel+len) within the subtree at page_off into device pieces.
+  Status CollectPieces(uint64_t page_off, uint64_t rel, uint64_t len,
+                       std::vector<Piece>* out) const {
+    if (len == 0) {
+      return Status::Ok();
+    }
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(page_off));
+    stats::Add(stats::Counter::kBtreeNodeVisits);
+    uint16_t cnt = Count(*page);
+    uint64_t acc = 0;
+    for (int i = 0; i < cnt && len > 0; i++) {
+      Entry e = GetEntry(*page, i);
+      uint64_t lo = acc;
+      uint64_t hi = acc + e.b;
+      if (hi <= rel) {
+        acc = hi;
+        continue;
+      }
+      if (lo >= rel + len) {
+        break;
+      }
+      uint64_t in_lo = std::max(rel, lo) - lo;
+      uint64_t in_len = std::min(rel + len, hi) - std::max(rel, lo);
+      if (PageType(*page) == kExtentLeaf) {
+        out->push_back(Piece{e.a + in_lo, in_len});
+      } else {
+        HFAD_RETURN_IF_ERROR(CollectPieces(e.a, in_lo, in_len, out));
+      }
+      acc = hi;
+    }
+    return Status::Ok();
+  }
+
+  // Ensure an extent boundary exists at logical offset k (0 <= k <= size_). If k falls
+  // strictly inside an extent, the tail is copied to a fresh allocation and re-inserted as
+  // its own extent. No net byte-count change.
+  Status SplitBoundary(uint64_t k) {
+    if (k == 0 || k == size_ || root_ == 0) {
+      return Status::Ok();
+    }
+    // Locate the leaf entry containing k.
+    uint64_t page_off = root_;
+    uint64_t rel = k;
+    PageRef page;
+    for (;;) {
+      HFAD_ASSIGN_OR_RETURN(page, pager_->Get(page_off));
+      if (PageType(*page) == kExtentLeaf) {
+        break;
+      }
+      uint16_t cnt = Count(*page);
+      bool descended = false;
+      uint64_t acc = 0;
+      for (int i = 0; i < cnt; i++) {
+        Entry e = GetEntry(*page, i);
+        if (rel < acc + e.b || i == cnt - 1) {
+          page_off = e.a;
+          rel -= acc;
+          descended = true;
+          break;
+        }
+        acc += e.b;
+      }
+      if (!descended) {
+        return Status::Corruption("extent interior with no children");
+      }
+    }
+    int idx = 0;
+    uint16_t cnt = Count(*page);
+    while (idx < cnt && rel >= GetEntry(*page, idx).b) {
+      rel -= GetEntry(*page, idx).b;
+      idx++;
+    }
+    if (idx >= cnt || rel == 0) {
+      return Status::Ok();  // Already a boundary.
+    }
+    Entry e = GetEntry(*page, idx);
+    // Copy the tail [rel, e.b) into a fresh allocation.
+    uint64_t tail_len = e.b - rel;
+    std::string tail;
+    HFAD_RETURN_IF_ERROR(pager_->ReadRaw(e.a + rel, static_cast<size_t>(tail_len), &tail));
+    HFAD_ASSIGN_OR_RETURN(BuddyAllocator::Extent ext, alloc_->Allocate(tail_len));
+    HFAD_RETURN_IF_ERROR(pager_->WriteRaw(ext.offset, Slice(tail)));
+    // Shrink the head in place; ancestors lose tail_len until the insert restores it.
+    SetEntry(*page, idx, Entry{e.a, rel});
+    HFAD_RETURN_IF_ERROR(AdjustAncestors(k - 1, -static_cast<int64_t>(tail_len)));
+    size_ -= tail_len;
+    Status s = InsertExtentAt(k, Entry{ext.offset, tail_len});
+    if (s.ok()) {
+      size_ += tail_len;
+    }
+    return s;
+  }
+
+  // Add delta to every interior entry on the descent path covering logical offset `at`
+  // (evaluated against pre-adjustment totals).
+  Status AdjustAncestors(uint64_t at, int64_t delta) {
+    if (root_ == 0) {
+      return Status::Ok();
+    }
+    uint64_t page_off = root_;
+    uint64_t rel = at;
+    for (;;) {
+      HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(page_off));
+      if (PageType(*page) == kExtentLeaf) {
+        return Status::Ok();
+      }
+      uint16_t cnt = Count(*page);
+      bool descended = false;
+      uint64_t acc = 0;
+      for (int i = 0; i < cnt; i++) {
+        Entry e = GetEntry(*page, i);
+        if (rel < acc + e.b || i == cnt - 1) {
+          SetEntry(*page, i, Entry{e.a, e.b + static_cast<uint64_t>(delta)});
+          page_off = e.a;
+          rel -= acc;
+          descended = true;
+          break;
+        }
+        acc += e.b;
+      }
+      if (!descended) {
+        return Status::Corruption("extent interior with no children");
+      }
+    }
+  }
+
+  struct SplitOut {
+    bool did_split = false;
+    Entry right;  // (new page, its byte total)
+  };
+
+  // Insert extent `e` so that it begins at logical offset `at` (which must be an existing
+  // boundary, or the end of the object). Handles page splits up to the root.
+  Status InsertExtentAt(uint64_t at, Entry e) {
+    SplitOut out;
+    HFAD_RETURN_IF_ERROR(InsertRec(root_, at, e, &out));
+    if (out.did_split) {
+      HFAD_ASSIGN_OR_RETURN(uint64_t new_root, NewPage(kExtentInterior));
+      HFAD_ASSIGN_OR_RETURN(PageRef rp, pager_->Get(new_root));
+      HFAD_ASSIGN_OR_RETURN(PageRef old, pager_->Get(root_));
+      InsertEntryAt(*rp, 0, Entry{root_, SumBytes(*old)});
+      InsertEntryAt(*rp, 1, out.right);
+      root_ = new_root;
+    }
+    return Status::Ok();
+  }
+
+  Status InsertRec(uint64_t page_off, uint64_t rel, Entry e, SplitOut* out) {
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(page_off));
+    stats::Add(stats::Counter::kBtreeNodeVisits);
+    uint16_t cnt = Count(*page);
+    if (PageType(*page) == kExtentLeaf) {
+      int idx = 0;
+      uint64_t acc = 0;
+      while (idx < cnt && acc < rel) {
+        acc += GetEntry(*page, idx).b;
+        idx++;
+      }
+      if (acc != rel) {
+        return Status::Internal("insert offset is not an extent boundary");
+      }
+      if (cnt < kMaxEntries) {
+        InsertEntryAt(*page, idx, e);
+        return Status::Ok();
+      }
+      // Split the leaf: upper half moves to a new right page.
+      HFAD_ASSIGN_OR_RETURN(uint64_t right_off, NewPage(kExtentLeaf));
+      HFAD_ASSIGN_OR_RETURN(PageRef right, pager_->Get(right_off));
+      int mid = cnt / 2;
+      for (int i = mid; i < cnt; i++) {
+        InsertEntryAt(*right, i - mid, GetEntry(*page, i));
+      }
+      SetCount(*page, static_cast<uint16_t>(mid));
+      page->MarkDirty();
+      if (idx <= mid) {
+        int i2 = 0;
+        uint64_t a2 = 0;
+        while (i2 < Count(*page) && a2 < rel) {
+          a2 += GetEntry(*page, i2).b;
+          i2++;
+        }
+        InsertEntryAt(*page, i2, e);
+      } else {
+        uint64_t left_bytes = SumBytes(*page);
+        uint64_t r = rel - left_bytes;
+        int i2 = 0;
+        uint64_t a2 = 0;
+        while (i2 < Count(*right) && a2 < r) {
+          a2 += GetEntry(*right, i2).b;
+          i2++;
+        }
+        InsertEntryAt(*right, i2, e);
+      }
+      out->did_split = true;
+      out->right = Entry{right_off, SumBytes(*right)};
+      return Status::Ok();
+    }
+    // Interior: pick the first child with rel <= its cumulative end; boundary offsets go
+    // to the earlier child so appends recurse into the last child naturally.
+    int idx = -1;
+    uint64_t child_rel = rel;
+    for (int i = 0; i < cnt; i++) {
+      Entry ce = GetEntry(*page, i);
+      if (child_rel <= ce.b) {
+        idx = i;
+        break;
+      }
+      child_rel -= ce.b;
+    }
+    if (idx < 0) {
+      return Status::Internal("insert offset beyond interior coverage");
+    }
+    Entry child_entry = GetEntry(*page, idx);
+    SplitOut child_out;
+    HFAD_RETURN_IF_ERROR(InsertRec(child_entry.a, child_rel, e, &child_out));
+    uint64_t new_child_bytes = child_entry.b + e.b;
+    if (child_out.did_split) {
+      new_child_bytes -= child_out.right.b;
+    }
+    SetEntry(*page, idx, Entry{child_entry.a, new_child_bytes});
+    if (!child_out.did_split) {
+      return Status::Ok();
+    }
+    if (cnt < kMaxEntries) {
+      InsertEntryAt(*page, idx + 1, child_out.right);
+      return Status::Ok();
+    }
+    // Split this interior page, then place the new child entry in the proper half.
+    HFAD_ASSIGN_OR_RETURN(uint64_t right_off, NewPage(kExtentInterior));
+    HFAD_ASSIGN_OR_RETURN(PageRef right, pager_->Get(right_off));
+    int mid = cnt / 2;
+    for (int i = mid; i < cnt; i++) {
+      InsertEntryAt(*right, i - mid, GetEntry(*page, i));
+    }
+    SetCount(*page, static_cast<uint16_t>(mid));
+    page->MarkDirty();
+    if (idx + 1 < mid) {
+      InsertEntryAt(*page, idx + 1, child_out.right);
+    } else {
+      InsertEntryAt(*right, idx + 1 - mid, child_out.right);
+    }
+    out->did_split = true;
+    out->right = Entry{right_off, SumBytes(*right)};
+    return Status::Ok();
+  }
+
+  // Remove logical [rel, rel+len) from the subtree at page_off. Both ends are extent
+  // boundaries (SplitBoundary ran first). Accumulates bytes removed into *removed.
+  // Offsets are evaluated against the subtree's *original* layout.
+  Status RemoveRec(uint64_t page_off, uint64_t rel, uint64_t len, uint64_t* removed) {
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(page_off));
+    uint16_t cnt = Count(*page);
+    if (PageType(*page) == kExtentLeaf) {
+      uint64_t acc = 0;
+      int i = 0;
+      // Advance to the first entry at or past rel, tracking original offsets.
+      while (i < cnt) {
+        Entry e = GetEntry(*page, i);
+        if (acc >= rel) {
+          break;
+        }
+        if (acc + e.b > rel) {
+          return Status::Internal("remove start is not an extent boundary");
+        }
+        acc += e.b;
+        i++;
+      }
+      // Remove whole entries while they fall inside [rel, rel+len).
+      while (i < Count(*page) && acc < rel + len) {
+        Entry e = GetEntry(*page, i);
+        if (acc + e.b > rel + len) {
+          return Status::Internal("remove end is not an extent boundary");
+        }
+        HFAD_RETURN_IF_ERROR(alloc_->Free(e.a));
+        *removed += e.b;
+        acc += e.b;
+        RemoveEntryAt(*page, i);  // Entry i disappears; successor shifts into i.
+      }
+      return Status::Ok();
+    }
+    // Interior: remove the overlap from each child, evaluated against original layout.
+    uint64_t acc = 0;
+    int i = 0;
+    while (i < Count(*page)) {
+      Entry ce = GetEntry(*page, i);
+      uint64_t lo = acc;
+      uint64_t hi = acc + ce.b;
+      if (hi <= rel) {
+        acc = hi;
+        i++;
+        continue;
+      }
+      if (lo >= rel + len) {
+        break;
+      }
+      uint64_t in_lo = std::max(rel, lo) - lo;
+      uint64_t in_len = std::min(rel + len, hi) - std::max(rel, lo);
+      uint64_t before = *removed;
+      HFAD_RETURN_IF_ERROR(RemoveRec(ce.a, in_lo, in_len, removed));
+      uint64_t got = *removed - before;
+      if (got != in_len) {
+        return Status::Internal("child removed unexpected byte count");
+      }
+      uint64_t new_bytes = ce.b - got;
+      if (new_bytes == 0) {
+        HFAD_RETURN_IF_ERROR(FreeDrainedSubtree(ce.a));
+        RemoveEntryAt(*page, i);
+      } else {
+        SetEntry(*page, i, Entry{ce.a, new_bytes});
+        i++;
+      }
+      acc = hi;  // Original layout position.
+    }
+    return Status::Ok();
+  }
+
+  // Free a subtree whose byte total has reached zero (all leaf entries already removed).
+  Status FreeDrainedSubtree(uint64_t off) {
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(off));
+    if (PageType(*page) == kExtentInterior) {
+      uint16_t n = Count(*page);
+      for (int i = 0; i < n; i++) {
+        HFAD_RETURN_IF_ERROR(FreeDrainedSubtree(GetEntry(*page, i).a));
+      }
+    }
+    return FreePage(off);
+  }
+
+  Status FreeSubtree(uint64_t off) {
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(off));
+    uint16_t n = Count(*page);
+    if (PageType(*page) == kExtentInterior) {
+      for (int i = 0; i < n; i++) {
+        HFAD_RETURN_IF_ERROR(FreeSubtree(GetEntry(*page, i).a));
+      }
+    } else {
+      for (int i = 0; i < n; i++) {
+        HFAD_RETURN_IF_ERROR(alloc_->Free(GetEntry(*page, i).a));
+      }
+    }
+    return FreePage(off);
+  }
+
+  Result<uint64_t> CountExtentsRec(uint64_t off) const {
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(off));
+    uint16_t n = Count(*page);
+    if (PageType(*page) == kExtentLeaf) {
+      return static_cast<uint64_t>(n);
+    }
+    uint64_t total = 0;
+    for (int i = 0; i < n; i++) {
+      HFAD_ASSIGN_OR_RETURN(uint64_t sub, CountExtentsRec(GetEntry(*page, i).a));
+      total += sub;
+    }
+    return total;
+  }
+
+  Status CheckRec(uint64_t off, uint64_t* total) const {
+    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(off));
+    uint16_t n = Count(*page);
+    if (PageType(*page) == kExtentLeaf) {
+      for (int i = 0; i < n; i++) {
+        Entry e = GetEntry(*page, i);
+        if (e.b == 0) {
+          return Status::Corruption("zero-length extent");
+        }
+        *total += e.b;
+      }
+      return Status::Ok();
+    }
+    if (PageType(*page) != kExtentInterior) {
+      return Status::Corruption("bad extent page type");
+    }
+    for (int i = 0; i < n; i++) {
+      Entry e = GetEntry(*page, i);
+      uint64_t child_total = 0;
+      HFAD_RETURN_IF_ERROR(CheckRec(e.a, &child_total));
+      if (child_total != e.b) {
+        return Status::Corruption("interior byte total mismatch: entry says " +
+                                  std::to_string(e.b) + ", children sum to " +
+                                  std::to_string(child_total));
+      }
+      *total += e.b;
+    }
+    return Status::Ok();
+  }
+
+  Pager* const pager_;
+  BuddyAllocator* const alloc_;
+  uint64_t root_;
+  uint64_t size_ = 0;
+};
+
+ExtentTree::ExtentTree(Pager* pager, BuddyAllocator* allocator, uint64_t root_offset)
+    : impl_(std::make_unique<Impl>(pager, allocator, root_offset)) {}
+ExtentTree::~ExtentTree() = default;
+
+uint64_t ExtentTree::root() const { return impl_->root(); }
+uint64_t ExtentTree::Size() const { return impl_->Size(); }
+Status ExtentTree::Read(uint64_t offset, size_t n, std::string* out) const {
+  return impl_->Read(offset, n, out);
+}
+Status ExtentTree::Write(uint64_t offset, Slice data) { return impl_->Write(offset, data); }
+Status ExtentTree::Insert(uint64_t offset, Slice data) { return impl_->Insert(offset, data); }
+Status ExtentTree::RemoveRange(uint64_t offset, uint64_t length) {
+  return impl_->RemoveRange(offset, length);
+}
+Status ExtentTree::Clear() { return impl_->Clear(); }
+Result<uint64_t> ExtentTree::CountExtents() const { return impl_->CountExtents(); }
+Status ExtentTree::CheckInvariants() const { return impl_->CheckInvariants(); }
+
+}  // namespace extent
+}  // namespace hfad

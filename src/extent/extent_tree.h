@@ -1,0 +1,85 @@
+// Counted extent tree: the per-object data map that makes hFAD objects *fully*
+// byte-accessible (§3.1.2) — reads and overwrites like POSIX, plus Insert of bytes into the
+// middle and RemoveRange (the paper's two-off_t truncate) from anywhere.
+//
+// The paper stores object data in a Berkeley DB btree keyed by file offset. A plain
+// offset-keyed tree makes middle insertion O(n): every subsequent key must be re-keyed. We
+// instead key *implicitly by cumulative byte count* (an order-statistic / counted B+tree):
+//   * leaf pages hold an ordered array of extents (device offset, byte length);
+//   * interior pages hold (child page, subtree byte total) pairs.
+// An offset is resolved by walking prefix sums, so inserting or removing bytes anywhere is
+// O(log n) — only ancestor totals change. bench_btree ablates this against re-keying.
+//
+// Each extent owns exactly one buddy allocation (its device offset is the allocation
+// offset). Splitting an extent copies the tail into a fresh allocation, which bounds split
+// cost by kMaxExtentSize. Payload IO bypasses the page cache (raw device IO); only the
+// tree pages themselves go through the pager.
+//
+// Not thread-safe: the OSD serializes access per object.
+#ifndef HFAD_SRC_EXTENT_EXTENT_TREE_H_
+#define HFAD_SRC_EXTENT_EXTENT_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/buddy_allocator.h"
+#include "src/storage/pager.h"
+
+namespace hfad {
+namespace extent {
+
+// Largest single extent; larger writes are chunked. Bounds tail-copy cost on splits.
+constexpr uint64_t kMaxExtentSize = 64 * 1024;
+
+class ExtentTree {
+ public:
+  // root_offset == 0 opens an empty (zero-byte) object.
+  ExtentTree(Pager* pager, BuddyAllocator* allocator, uint64_t root_offset);
+  ~ExtentTree();
+
+  ExtentTree(const ExtentTree&) = delete;
+  ExtentTree& operator=(const ExtentTree&) = delete;
+
+  // Current root page (0 when empty). Persist to reopen.
+  uint64_t root() const;
+
+  // Logical object size in bytes.
+  uint64_t Size() const;
+
+  // Read up to n bytes at offset; short reads happen at end-of-object. Reading at
+  // offset == Size() yields an empty result; offset > Size() is OutOfRange.
+  Status Read(uint64_t offset, size_t n, std::string* out) const;
+
+  // Overwrite bytes at offset (POSIX pwrite semantics). Writing past the end extends the
+  // object; offset > Size() is OutOfRange (no implicit holes — callers zero-fill).
+  Status Write(uint64_t offset, Slice data);
+
+  // Insert data at offset, shifting everything at and after offset up by data.size().
+  // offset == Size() appends. This is the hFAD `insert` call.
+  Status Insert(uint64_t offset, Slice data);
+
+  // Remove `length` bytes starting at offset, shifting the tail down. This is the hFAD
+  // two-argument truncate. The range must lie within the object.
+  Status RemoveRange(uint64_t offset, uint64_t length);
+
+  // Free all extents and pages; size becomes 0 and root() becomes 0.
+  Status Clear();
+
+  // Number of extents in the map (test/bench support).
+  Result<uint64_t> CountExtents() const;
+
+  // Verify interior byte totals match children, entry sanity, and type bytes. Expensive.
+  Status CheckInvariants() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace extent
+}  // namespace hfad
+
+#endif  // HFAD_SRC_EXTENT_EXTENT_TREE_H_

@@ -1,0 +1,74 @@
+#include "src/fulltext/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace hfad {
+namespace fulltext {
+
+namespace {
+
+constexpr size_t kMaxTermLength = 64;
+
+// Small closed-class stopword list; enough to keep postings for function words from
+// dominating the index without needing language detection.
+const std::array<std::string_view, 32> kStopwords = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "but",  "by",   "for", "if",
+    "in",   "into", "is",   "it",  "its",  "no",   "not",  "of",   "on",   "or",  "such",
+    "that", "the",  "their", "then", "there", "these", "they", "this", "to", "was"};
+
+}  // namespace
+
+bool IsStopword(const std::string& term) {
+  for (std::string_view w : kStopwords) {
+    if (term == w) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Token> Tokenize(Slice text) {
+  std::vector<Token> out;
+  std::string cur;
+  uint32_t position = 0;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      if (cur.size() > kMaxTermLength) {
+        cur.resize(kMaxTermLength);
+      }
+      if (!IsStopword(cur)) {
+        out.push_back(Token{cur, position});
+      }
+      position++;
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < text.size(); i++) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+std::string NormalizeTerm(Slice term) {
+  std::string out;
+  for (size_t i = 0; i < term.size(); i++) {
+    unsigned char c = static_cast<unsigned char>(term[i]);
+    if (std::isalnum(c)) {
+      out.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  if (out.size() > kMaxTermLength) {
+    out.resize(kMaxTermLength);
+  }
+  return out;
+}
+
+}  // namespace fulltext
+}  // namespace hfad

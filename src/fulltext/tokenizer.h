@@ -1,0 +1,36 @@
+// Tokenizer for the full-text engine: lowercased alphanumeric terms with positions,
+// minus a small English stopword list. Deliberately simple — the paper treats full-text
+// indexing as a black box (it used Lucene); what matters is the interface contract:
+// text in, ordered (term, position) stream out.
+#ifndef HFAD_SRC_FULLTEXT_TOKENIZER_H_
+#define HFAD_SRC_FULLTEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+
+namespace hfad {
+namespace fulltext {
+
+struct Token {
+  std::string term;   // Lowercased.
+  uint32_t position;  // Ordinal position in the document (stopwords still advance it).
+};
+
+// True for terms that are never indexed ("the", "and", ...).
+bool IsStopword(const std::string& term);
+
+// Split text into tokens at non-alphanumeric boundaries. Terms longer than 64 bytes are
+// truncated; pure stopwords are dropped (but still consume a position).
+std::vector<Token> Tokenize(Slice text);
+
+// Normalize a user-supplied query term the same way Tokenize would (lowercase; empty
+// result means the term was not indexable).
+std::string NormalizeTerm(Slice term);
+
+}  // namespace fulltext
+}  // namespace hfad
+
+#endif  // HFAD_SRC_FULLTEXT_TOKENIZER_H_

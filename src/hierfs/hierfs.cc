@@ -1,0 +1,546 @@
+#include "src/hierfs/hierfs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/coding.h"
+#include "src/common/stats.h"
+#include "src/extent/extent_tree.h"
+
+namespace hfad {
+namespace hierfs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::system_clock::now().time_since_epoch())
+                                   .count());
+}
+
+std::string InoKey(Ino ino) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; i--) {
+    key[i] = static_cast<char>(ino & 0xff);
+    ino >>= 8;
+  }
+  return key;
+}
+
+std::string EncodeInode(const Inode& inode) {
+  std::string out;
+  PutVarint32(&out, inode.mode);
+  PutVarint32(&out, inode.uid);
+  PutVarint32(&out, inode.gid);
+  PutVarint32(&out, inode.nlink);
+  PutVarint64(&out, inode.size);
+  PutFixed64(&out, inode.mtime_ns);
+  PutFixed64(&out, inode.data_root);
+  return out;
+}
+
+Result<Inode> DecodeInode(Slice in) {
+  Inode inode;
+  if (!GetVarint32(&in, &inode.mode) || !GetVarint32(&in, &inode.uid) ||
+      !GetVarint32(&in, &inode.gid) || !GetVarint32(&in, &inode.nlink) ||
+      !GetVarint64(&in, &inode.size) || !GetFixed64(&in, &inode.mtime_ns) ||
+      !GetFixed64(&in, &inode.data_root)) {
+    return Status::Corruption("undecodable inode");
+  }
+  return inode;
+}
+
+// Split a normalized absolute path into components.
+Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: '" + path + "'");
+  }
+  std::vector<std::string> components;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      i++;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      i++;
+    }
+    if (i > start) {
+      std::string c = path.substr(start, i - start);
+      if (c == "." || c == "..") {
+        return Status::InvalidArgument("'.' and '..' are not supported");
+      }
+      components.push_back(std::move(c));
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- construction
+
+HierFs::HierFs(std::shared_ptr<BlockDevice> device, Superblock sb)
+    : device_(std::move(device)), sb_(sb) {}
+
+void HierFs::InitStructures() {
+  allocator_ = std::make_unique<BuddyAllocator>(sb_.heap_offset, sb_.heap_size);
+  pager_ = std::make_unique<Pager>(device_.get(), 4096);
+  inode_table_ =
+      std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.object_table_root);
+  next_ino_.store(sb_.next_oid);
+}
+
+Result<std::unique_ptr<HierFs>> HierFs::Create(std::shared_ptr<BlockDevice> device) {
+  const uint64_t dev_size = device->Size();
+  uint64_t alloc_area = 1024 * 1024;
+  uint64_t heap_offset = Superblock::kSuperblockSize + alloc_area;
+  uint64_t heap_size = kPageSize;
+  while (heap_offset + heap_size * 2 <= dev_size) {
+    heap_size *= 2;
+  }
+  if (heap_size < 16 * kPageSize) {
+    return Status::InvalidArgument("device too small for a hierfs volume");
+  }
+  Superblock sb;
+  sb.device_size = dev_size;
+  sb.alloc_area_offset = Superblock::kSuperblockSize;
+  sb.alloc_area_size = alloc_area;
+  sb.journal_offset = 0;
+  sb.journal_size = 0;
+  sb.heap_offset = heap_offset;
+  sb.heap_size = heap_size;
+  sb.next_oid = kRootIno + 1;
+
+  std::unique_ptr<HierFs> fs(new HierFs(std::move(device), sb));
+  fs->InitStructures();
+  Inode root;
+  root.mode = kModeDir | 0755;
+  root.nlink = 2;
+  root.mtime_ns = NowNs();
+  HFAD_RETURN_IF_ERROR(fs->inode_table_->Put(InoKey(kRootIno), EncodeInode(root)));
+  HFAD_RETURN_IF_ERROR(fs->Flush());
+  return fs;
+}
+
+Result<std::unique_ptr<HierFs>> HierFs::Open(std::shared_ptr<BlockDevice> device) {
+  std::string buf;
+  HFAD_RETURN_IF_ERROR(device->Read(0, Superblock::kSuperblockSize, &buf));
+  HFAD_ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(buf));
+  std::unique_ptr<HierFs> fs(new HierFs(std::move(device), sb));
+  fs->InitStructures();
+  if (sb.alloc_snapshot_size > 0) {
+    std::string snap;
+    HFAD_RETURN_IF_ERROR(fs->device_->Read(sb.alloc_area_offset, sb.alloc_snapshot_size,
+                                           &snap));
+    HFAD_RETURN_IF_ERROR(fs->allocator_->Deserialize(snap));
+  }
+  return fs;
+}
+
+Status HierFs::Flush() {
+  std::string snap = allocator_->Serialize();
+  if (snap.size() > sb_.alloc_area_size) {
+    return Status::Internal("allocator snapshot exceeds area");
+  }
+  HFAD_RETURN_IF_ERROR(pager_->Flush());
+  HFAD_RETURN_IF_ERROR(device_->Write(sb_.alloc_area_offset, Slice(snap)));
+  sb_.alloc_snapshot_size = snap.size();
+  sb_.object_table_root = inode_table_->root();
+  sb_.next_oid = next_ino_.load();
+  HFAD_RETURN_IF_ERROR(device_->Write(0, sb_.Encode()));
+  return device_->Sync();
+}
+
+// ---------------------------------------------------------------- inode helpers
+
+Result<Inode> HierFs::GetInode(Ino ino) const {
+  HFAD_ASSIGN_OR_RETURN(std::string raw, inode_table_->Get(InoKey(ino)));
+  return DecodeInode(raw);
+}
+
+Status HierFs::PutInode(Ino ino, const Inode& inode) {
+  return inode_table_->Put(InoKey(ino), EncodeInode(inode));
+}
+
+std::shared_mutex* HierFs::DirLock(Ino ino) const {
+  std::lock_guard<std::mutex> lock(lock_table_mu_);
+  auto& entry = lock_table_[ino];
+  if (entry == nullptr) {
+    entry = std::make_unique<std::shared_mutex>();
+  }
+  return entry.get();
+}
+
+Result<Ino> HierFs::DirLookup(const Inode& dir, Slice name) const {
+  btree::BTree entries(pager_.get(), allocator_.get(), dir.data_root);
+  HFAD_ASSIGN_OR_RETURN(std::string raw, entries.Get(name));
+  Slice in(raw);
+  uint64_t ino;
+  if (!GetVarint64(&in, &ino)) {
+    return Status::Corruption("bad directory entry");
+  }
+  return ino;
+}
+
+// ---------------------------------------------------------------- path walk
+
+Result<Ino> HierFs::ResolvePath(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
+  Ino cur = kRootIno;
+  for (const std::string& component : components) {
+    // §2.3: every lookup under /home/nick and /home/margo alike synchronizes through
+    // the shared ancestors' locks.
+    std::shared_mutex* lock = DirLock(cur);
+    stats::Add(stats::Counter::kLockAcquisitions);
+    if (!lock->try_lock_shared()) {
+      stats::Add(stats::Counter::kLockContentions);
+      lock->lock_shared();
+    }
+    std::shared_lock<std::shared_mutex> guard(*lock, std::adopt_lock);
+    HFAD_ASSIGN_OR_RETURN(Inode dir, GetInode(cur));
+    if (!dir.is_dir()) {
+      return Status::InvalidArgument("not a directory on path: " + path);
+    }
+    stats::Add(stats::Counter::kDirComponentsWalked);
+    HFAD_ASSIGN_OR_RETURN(cur, DirLookup(dir, component));
+  }
+  return cur;
+}
+
+Result<std::pair<Ino, std::string>> HierFs::WalkToParent(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(std::vector<std::string> components, SplitPath(path));
+  if (components.empty()) {
+    return Status::InvalidArgument("the root has no parent");
+  }
+  std::string leaf = components.back();
+  std::string parent = "/";
+  for (size_t i = 0; i + 1 < components.size(); i++) {
+    parent += components[i];
+    if (i + 2 < components.size()) {
+      parent += "/";
+    }
+  }
+  HFAD_ASSIGN_OR_RETURN(Ino parent_ino, ResolvePath(parent));
+  return std::pair<Ino, std::string>{parent_ino, leaf};
+}
+
+// ---------------------------------------------------------------- namespace ops
+
+Status HierFs::Mkdir(const std::string& path, uint32_t mode) {
+  HFAD_ASSIGN_OR_RETURN(auto parent_leaf, WalkToParent(path));
+  auto [parent_ino, name] = parent_leaf;
+
+  std::shared_mutex* lock = DirLock(parent_ino);
+  stats::Add(stats::Counter::kLockAcquisitions);
+  if (!lock->try_lock()) {
+    stats::Add(stats::Counter::kLockContentions);
+    lock->lock();
+  }
+  std::unique_lock<std::shared_mutex> guard(*lock, std::adopt_lock);
+
+  HFAD_ASSIGN_OR_RETURN(Inode parent, GetInode(parent_ino));
+  if (!parent.is_dir()) {
+    return Status::InvalidArgument("parent is not a directory");
+  }
+  btree::BTree entries(pager_.get(), allocator_.get(), parent.data_root);
+  if (entries.Contains(name)) {
+    return Status::AlreadyExists(path);
+  }
+  Ino ino = next_ino_.fetch_add(1);
+  Inode dir;
+  dir.mode = kModeDir | (mode & 0777);
+  dir.nlink = 2;
+  dir.mtime_ns = NowNs();
+  {
+    std::lock_guard<std::mutex> ilock(inode_mu_);
+    HFAD_RETURN_IF_ERROR(PutInode(ino, dir));
+  }
+  std::string value;
+  PutVarint64(&value, ino);
+  HFAD_RETURN_IF_ERROR(entries.Put(name, value));
+  if (entries.root() != parent.data_root) {
+    parent.data_root = entries.root();
+  }
+  parent.mtime_ns = NowNs();
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  return PutInode(parent_ino, parent);
+}
+
+Result<Ino> HierFs::CreateFile(const std::string& path, uint32_t mode) {
+  HFAD_ASSIGN_OR_RETURN(auto parent_leaf, WalkToParent(path));
+  auto [parent_ino, name] = parent_leaf;
+
+  std::shared_mutex* lock = DirLock(parent_ino);
+  stats::Add(stats::Counter::kLockAcquisitions);
+  if (!lock->try_lock()) {
+    stats::Add(stats::Counter::kLockContentions);
+    lock->lock();
+  }
+  std::unique_lock<std::shared_mutex> guard(*lock, std::adopt_lock);
+
+  HFAD_ASSIGN_OR_RETURN(Inode parent, GetInode(parent_ino));
+  if (!parent.is_dir()) {
+    return Status::InvalidArgument("parent is not a directory");
+  }
+  btree::BTree entries(pager_.get(), allocator_.get(), parent.data_root);
+  if (entries.Contains(name)) {
+    return Status::AlreadyExists(path);
+  }
+  Ino ino = next_ino_.fetch_add(1);
+  Inode file;
+  file.mode = mode & ~kModeDir;
+  file.mtime_ns = NowNs();
+  {
+    std::lock_guard<std::mutex> ilock(inode_mu_);
+    HFAD_RETURN_IF_ERROR(PutInode(ino, file));
+  }
+  std::string value;
+  PutVarint64(&value, ino);
+  HFAD_RETURN_IF_ERROR(entries.Put(name, value));
+  parent.data_root = entries.root();
+  parent.mtime_ns = NowNs();
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_RETURN_IF_ERROR(PutInode(parent_ino, parent));
+  return ino;
+}
+
+Status HierFs::Unlink(const std::string& path) {
+  HFAD_ASSIGN_OR_RETURN(auto parent_leaf, WalkToParent(path));
+  auto [parent_ino, name] = parent_leaf;
+
+  std::shared_mutex* lock = DirLock(parent_ino);
+  stats::Add(stats::Counter::kLockAcquisitions);
+  if (!lock->try_lock()) {
+    stats::Add(stats::Counter::kLockContentions);
+    lock->lock();
+  }
+  std::unique_lock<std::shared_mutex> guard(*lock, std::adopt_lock);
+
+  HFAD_ASSIGN_OR_RETURN(Inode parent, GetInode(parent_ino));
+  btree::BTree entries(pager_.get(), allocator_.get(), parent.data_root);
+  HFAD_ASSIGN_OR_RETURN(Ino ino, DirLookup(parent, name));
+  HFAD_ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.is_dir()) {
+    return Status::InvalidArgument("is a directory: " + path);
+  }
+  HFAD_RETURN_IF_ERROR(entries.Delete(name));
+  parent.data_root = entries.root();
+  parent.mtime_ns = NowNs();
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_RETURN_IF_ERROR(PutInode(parent_ino, parent));
+  if (inode.nlink <= 1) {
+    extent::ExtentTree data(pager_.get(), allocator_.get(), inode.data_root);
+    HFAD_RETURN_IF_ERROR(data.Clear());
+    return inode_table_->Delete(InoKey(ino));
+  }
+  inode.nlink--;
+  return PutInode(ino, inode);
+}
+
+Status HierFs::Rmdir(const std::string& path) {
+  HFAD_ASSIGN_OR_RETURN(auto parent_leaf, WalkToParent(path));
+  auto [parent_ino, name] = parent_leaf;
+
+  std::shared_mutex* lock = DirLock(parent_ino);
+  stats::Add(stats::Counter::kLockAcquisitions);
+  std::unique_lock<std::shared_mutex> guard(*lock);
+
+  HFAD_ASSIGN_OR_RETURN(Inode parent, GetInode(parent_ino));
+  btree::BTree entries(pager_.get(), allocator_.get(), parent.data_root);
+  HFAD_ASSIGN_OR_RETURN(Ino ino, DirLookup(parent, name));
+  HFAD_ASSIGN_OR_RETURN(Inode dir, GetInode(ino));
+  if (!dir.is_dir()) {
+    return Status::InvalidArgument("not a directory: " + path);
+  }
+  btree::BTree children(pager_.get(), allocator_.get(), dir.data_root);
+  if (children.Count() != 0) {
+    return Status::Busy("directory not empty: " + path);
+  }
+  HFAD_RETURN_IF_ERROR(children.Clear());
+  HFAD_RETURN_IF_ERROR(entries.Delete(name));
+  parent.data_root = entries.root();
+  parent.mtime_ns = NowNs();
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_RETURN_IF_ERROR(PutInode(parent_ino, parent));
+  return inode_table_->Delete(InoKey(ino));
+}
+
+Status HierFs::Link(const std::string& existing, const std::string& link_path) {
+  HFAD_ASSIGN_OR_RETURN(Ino ino, ResolvePath(existing));
+  HFAD_ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.is_dir()) {
+    return Status::InvalidArgument("hard links to directories are not allowed");
+  }
+  HFAD_ASSIGN_OR_RETURN(auto parent_leaf, WalkToParent(link_path));
+  auto [parent_ino, name] = parent_leaf;
+
+  std::shared_mutex* lock = DirLock(parent_ino);
+  stats::Add(stats::Counter::kLockAcquisitions);
+  std::unique_lock<std::shared_mutex> guard(*lock);
+
+  HFAD_ASSIGN_OR_RETURN(Inode parent, GetInode(parent_ino));
+  btree::BTree entries(pager_.get(), allocator_.get(), parent.data_root);
+  if (entries.Contains(name)) {
+    return Status::AlreadyExists(link_path);
+  }
+  std::string value;
+  PutVarint64(&value, ino);
+  HFAD_RETURN_IF_ERROR(entries.Put(name, value));
+  parent.data_root = entries.root();
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_RETURN_IF_ERROR(PutInode(parent_ino, parent));
+  inode.nlink++;
+  return PutInode(ino, inode);
+}
+
+Status HierFs::Rename(const std::string& from, const std::string& to) {
+  HFAD_ASSIGN_OR_RETURN(auto src_pl, WalkToParent(from));
+  HFAD_ASSIGN_OR_RETURN(auto dst_pl, WalkToParent(to));
+  auto [src_parent, src_name] = src_pl;
+  auto [dst_parent, dst_name] = dst_pl;
+
+  // Lock parents in ino order to avoid deadlock.
+  std::shared_mutex* first = DirLock(std::min(src_parent, dst_parent));
+  std::shared_mutex* second = DirLock(std::max(src_parent, dst_parent));
+  stats::Add(stats::Counter::kLockAcquisitions, src_parent == dst_parent ? 1 : 2);
+  std::unique_lock<std::shared_mutex> g1(*first);
+  std::unique_lock<std::shared_mutex> g2;
+  if (second != first) {
+    g2 = std::unique_lock<std::shared_mutex>(*second);
+  }
+
+  HFAD_ASSIGN_OR_RETURN(Inode sparent, GetInode(src_parent));
+  btree::BTree src_entries(pager_.get(), allocator_.get(), sparent.data_root);
+  HFAD_ASSIGN_OR_RETURN(Ino ino, DirLookup(sparent, src_name));
+
+  HFAD_ASSIGN_OR_RETURN(Inode dparent, GetInode(dst_parent));
+  btree::BTree dst_entries_same(pager_.get(), allocator_.get(), dparent.data_root);
+  btree::BTree* dst_entries = src_parent == dst_parent ? &src_entries : &dst_entries_same;
+  if (dst_entries->Contains(dst_name)) {
+    return Status::AlreadyExists(to);
+  }
+  std::string value;
+  PutVarint64(&value, ino);
+  HFAD_RETURN_IF_ERROR(dst_entries->Put(dst_name, value));
+  HFAD_RETURN_IF_ERROR(src_entries.Delete(src_name));
+
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  if (src_parent == dst_parent) {
+    sparent.data_root = src_entries.root();
+    sparent.mtime_ns = NowNs();
+    return PutInode(src_parent, sparent);
+  }
+  sparent.data_root = src_entries.root();
+  sparent.mtime_ns = NowNs();
+  HFAD_RETURN_IF_ERROR(PutInode(src_parent, sparent));
+  dparent.data_root = dst_entries->root();
+  dparent.mtime_ns = NowNs();
+  return PutInode(dst_parent, dparent);
+}
+
+Result<std::vector<DirEntry>> HierFs::Readdir(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(Ino ino, ResolvePath(path));
+
+  std::shared_mutex* lock = DirLock(ino);
+  stats::Add(stats::Counter::kLockAcquisitions);
+  std::shared_lock<std::shared_mutex> guard(*lock);
+
+  HFAD_ASSIGN_OR_RETURN(Inode dir, GetInode(ino));
+  if (!dir.is_dir()) {
+    return Status::InvalidArgument("not a directory: " + path);
+  }
+  btree::BTree entries(pager_.get(), allocator_.get(), dir.data_root);
+  std::vector<DirEntry> out;
+  Status decode_status;
+  HFAD_RETURN_IF_ERROR(entries.Scan("", "", [&](Slice name, Slice value) {
+    Slice in(value);
+    uint64_t child = 0;
+    if (!GetVarint64(&in, &child)) {
+      decode_status = Status::Corruption("bad directory entry");
+      return false;
+    }
+    out.push_back(DirEntry{name.ToString(), child, false});
+    return true;
+  }));
+  HFAD_RETURN_IF_ERROR(decode_status);
+  for (DirEntry& e : out) {
+    HFAD_ASSIGN_OR_RETURN(Inode child, GetInode(e.ino));
+    e.is_dir = child.is_dir();
+  }
+  return out;
+}
+
+Result<Inode> HierFs::Stat(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(Ino ino, ResolvePath(path));
+  return GetInode(ino);
+}
+
+Result<Inode> HierFs::StatIno(Ino ino) const { return GetInode(ino); }
+
+uint64_t HierFs::inode_count() const { return inode_table_->Count(); }
+
+// ---------------------------------------------------------------- file IO
+
+Status HierFs::Read(Ino ino, uint64_t offset, size_t n, std::string* out) const {
+  HFAD_ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.is_dir()) {
+    return Status::InvalidArgument("cannot read a directory");
+  }
+  extent::ExtentTree data(pager_.get(), allocator_.get(), inode.data_root);
+  return data.Read(offset, n, out);
+}
+
+Status HierFs::Write(Ino ino, uint64_t offset, Slice data_in) {
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  if (inode.is_dir()) {
+    return Status::InvalidArgument("cannot write a directory");
+  }
+  extent::ExtentTree data(pager_.get(), allocator_.get(), inode.data_root);
+  HFAD_RETURN_IF_ERROR(data.Write(offset, data_in));
+  inode.data_root = data.root();
+  inode.size = data.Size();
+  inode.mtime_ns = NowNs();
+  return PutInode(ino, inode);
+}
+
+Status HierFs::Truncate(Ino ino, uint64_t new_size) {
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  extent::ExtentTree data(pager_.get(), allocator_.get(), inode.data_root);
+  uint64_t size = data.Size();
+  if (new_size < size) {
+    HFAD_RETURN_IF_ERROR(data.RemoveRange(new_size, size - new_size));
+  } else if (new_size > size) {
+    HFAD_RETURN_IF_ERROR(data.Write(size, std::string(new_size - size, '\0')));
+  }
+  inode.data_root = data.root();
+  inode.size = data.Size();
+  inode.mtime_ns = NowNs();
+  return PutInode(ino, inode);
+}
+
+Status HierFs::InsertViaRewrite(Ino ino, uint64_t offset, Slice data_in) {
+  // POSIX's only way to grow the middle of a file: read the tail, overwrite from the
+  // insertion point, and rewrite the (shifted) tail — O(file size - offset) bytes of IO.
+  std::lock_guard<std::mutex> ilock(inode_mu_);
+  HFAD_ASSIGN_OR_RETURN(Inode inode, GetInode(ino));
+  extent::ExtentTree data(pager_.get(), allocator_.get(), inode.data_root);
+  uint64_t size = data.Size();
+  if (offset > size) {
+    return Status::OutOfRange("insert past end of file");
+  }
+  std::string tail;
+  HFAD_RETURN_IF_ERROR(data.Read(offset, size - offset, &tail));
+  HFAD_RETURN_IF_ERROR(data.Write(offset, data_in));
+  HFAD_RETURN_IF_ERROR(data.Write(offset + data_in.size(), tail));
+  inode.data_root = data.root();
+  inode.size = data.Size();
+  inode.mtime_ns = NowNs();
+  return PutInode(ino, inode);
+}
+
+}  // namespace hierfs
+}  // namespace hfad

@@ -1,0 +1,141 @@
+// hierfs: the hierarchical baseline — "historical practice" for the paper's benches.
+//
+// The paper's conclusion invites "comparisons ... relative to historical practice", and
+// its Section 2 argues against precisely this design. hierfs therefore implements the
+// classic FFS-shaped architecture as faithfully as the comparison requires, on the SAME
+// substrate as hFAD (block device, pager, buddy allocator, btrees, extent trees) so that
+// measured differences come from the *namespace architecture*, not the plumbing:
+//
+//   * an inode table (btree: ino -> inode record);
+//   * directories as per-directory btrees of name -> ino;
+//   * component-at-a-time path resolution, read-locking every directory on the way down
+//     (the §2.3 shared-ancestor synchronization) and counting kDirComponentsWalked,
+//     kIndexTraversals, and kLockAcquisitions/kLockContentions as it goes;
+//   * file data in extent trees, like hFAD, so data-path costs cancel out.
+//
+// Unlike hFAD, a file's canonical name IS its position in the tree: renameing a
+// directory is O(1) here (pointer swing in the parent) but finding a file by anything
+// other than its path requires an external index layered ON TOP of files — which is
+// exactly the four-plus-index-traversal stack bench_traversals measures.
+//
+// hierfs is deliberately not journaled (neither was FFS); durability is Flush().
+#ifndef HFAD_SRC_HIERFS_HIERFS_H_
+#define HFAD_SRC_HIERFS_HIERFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+#include "src/storage/buddy_allocator.h"
+#include "src/storage/pager.h"
+#include "src/storage/superblock.h"
+
+namespace hfad {
+namespace hierfs {
+
+using Ino = uint64_t;
+
+constexpr Ino kRootIno = 1;
+constexpr uint32_t kModeDir = 0040000;
+
+struct Inode {
+  uint32_t mode = 0644;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint32_t nlink = 1;
+  uint64_t size = 0;
+  uint64_t mtime_ns = 0;
+  uint64_t data_root = 0;  // Extent tree (file) or directory btree (dir) root.
+
+  bool is_dir() const { return (mode & kModeDir) != 0; }
+};
+
+struct DirEntry {
+  std::string name;
+  Ino ino = 0;
+  bool is_dir = false;
+};
+
+class HierFs {
+ public:
+  // Format a fresh hierarchical volume on `device` (root directory created).
+  static Result<std::unique_ptr<HierFs>> Create(std::shared_ptr<BlockDevice> device);
+
+  // Reopen a previously Flush()ed volume.
+  static Result<std::unique_ptr<HierFs>> Open(std::shared_ptr<BlockDevice> device);
+
+  HierFs(const HierFs&) = delete;
+  HierFs& operator=(const HierFs&) = delete;
+
+  // ---- namespace (component-at-a-time, per-directory locking) ----
+
+  // Walk the path from "/" to its inode. This is the instrumented §2.3 code path.
+  Result<Ino> ResolvePath(const std::string& path) const;
+
+  Status Mkdir(const std::string& path, uint32_t mode = 0755);
+  Result<Ino> CreateFile(const std::string& path, uint32_t mode = 0644);
+  Status Unlink(const std::string& path);
+  Status Rmdir(const std::string& path);
+  // Hard link: a second directory entry for the same inode.
+  Status Link(const std::string& existing, const std::string& link_path);
+  // Rename. Within the tree this is cheap (entry moves between directory btrees) —
+  // the hierarchical design's one structural advantage, kept honest here.
+  Status Rename(const std::string& from, const std::string& to);
+  Result<std::vector<DirEntry>> Readdir(const std::string& path) const;
+  Result<Inode> Stat(const std::string& path) const;
+  Result<Inode> StatIno(Ino ino) const;
+
+  // ---- file IO (by inode, like a kernel working on a resolved vnode) ----
+
+  Status Read(Ino ino, uint64_t offset, size_t n, std::string* out) const;
+  Status Write(Ino ino, uint64_t offset, Slice data);
+  Status Truncate(Ino ino, uint64_t new_size);
+
+  // POSIX has no insert: growing the middle of a file is read-shift-rewrite, which
+  // bench_insert_middle measures against hFAD's extent-tree insert. Provided here so
+  // the bench exercises a realistic in-FS implementation of the workaround.
+  Status InsertViaRewrite(Ino ino, uint64_t offset, Slice data);
+
+  // Persist everything (superblock + dirty pages). No journal, no crash atomicity.
+  Status Flush();
+
+  uint64_t inode_count() const;
+
+ private:
+  HierFs(std::shared_ptr<BlockDevice> device, Superblock sb);
+  void InitStructures();
+
+  Result<Inode> GetInode(Ino ino) const;
+  Status PutInode(Ino ino, const Inode& inode);
+  Result<std::pair<Ino, std::string>> WalkToParent(const std::string& path) const;
+  // Look `name` up in directory `dir` (dir lock must be held by the caller).
+  Result<Ino> DirLookup(const Inode& dir, Slice name) const;
+
+  // Per-directory lock, created on demand.
+  std::shared_mutex* DirLock(Ino ino) const;
+
+  std::shared_ptr<BlockDevice> device_;
+  Superblock sb_;
+  std::unique_ptr<BuddyAllocator> allocator_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<btree::BTree> inode_table_;
+  std::atomic<uint64_t> next_ino_{kRootIno + 1};
+
+  mutable std::mutex lock_table_mu_;
+  mutable std::unordered_map<Ino, std::unique_ptr<std::shared_mutex>> lock_table_;
+  // Serializes inode-record read-modify-write (the classic global inode lock).
+  mutable std::mutex inode_mu_;
+};
+
+}  // namespace hierfs
+}  // namespace hfad
+
+#endif  // HFAD_SRC_HIERFS_HIERFS_H_

@@ -1,0 +1,261 @@
+#include "src/index/index_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/coding.h"
+
+namespace hfad {
+namespace index {
+
+namespace {
+
+std::string OidBytes(ObjectId oid) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; i--) {
+    key[i] = static_cast<char>(oid & 0xff);
+    oid >>= 8;
+  }
+  return key;
+}
+
+ObjectId OidFromBytes(Slice b) {
+  ObjectId v = 0;
+  for (size_t i = 0; i < 8 && i < b.size(); i++) {
+    v = (v << 8) | static_cast<uint8_t>(b[i]);
+  }
+  return v;
+}
+
+// Entry key: value '\0' oid. The NUL separator keeps "a" and "ab" prefix-disjoint for
+// values that do not themselves contain NUL; values with embedded NUL still work for
+// exact lookups because the oid suffix has fixed length.
+std::string EntryKey(Slice value, ObjectId oid) {
+  std::string key = value.ToString();
+  key.push_back('\0');
+  key += OidBytes(oid);
+  return key;
+}
+
+std::string ValuePrefix(Slice value) {
+  std::string p = value.ToString();
+  p.push_back('\0');
+  return p;
+}
+
+}  // namespace
+
+std::vector<ObjectId> IntersectSorted(const std::vector<ObjectId>& a,
+                                      const std::vector<ObjectId>& b) {
+  std::vector<ObjectId> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+// ---------------------------------------------------------------- KeyValueIndexStore
+
+KeyValueIndexStore::KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root)
+    : volume_(volume),
+      tag_(std::move(tag)),
+      root_name_("index/" + tag_),
+      tree_(std::make_unique<btree::BTree>(volume->pager(), volume->allocator(), root)),
+      last_root_(root) {}
+
+Result<std::unique_ptr<KeyValueIndexStore>> KeyValueIndexStore::Mount(osd::Osd* volume,
+                                                                      std::string tag) {
+  HFAD_ASSIGN_OR_RETURN(uint64_t root, volume->GetNamedRoot("index/" + tag));
+  return std::unique_ptr<KeyValueIndexStore>(
+      new KeyValueIndexStore(volume, std::move(tag), root));
+}
+
+Status KeyValueIndexStore::SyncRoot() {
+  uint64_t root = tree_->root();
+  if (root != last_root_) {
+    HFAD_RETURN_IF_ERROR(volume_->SetNamedRoot(root_name_, root));
+    last_root_ = root;
+  }
+  return Status::Ok();
+}
+
+Status KeyValueIndexStore::Add(Slice value, ObjectId oid) {
+  HFAD_RETURN_IF_ERROR(tree_->Put(EntryKey(value, oid), Slice()));
+  return SyncRoot();
+}
+
+Status KeyValueIndexStore::Remove(Slice value, ObjectId oid) {
+  HFAD_RETURN_IF_ERROR(tree_->Delete(EntryKey(value, oid)));
+  return SyncRoot();
+}
+
+Result<std::vector<ObjectId>> KeyValueIndexStore::Lookup(Slice value) const {
+  std::vector<ObjectId> out;
+  std::string prefix = ValuePrefix(value);
+  HFAD_RETURN_IF_ERROR(tree_->ScanPrefix(prefix, [&](Slice key, Slice) {
+    Slice oid_bytes(key.data() + prefix.size(), key.size() - prefix.size());
+    out.push_back(OidFromBytes(oid_bytes));
+    return true;
+  }));
+  return out;  // Prefix scan yields ascending oid order (big-endian suffix).
+}
+
+Result<bool> KeyValueIndexStore::Contains(Slice value, ObjectId oid) const {
+  return tree_->Contains(EntryKey(value, oid));
+}
+
+Result<uint64_t> KeyValueIndexStore::EstimateCardinality(Slice value) const {
+  uint64_t n = 0;
+  HFAD_RETURN_IF_ERROR(tree_->ScanPrefix(ValuePrefix(value), [&](Slice, Slice) {
+    n++;
+    return n < 1024;  // Exact up to a cap; beyond that "large" is all the optimizer needs.
+  }));
+  return n;
+}
+
+Status KeyValueIndexStore::ScanValues(
+    Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const {
+  return tree_->ScanPrefix(prefix, [&](Slice key, Slice) {
+    // Split "value \0 oid8": the oid is the fixed-size suffix.
+    if (key.size() < 9) {
+      return true;  // Malformed entry; skip defensively.
+    }
+    Slice value(key.data(), key.size() - 9);
+    Slice oid_bytes(key.data() + key.size() - 8, 8);
+    return fn(value, OidFromBytes(oid_bytes));
+  });
+}
+
+// ---------------------------------------------------------------- FullTextIndexStore
+
+FullTextIndexStore::FullTextIndexStore(osd::Osd* volume, uint64_t root)
+    : volume_(volume),
+      tree_(std::make_unique<btree::BTree>(volume->pager(), volume->allocator(), root)),
+      engine_(std::make_unique<fulltext::FullTextIndex>(tree_.get())),
+      last_root_(root) {}
+
+Result<std::unique_ptr<FullTextIndexStore>> FullTextIndexStore::Mount(osd::Osd* volume) {
+  HFAD_ASSIGN_OR_RETURN(uint64_t root, volume->GetNamedRoot("index/FULLTEXT"));
+  return std::unique_ptr<FullTextIndexStore>(new FullTextIndexStore(volume, root));
+}
+
+Status FullTextIndexStore::SyncRoot() {
+  uint64_t root = tree_->root();
+  if (root != last_root_) {
+    HFAD_RETURN_IF_ERROR(volume_->SetNamedRoot("index/FULLTEXT", root));
+    last_root_ = root;
+  }
+  return Status::Ok();
+}
+
+Status FullTextIndexStore::Add(Slice content, ObjectId oid) {
+  HFAD_RETURN_IF_ERROR(engine_->IndexDocument(oid, content));
+  return SyncRoot();
+}
+
+Status FullTextIndexStore::Remove(Slice, ObjectId oid) {
+  HFAD_RETURN_IF_ERROR(engine_->RemoveDocument(oid));
+  return SyncRoot();
+}
+
+Result<std::vector<ObjectId>> FullTextIndexStore::Lookup(Slice term) const {
+  return engine_->Postings(term.ToString());
+}
+
+Result<bool> FullTextIndexStore::Contains(Slice term, ObjectId oid) const {
+  return engine_->ContainsPosting(term.ToString(), oid);
+}
+
+Result<uint64_t> FullTextIndexStore::EstimateCardinality(Slice term) const {
+  return engine_->DocumentFrequency(term.ToString());
+}
+
+// ---------------------------------------------------------------- IdIndexStore
+
+Result<std::vector<ObjectId>> IdIndexStore::Lookup(Slice value) const {
+  if (value.empty() || value.size() > 20) {
+    return Status::InvalidArgument("ID value must be a decimal object id");
+  }
+  ObjectId oid = 0;
+  for (size_t i = 0; i < value.size(); i++) {
+    if (value[i] < '0' || value[i] > '9') {
+      return Status::InvalidArgument("ID value must be a decimal object id");
+    }
+    oid = oid * 10 + static_cast<ObjectId>(value[i] - '0');
+  }
+  if (!volume_->Exists(oid)) {
+    return std::vector<ObjectId>{};
+  }
+  return std::vector<ObjectId>{oid};
+}
+
+// ---------------------------------------------------------------- IndexCollection
+
+Result<std::unique_ptr<IndexCollection>> IndexCollection::Mount(osd::Osd* volume) {
+  std::unique_ptr<IndexCollection> c(new IndexCollection());
+  for (std::string_view tag : {kTagPosix, kTagUser, kTagUdef, kTagApp}) {
+    HFAD_ASSIGN_OR_RETURN(auto store, KeyValueIndexStore::Mount(volume, std::string(tag)));
+    HFAD_RETURN_IF_ERROR(c->Register(std::move(store)));
+  }
+  HFAD_ASSIGN_OR_RETURN(auto ft, FullTextIndexStore::Mount(volume));
+  HFAD_RETURN_IF_ERROR(c->Register(std::move(ft)));
+  HFAD_RETURN_IF_ERROR(c->Register(std::make_unique<IdIndexStore>(volume)));
+  return c;
+}
+
+Status IndexCollection::Register(std::unique_ptr<IndexStore> store) {
+  std::string tag(store->tag());
+  auto [it, inserted] = stores_.emplace(std::move(tag), std::move(store));
+  if (!inserted) {
+    return Status::AlreadyExists("index store for tag '" + it->first +
+                                 "' already registered");
+  }
+  return Status::Ok();
+}
+
+IndexStore* IndexCollection::store(std::string_view tag) {
+  auto it = stores_.find(tag);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+const IndexStore* IndexCollection::store(std::string_view tag) const {
+  auto it = stores_.find(tag);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> IndexCollection::tags() const {
+  std::vector<std::string> out;
+  out.reserve(stores_.size());
+  for (const auto& [tag, store] : stores_) {
+    out.push_back(tag);
+  }
+  return out;
+}
+
+Result<std::vector<ObjectId>> IndexCollection::Lookup(
+    const std::vector<TagValue>& terms) const {
+  if (terms.empty()) {
+    return Status::InvalidArgument("naming lookup needs at least one tag/value pair");
+  }
+  std::vector<ObjectId> result;
+  bool first = true;
+  for (const TagValue& term : terms) {
+    const IndexStore* s = store(term.tag);
+    if (s == nullptr) {
+      return Status::NotFound("no index store for tag '" + term.tag + "'");
+    }
+    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, s->Lookup(term.value));
+    if (first) {
+      result = std::move(ids);
+      first = false;
+    } else {
+      result = IntersectSorted(result, ids);
+    }
+    if (result.empty()) {
+      break;  // Conjunction already empty.
+    }
+  }
+  return result;
+}
+
+}  // namespace index
+}  // namespace hfad

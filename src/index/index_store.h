@@ -1,0 +1,212 @@
+// Extensible index stores (§3.2) and the Table 1 tag taxonomy.
+//
+// "Given one or more type/value specifications, the collection of index stores must
+// return a list of object IDs matching the search terms." Each IndexStore maps values of
+// one tag to object ids; the IndexCollection dispatches a tag/value vector across stores
+// and intersects the results (§3.1.1 conjunction semantics).
+//
+// Standard stores (Table 1):
+//   POSIX     pathname        -> KeyValueIndexStore    (the POSIX layer names through this)
+//   FULLTEXT  search term     -> FullTextIndexStore    (inverted index + BM25)
+//   USER      logname         -> KeyValueIndexStore
+//   UDEF      annotation      -> KeyValueIndexStore    (manual user tags)
+//   APP       application     -> KeyValueIndexStore
+//   ID        object id       -> IdIndexStore          (fastpath, no storage)
+//
+// The paper's open question #1 — "should hFAD support arbitrary types of indexing
+// through, for example, a plug-in model?" — is answered yes: IndexCollection::Register
+// accepts any IndexStore implementation for a new tag (see ImageIndexStore in the tests
+// for a worked example).
+#ifndef HFAD_SRC_INDEX_INDEX_STORE_H_
+#define HFAD_SRC_INDEX_INDEX_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/fulltext/fulltext.h"
+#include "src/osd/osd.h"
+
+namespace hfad {
+namespace index {
+
+using osd::ObjectId;
+
+// Table 1 tag names.
+inline constexpr std::string_view kTagPosix = "POSIX";
+inline constexpr std::string_view kTagFulltext = "FULLTEXT";
+inline constexpr std::string_view kTagUser = "USER";
+inline constexpr std::string_view kTagUdef = "UDEF";
+inline constexpr std::string_view kTagApp = "APP";
+inline constexpr std::string_view kTagId = "ID";
+
+// One tag/value naming term (§3.1.1).
+struct TagValue {
+  std::string tag;
+  std::string value;
+};
+
+// Interface every index store implements. Values are tag-specific byte strings; the tag
+// "tells hFAD how to interpret the value and in which of multiple indexes to search".
+class IndexStore {
+ public:
+  virtual ~IndexStore() = default;
+
+  // Tag this store serves ("POSIX", "FULLTEXT", ...).
+  virtual std::string_view tag() const = 0;
+
+  // Associate value -> oid. Idempotent per (value, oid) pair.
+  virtual Status Add(Slice value, ObjectId oid) = 0;
+
+  // Remove one association. NotFound when absent.
+  virtual Status Remove(Slice value, ObjectId oid) = 0;
+
+  // All objects associated with the value, ascending oid order.
+  virtual Result<std::vector<ObjectId>> Lookup(Slice value) const = 0;
+
+  // Point membership test: is (value, oid) associated? The query engine probes this
+  // instead of materializing large postings when the running intersection is small.
+  virtual Result<bool> Contains(Slice value, ObjectId oid) const = 0;
+
+  // Estimated result size of Lookup(value); used by the query optimizer to order
+  // conjuncts. Exact sizes are not required — relative order is what matters.
+  virtual Result<uint64_t> EstimateCardinality(Slice value) const = 0;
+
+  // Enumerate (value, oid) pairs whose value starts with prefix, in value order. Stores
+  // that cannot enumerate (e.g. the ID fastpath) return NotSupported.
+  virtual Status ScanValues(
+      Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const = 0;
+};
+
+// Btree-backed exact-match store: one entry per (value, oid) pair, so a value can name
+// many objects and an object can carry many values — naming decoupled from access (§2.2).
+class KeyValueIndexStore : public IndexStore {
+ public:
+  // Opens (creating on first use) the backing btree registered on `volume` under the
+  // named root "index/<tag>". The store keeps the registration current as its root moves.
+  static Result<std::unique_ptr<KeyValueIndexStore>> Mount(osd::Osd* volume,
+                                                           std::string tag);
+
+  std::string_view tag() const override { return tag_; }
+  Status Add(Slice value, ObjectId oid) override;
+  Status Remove(Slice value, ObjectId oid) override;
+  Result<std::vector<ObjectId>> Lookup(Slice value) const override;
+  Result<bool> Contains(Slice value, ObjectId oid) const override;
+  Result<uint64_t> EstimateCardinality(Slice value) const override;
+  Status ScanValues(
+      Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const override;
+
+  // Number of (value, oid) associations (test support).
+  uint64_t entry_count() const { return tree_->Count(); }
+
+ private:
+  KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root);
+
+  // Persist the btree root under the named root when it has moved.
+  Status SyncRoot();
+
+  osd::Osd* const volume_;
+  const std::string tag_;
+  const std::string root_name_;
+  std::unique_ptr<btree::BTree> tree_;
+  uint64_t last_root_ = 0;
+};
+
+// Full-text store: Add() treats the value as document *content* to index; Lookup()
+// treats the value as a single search term. Ranked multi-term search goes through
+// engine() directly (the IndexStore interface is set semantics only).
+class FullTextIndexStore : public IndexStore {
+ public:
+  static Result<std::unique_ptr<FullTextIndexStore>> Mount(osd::Osd* volume);
+
+  std::string_view tag() const override { return kTagFulltext; }
+  Status Add(Slice content, ObjectId oid) override;
+  Status Remove(Slice content, ObjectId oid) override;  // Content is ignored: oid keys it.
+  Result<std::vector<ObjectId>> Lookup(Slice term) const override;
+  Result<bool> Contains(Slice term, ObjectId oid) const override;
+  Result<uint64_t> EstimateCardinality(Slice term) const override;
+  Status ScanValues(Slice, const std::function<bool(Slice, ObjectId)>&) const override {
+    return Status::NotSupported("full-text store cannot enumerate values");
+  }
+
+  fulltext::FullTextIndex* engine() { return engine_.get(); }
+  const fulltext::FullTextIndex* engine() const { return engine_.get(); }
+
+ private:
+  FullTextIndexStore(osd::Osd* volume, uint64_t root);
+
+  Status SyncRoot();
+
+  osd::Osd* const volume_;
+  std::unique_ptr<btree::BTree> tree_;
+  std::unique_ptr<fulltext::FullTextIndex> engine_;
+  uint64_t last_root_ = 0;
+};
+
+// The ID fastpath (Table 1): "a special tag, ID, indicates that the value is actually a
+// unique object ID, supporting object reference caching inside applications." Lookup
+// parses the value as a decimal oid and verifies existence — no index storage at all.
+class IdIndexStore : public IndexStore {
+ public:
+  explicit IdIndexStore(osd::Osd* volume) : volume_(volume) {}
+
+  std::string_view tag() const override { return kTagId; }
+  Status Add(Slice, ObjectId) override {
+    return Status::Ok();  // IDs are intrinsic; nothing to record.
+  }
+  Status Remove(Slice, ObjectId) override { return Status::Ok(); }
+  Result<std::vector<ObjectId>> Lookup(Slice value) const override;
+  Result<bool> Contains(Slice value, ObjectId oid) const override {
+    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, Lookup(value));
+    return !ids.empty() && ids[0] == oid;
+  }
+  Result<uint64_t> EstimateCardinality(Slice) const override { return uint64_t{1}; }
+  Status ScanValues(Slice, const std::function<bool(Slice, ObjectId)>&) const override {
+    return Status::NotSupported("ID fastpath has no enumerable storage");
+  }
+
+ private:
+  osd::Osd* const volume_;
+};
+
+// The collection of index stores: tag dispatch, plug-in registration, and conjunctive
+// naming lookups.
+class IndexCollection {
+ public:
+  // Mounts the six Table 1 standard stores on `volume`.
+  static Result<std::unique_ptr<IndexCollection>> Mount(osd::Osd* volume);
+
+  // Plug-in model (open question #1): add a store for a new tag. AlreadyExists if the
+  // tag is taken.
+  Status Register(std::unique_ptr<IndexStore> store);
+
+  // Store for a tag, or nullptr.
+  IndexStore* store(std::string_view tag);
+  const IndexStore* store(std::string_view tag) const;
+
+  // Registered tags, sorted.
+  std::vector<std::string> tags() const;
+
+  // Naming lookup (§3.1.1): the conjunction of per-term lookups, ascending oid order.
+  // Multiple results are expected; "no query need uniquely define a data item".
+  Result<std::vector<ObjectId>> Lookup(const std::vector<TagValue>& terms) const;
+
+ private:
+  IndexCollection() = default;
+
+  std::map<std::string, std::unique_ptr<IndexStore>, std::less<>> stores_;
+};
+
+// Set intersection helper shared with the query engine (inputs must be sorted).
+std::vector<ObjectId> IntersectSorted(const std::vector<ObjectId>& a,
+                                      const std::vector<ObjectId>& b);
+
+}  // namespace index
+}  // namespace hfad
+
+#endif  // HFAD_SRC_INDEX_INDEX_STORE_H_

@@ -1,0 +1,142 @@
+#include "src/journal/journal.h"
+
+#include "src/common/coding.h"
+#include "src/common/crc32.h"
+#include "src/common/stats.h"
+
+namespace hfad {
+namespace journal {
+
+namespace {
+
+// CRC over (length, sequence, payload) — everything after the CRC field itself.
+uint32_t RecordCrc(uint32_t length, uint64_t sequence, Slice payload) {
+  uint8_t hdr[12];
+  EncodeFixed32(hdr, length);
+  EncodeFixed64(hdr + 4, sequence);
+  uint32_t crc = Crc32c(Slice(hdr, sizeof(hdr)));
+  return Crc32cExtend(crc, payload);
+}
+
+}  // namespace
+
+Journal::Journal(BlockDevice* device, uint64_t region_offset, uint64_t region_size,
+                 uint64_t first_sequence)
+    : device_(device),
+      region_offset_(region_offset),
+      region_size_(region_size),
+      next_seq_(first_sequence) {}
+
+Result<uint64_t> Journal::Append(Slice payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t need = kRecordHeaderSize + payload.size();
+  // Keep one trailing header's worth of zeroes so recovery always sees a terminator.
+  if (write_pos_ + pending_.size() + need + kRecordHeaderSize > region_size_) {
+    return Status::NoSpace("journal region full (" + std::to_string(region_size_) +
+                           " bytes); checkpoint required");
+  }
+  uint64_t seq = next_seq_++;
+  uint8_t hdr[16];
+  uint32_t crc = RecordCrc(static_cast<uint32_t>(payload.size()), seq, payload);
+  EncodeFixed32(hdr, MaskCrc(crc));
+  EncodeFixed32(hdr + 4, static_cast<uint32_t>(payload.size()));
+  EncodeFixed64(hdr + 8, seq);
+  pending_.append(reinterpret_cast<const char*>(hdr), sizeof(hdr));
+  pending_.append(payload.data(), payload.size());
+  pending_count_++;
+  return seq;
+}
+
+Status Journal::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) {
+    return Status::Ok();
+  }
+  HFAD_RETURN_IF_ERROR(device_->Write(region_offset_ + write_pos_, Slice(pending_)));
+  HFAD_RETURN_IF_ERROR(device_->Sync());
+  stats::Add(stats::Counter::kJournalRecords, pending_count_);
+  stats::Add(stats::Counter::kJournalBytes, pending_.size());
+  write_pos_ += pending_.size();
+  pending_.clear();
+  pending_count_ = 0;
+  return Status::Ok();
+}
+
+size_t Journal::pending_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_count_;
+}
+
+uint64_t Journal::SpaceRemaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t used = write_pos_ + pending_.size() + kRecordHeaderSize;  // Incl. terminator.
+  return used >= region_size_ ? 0 : region_size_ - used;
+}
+
+Status Journal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  pending_count_ = 0;
+  write_pos_ = 0;
+  // Zero one header so a recovery scan terminates immediately.
+  std::string zeroes(kRecordHeaderSize, '\0');
+  HFAD_RETURN_IF_ERROR(device_->Write(region_offset_, Slice(zeroes)));
+  return device_->Sync();
+}
+
+Result<uint64_t> Journal::Recover(
+    const std::function<void(uint64_t sequence, Slice payload)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  pending_count_ = 0;
+  uint64_t pos = 0;
+  uint64_t recovered = 0;
+  bool have_prev_seq = false;
+  uint64_t prev_seq = 0;
+  while (pos + kRecordHeaderSize <= region_size_) {
+    std::string hdr;
+    HFAD_RETURN_IF_ERROR(device_->Read(region_offset_ + pos, kRecordHeaderSize, &hdr));
+    const uint8_t* h = reinterpret_cast<const uint8_t*>(hdr.data());
+    uint32_t masked = DecodeFixed32(h);
+    uint32_t length = DecodeFixed32(h + 4);
+    uint64_t seq = DecodeFixed64(h + 8);
+    if (masked == 0 && length == 0 && seq == 0) {
+      break;  // Clean end of log.
+    }
+    if (pos + kRecordHeaderSize + length > region_size_) {
+      break;  // Length field runs off the region: torn header.
+    }
+    std::string payload;
+    HFAD_RETURN_IF_ERROR(
+        device_->Read(region_offset_ + pos + kRecordHeaderSize, length, &payload));
+    if (UnmaskCrc(masked) != RecordCrc(length, seq, Slice(payload))) {
+      break;  // Torn or corrupt record: the log ends here.
+    }
+    if (have_prev_seq && seq != prev_seq + 1) {
+      break;  // Stale record from a previous log generation.
+    }
+    fn(seq, Slice(payload));
+    recovered++;
+    prev_seq = seq;
+    have_prev_seq = true;
+    pos += kRecordHeaderSize + length;
+  }
+  write_pos_ = pos;
+  if (have_prev_seq) {
+    next_seq_ = prev_seq + 1;
+  }
+  return recovered;
+}
+
+uint64_t Journal::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t Journal::committed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_pos_;
+}
+
+}  // namespace journal
+}  // namespace hfad

@@ -1,0 +1,98 @@
+// Write-ahead log for the hFAD OSD (§3.3: "the OSD may be transactional").
+//
+// The journal occupies a fixed region of the device, written directly (never through the
+// pager). Records are appended in memory and made durable in batches (group commit): one
+// contiguous device write plus one Sync covers every record appended since the previous
+// Commit. Layout of one record:
+//
+//   [u32 masked CRC32C][u32 payload length][u64 sequence][payload bytes]
+//
+// The CRC covers (length, sequence, payload), is masked as in crc32.h, and a record of all
+// zeroes marks the end of the log. Sequences increase by exactly one per record.
+//
+// The log is linear, not a ring: when the region fills, Append returns NoSpace and the
+// caller must Checkpoint() — i.e. durably flush the state the journal protects, then reset
+// the log. Combined with a no-steal pager this gives the classic no-steal/force-on-
+// checkpoint discipline: on-disk state is always exactly the last checkpoint, and crash
+// recovery replays the journal suffix on top of it.
+//
+// Recovery scans from the region start, stopping at the first corrupt, torn, or absent
+// record. A crash during Commit() therefore durably preserves some *prefix* of the batch:
+// every fully-written record survives, the torn one is discarded by its CRC. Callers must
+// treat each record as one complete, independently-applicable operation (the OSD does);
+// callers needing all-or-nothing batches should frame them inside a single record.
+#ifndef HFAD_SRC_JOURNAL_JOURNAL_H_
+#define HFAD_SRC_JOURNAL_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace journal {
+
+// Fixed per-record framing overhead (CRC + length + sequence).
+constexpr uint64_t kRecordHeaderSize = 16;
+
+class Journal {
+ public:
+  // The journal owns [region_offset, region_offset + region_size) of `device`. A fresh
+  // journal starts empty with first_sequence as its next sequence number; call Recover()
+  // instead when opening an existing volume.
+  Journal(BlockDevice* device, uint64_t region_offset, uint64_t region_size,
+          uint64_t first_sequence = 1);
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Buffer one record. It is durable only after the next Commit(). Returns the record's
+  // sequence number, or NoSpace when the region cannot hold it (checkpoint, then retry).
+  Result<uint64_t> Append(Slice payload);
+
+  // Durably write every buffered record: one device write, one Sync. No-op when nothing
+  // is pending. On IO failure the buffered records remain pending.
+  Status Commit();
+
+  // Number of records appended but not yet committed.
+  size_t pending_records() const;
+
+  // Bytes of region left for new records (committed + pending already accounted).
+  uint64_t SpaceRemaining() const;
+
+  // Logically empty the log after the protected state has been durably checkpointed.
+  // Sequence numbering continues; the head of the region is zeroed so recovery stops there.
+  Status Reset();
+
+  // Scan the region from the start, calling fn(sequence, payload) for each intact record,
+  // in order. Stops at the first invalid record. Leaves the journal positioned to append
+  // after the last valid record and returns how many records were recovered.
+  Result<uint64_t> Recover(const std::function<void(uint64_t sequence, Slice payload)>& fn);
+
+  // Sequence number the next Append will receive.
+  uint64_t next_sequence() const;
+
+  // Total committed bytes currently in the region (test/bench support).
+  uint64_t committed_bytes() const;
+
+ private:
+  BlockDevice* const device_;
+  const uint64_t region_offset_;
+  const uint64_t region_size_;
+
+  mutable std::mutex mu_;
+  uint64_t next_seq_;
+  uint64_t write_pos_ = 0;       // Byte offset within the region of the next commit.
+  std::string pending_;          // Encoded records awaiting Commit().
+  size_t pending_count_ = 0;
+};
+
+}  // namespace journal
+}  // namespace hfad
+
+#endif  // HFAD_SRC_JOURNAL_JOURNAL_H_

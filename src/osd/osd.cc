@@ -1,0 +1,823 @@
+#include "src/osd/osd.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/common/stats.h"
+#include "src/extent/extent_tree.h"
+
+namespace hfad {
+namespace osd {
+
+namespace {
+
+// Journal record types. Logical records (applied ops) live below 100; foreign records
+// (higher layers) are 100; checkpoint-epilogue records live at 200+.
+constexpr uint8_t kRtCreate = 1;
+constexpr uint8_t kRtDelete = 2;
+constexpr uint8_t kRtWrite = 3;
+constexpr uint8_t kRtInsert = 4;
+constexpr uint8_t kRtRemoveRange = 5;
+constexpr uint8_t kRtTruncate = 6;
+constexpr uint8_t kRtSetAttr = 7;
+constexpr uint8_t kRtForeign = 100;
+constexpr uint8_t kRtPageImage = 200;
+constexpr uint8_t kRtAllocSnapshot = 201;
+constexpr uint8_t kRtCheckpointCommit = 202;
+
+// Reservation slack per op for btree page dirtying beyond the payload itself.
+constexpr uint64_t kOpEpilogueSlack = 64 * 1024;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::system_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Object-table key: big-endian OID so that byte order equals numeric order.
+std::string OidKey(ObjectId oid) {
+  std::string key(8, '\0');
+  for (int i = 7; i >= 0; i--) {
+    key[i] = static_cast<char>(oid & 0xff);
+    oid >>= 8;
+  }
+  return key;
+}
+
+ObjectId OidFromKey(Slice key) {
+  ObjectId oid = 0;
+  for (size_t i = 0; i < 8 && i < key.size(); i++) {
+    oid = (oid << 8) | static_cast<uint8_t>(key[i]);
+  }
+  return oid;
+}
+
+// Object-table record: metadata plus the extent-tree root.
+struct ObjectRecord {
+  ObjectMeta meta;
+  uint64_t extent_root = 0;
+};
+
+std::string EncodeRecord(const ObjectRecord& r) {
+  std::string out;
+  PutVarint32(&out, r.meta.mode);
+  PutVarint32(&out, r.meta.uid);
+  PutVarint32(&out, r.meta.gid);
+  PutFixed64(&out, r.meta.atime_ns);
+  PutFixed64(&out, r.meta.mtime_ns);
+  PutFixed64(&out, r.meta.ctime_ns);
+  PutVarint64(&out, r.meta.size);
+  PutFixed64(&out, r.extent_root);
+  return out;
+}
+
+Result<ObjectRecord> DecodeRecord(Slice in) {
+  ObjectRecord r;
+  if (!GetVarint32(&in, &r.meta.mode) || !GetVarint32(&in, &r.meta.uid) ||
+      !GetVarint32(&in, &r.meta.gid) || !GetFixed64(&in, &r.meta.atime_ns) ||
+      !GetFixed64(&in, &r.meta.mtime_ns) || !GetFixed64(&in, &r.meta.ctime_ns) ||
+      !GetVarint64(&in, &r.meta.size) || !GetFixed64(&in, &r.extent_root)) {
+    return Status::Corruption("undecodable object record");
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- construction
+
+Osd::Osd(std::shared_ptr<BlockDevice> device, const OsdOptions& options, Superblock sb)
+    : device_(std::move(device)), options_(options), sb_(sb) {}
+
+void Osd::InitStructures() {
+  allocator_ = std::make_unique<BuddyAllocator>(sb_.heap_offset, sb_.heap_size);
+  pager_ = std::make_unique<Pager>(device_.get(), options_.pager_capacity_pages,
+                                   /*no_steal=*/options_.journaling);
+  journal_ = std::make_unique<journal::Journal>(device_.get(), sb_.journal_offset,
+                                                sb_.journal_size);
+  object_table_ =
+      std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.object_table_root);
+  named_roots_ =
+      std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.index_dir_root);
+  next_oid_.store(sb_.next_oid);
+}
+
+Result<std::unique_ptr<Osd>> Osd::Create(std::shared_ptr<BlockDevice> device,
+                                         const OsdOptions& options) {
+  const uint64_t dev_size = device->Size();
+  uint64_t journal_size = options.journal_size;
+  if (journal_size == 0) {
+    journal_size = dev_size / 8;
+    journal_size = std::max<uint64_t>(journal_size, 256 * 1024);
+    journal_size = std::min<uint64_t>(journal_size, 64ull * 1024 * 1024);
+  }
+  journal_size = (journal_size + kPageSize - 1) / kPageSize * kPageSize;
+
+  // Heap is the largest power of two that fits after the fixed regions. The allocator
+  // snapshot area must hold one entry (~16 B) per minimum-size allocation.
+  uint64_t heap_size = kPageSize;
+  uint64_t alloc_area = 0;
+  uint64_t heap_offset = 0;
+  for (uint64_t trial = kPageSize; ; trial *= 2) {
+    uint64_t area = std::max<uint64_t>(64 * 1024, trial / 256);
+    area = (area + kPageSize - 1) / kPageSize * kPageSize;
+    uint64_t off = Superblock::kSuperblockSize + area + journal_size;
+    if (off + trial > dev_size) {
+      break;
+    }
+    heap_size = trial;
+    alloc_area = area;
+    heap_offset = off;
+  }
+  if (heap_offset == 0 || heap_size < 4 * kPageSize) {
+    return Status::InvalidArgument("device too small for an hFAD volume (" +
+                                   std::to_string(dev_size) + " bytes)");
+  }
+
+  Superblock sb;
+  sb.device_size = dev_size;
+  sb.alloc_area_offset = Superblock::kSuperblockSize;
+  sb.alloc_area_size = alloc_area;
+  sb.alloc_snapshot_size = 0;
+  sb.journal_offset = Superblock::kSuperblockSize + alloc_area;
+  sb.journal_size = journal_size;
+  sb.heap_offset = heap_offset;
+  sb.heap_size = heap_size;
+
+  std::unique_ptr<Osd> osd(new Osd(std::move(device), options, sb));
+  osd->InitStructures();
+  HFAD_RETURN_IF_ERROR(osd->journal_->Reset());
+  HFAD_RETURN_IF_ERROR(osd->CheckpointLocked());
+  return osd;
+}
+
+Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
+                                       const OsdOptions& options,
+                                       ForeignReplayFn replay_foreign) {
+  std::string buf;
+  HFAD_RETURN_IF_ERROR(device->Read(0, Superblock::kSuperblockSize, &buf));
+  HFAD_ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(buf));
+  if (sb.device_size != device->Size()) {
+    return Status::Corruption("superblock device size mismatch");
+  }
+
+  std::unique_ptr<Osd> osd(new Osd(std::move(device), options, sb));
+  osd->InitStructures();
+
+  // Restore the allocator to the last checkpoint's state.
+  if (sb.alloc_snapshot_size > 0) {
+    std::string snap;
+    HFAD_RETURN_IF_ERROR(osd->device_->Read(sb.alloc_area_offset,
+                                            sb.alloc_snapshot_size, &snap));
+    HFAD_RETURN_IF_ERROR(osd->allocator_->Deserialize(snap));
+  }
+
+  // Scan the journal. A complete checkpoint epilogue (ending in a commit record) is
+  // redone physically; otherwise the logical records are replayed onto checkpoint state.
+  std::vector<std::pair<uint64_t, std::string>> records;
+  HFAD_RETURN_IF_ERROR(osd->journal_
+                           ->Recover([&](uint64_t seq, Slice payload) {
+                             records.emplace_back(seq, payload.ToString());
+                           })
+                           .status());
+
+  bool checkpoint_epilogue =
+      !records.empty() && !records.back().second.empty() &&
+      static_cast<uint8_t>(records.back().second[0]) == kRtCheckpointCommit;
+
+  if (checkpoint_epilogue) {
+    // Redo: write every journaled page image in place, restore the allocator snapshot,
+    // then adopt the committed roots. All of it is idempotent.
+    for (const auto& [seq, payload] : records) {
+      Slice in(payload);
+      uint8_t type = static_cast<uint8_t>(in[0]);
+      in.RemovePrefix(1);
+      if (type == kRtPageImage) {
+        uint64_t off;
+        if (!GetFixed64(&in, &off) || in.size() != kPageSize) {
+          return Status::Corruption("bad page-image record");
+        }
+        HFAD_RETURN_IF_ERROR(osd->device_->Write(off, in));
+      } else if (type == kRtAllocSnapshot) {
+        HFAD_RETURN_IF_ERROR(osd->allocator_->Deserialize(in.ToString()));
+        HFAD_RETURN_IF_ERROR(osd->device_->Write(osd->sb_.alloc_area_offset, in));
+        osd->sb_.alloc_snapshot_size = in.size();
+      } else if (type == kRtCheckpointCommit) {
+        uint64_t table_root, named_root, next_oid;
+        if (!GetFixed64(&in, &table_root) || !GetFixed64(&in, &named_root) ||
+            !GetFixed64(&in, &next_oid)) {
+          return Status::Corruption("bad checkpoint-commit record");
+        }
+        osd->sb_.object_table_root = table_root;
+        osd->sb_.index_dir_root = named_root;
+        osd->sb_.next_oid = next_oid;
+      }
+      // Logical records that precede the epilogue are already contained in the images.
+    }
+    HFAD_RETURN_IF_ERROR(osd->device_->Write(0, osd->sb_.Encode()));
+    HFAD_RETURN_IF_ERROR(osd->device_->Sync());
+    HFAD_RETURN_IF_ERROR(osd->journal_->Reset());
+    osd->InitStructures();  // Re-open btrees on the committed roots, drop stale cache.
+  } else {
+    // Replay logical records onto the checkpoint state.
+    osd->in_recovery_ = true;
+    for (const auto& [seq, payload] : records) {
+      Status s = osd->ReplayRecord(Slice(payload), replay_foreign);
+      if (!s.ok()) {
+        osd->in_recovery_ = false;
+        return Status::Corruption("journal replay failed at seq " + std::to_string(seq) +
+                                  ": " + s.ToString());
+      }
+    }
+    osd->in_recovery_ = false;
+    // Make the replayed state the new checkpoint so the journal can be emptied.
+    HFAD_RETURN_IF_ERROR(osd->CheckpointLocked());
+  }
+  return osd;
+}
+
+Osd::~Osd() {
+  // Best effort: make acknowledged state durable on clean shutdown.
+  (void)Checkpoint();
+}
+
+// ---------------------------------------------------------------- journaling core
+
+Status Osd::JournalRecord(Slice payload, uint64_t reserved, bool force_sync) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  logical_reserved_ -= std::min(logical_reserved_, reserved);
+  HFAD_RETURN_IF_ERROR(journal_->Append(payload).status());
+  if (force_sync || !options_.group_commit) {
+    return journal_->Commit();
+  }
+  return Status::Ok();
+}
+
+// Object size with the object + volume locks already held.
+Result<uint64_t> Osd::LockedSize(ObjectId oid) const {
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  return rec.meta.size;
+}
+
+Result<bool> Osd::EnsureJournalSpace(uint64_t record_bytes, uint64_t* reserved) {
+  *reserved = 0;
+  if (!options_.journaling || in_recovery_) {
+    return true;
+  }
+  const uint64_t logical_need = record_bytes + journal::kRecordHeaderSize;
+  const uint64_t epilogue_need = record_bytes + kOpEpilogueSlack;
+  // An op this large can never coexist with its own epilogue: exclusive path.
+  if (2 * (logical_need + epilogue_need) > sb_.journal_size) {
+    return false;
+  }
+  for (int attempt = 0; attempt < 2; attempt++) {
+    {
+      std::lock_guard<std::mutex> lock(journal_mu_);
+      uint64_t committed_epilogue =
+          pager_->dirty_pages() * (kPageSize + 32) + allocator_->allocation_count() * 16 +
+          4096;
+      uint64_t available = journal_->SpaceRemaining();
+      uint64_t needed =
+          logical_need + epilogue_need + logical_reserved_ + epilogue_reserved_ +
+          committed_epilogue;
+      if (available >= needed) {
+        logical_reserved_ += logical_need;
+        epilogue_reserved_ += epilogue_need;
+        *reserved = logical_need;
+        return true;
+      }
+    }
+    // Not enough room: checkpoint (exclusive) and retry once.
+    std::unique_lock<std::shared_mutex> vlock(volume_mu_);
+    HFAD_RETURN_IF_ERROR(CheckpointLocked());
+  }
+  return Status::NoSpace("journal cannot accommodate op of " +
+                         std::to_string(record_bytes) + " bytes even after checkpoint");
+}
+
+Status Osd::CheckpointLocked() {
+  // Callers hold volume_mu_ exclusively (or are single-threaded construction paths).
+  if (options_.journaling) {
+    HFAD_RETURN_IF_ERROR(journal_->Commit());
+  }
+
+  std::string alloc_snap = allocator_->Serialize();
+  if (alloc_snap.size() > sb_.alloc_area_size) {
+    return Status::Internal("allocator snapshot (" + std::to_string(alloc_snap.size()) +
+                            " bytes) exceeds the snapshot area");
+  }
+
+  if (options_.journaling) {
+    // Epilogue: journal every dirty page image, the allocator snapshot, and the commit
+    // record; one group commit makes the checkpoint redo-able.
+    std::vector<std::pair<uint64_t, std::string>> dirty;
+    pager_->CollectDirty(&dirty);
+    for (const auto& [off, image] : dirty) {
+      std::string rec;
+      rec.push_back(static_cast<char>(kRtPageImage));
+      PutFixed64(&rec, off);
+      rec.append(image);
+      HFAD_RETURN_IF_ERROR(journal_->Append(rec).status());
+    }
+    std::string snap_rec;
+    snap_rec.push_back(static_cast<char>(kRtAllocSnapshot));
+    snap_rec.append(alloc_snap);
+    HFAD_RETURN_IF_ERROR(journal_->Append(snap_rec).status());
+    std::string commit_rec;
+    commit_rec.push_back(static_cast<char>(kRtCheckpointCommit));
+    PutFixed64(&commit_rec, object_table_->root());
+    PutFixed64(&commit_rec, named_roots_->root());
+    PutFixed64(&commit_rec, next_oid_.load());
+    HFAD_RETURN_IF_ERROR(journal_->Append(commit_rec).status());
+    HFAD_RETURN_IF_ERROR(journal_->Commit());
+  }
+
+  // In-place phase: now redo-able from the journal if we crash.
+  HFAD_RETURN_IF_ERROR(pager_->Flush());
+  HFAD_RETURN_IF_ERROR(device_->Write(sb_.alloc_area_offset, Slice(alloc_snap)));
+  sb_.alloc_snapshot_size = alloc_snap.size();
+  sb_.object_table_root = object_table_->root();
+  sb_.index_dir_root = named_roots_->root();
+  sb_.next_oid = next_oid_.load();
+  HFAD_RETURN_IF_ERROR(device_->Write(0, sb_.Encode()));
+  HFAD_RETURN_IF_ERROR(device_->Sync());
+
+  if (options_.journaling) {
+    HFAD_RETURN_IF_ERROR(journal_->Reset());
+  }
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    epilogue_reserved_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status Osd::Checkpoint() {
+  std::unique_lock<std::shared_mutex> vlock(volume_mu_);
+  return CheckpointLocked();
+}
+
+Status Osd::Sync() {
+  if (!options_.journaling) {
+    return Checkpoint();
+  }
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  return journal_->Commit();
+}
+
+Status Osd::AppendForeign(Slice payload) {
+  if (!options_.journaling) {
+    return Status::Ok();  // No journal: higher layers get checkpoint durability only.
+  }
+  if (in_recovery_) {
+    return Status::Ok();  // Replay must not re-journal.
+  }
+  std::string rec;
+  rec.push_back(static_cast<char>(kRtForeign));
+  rec.append(payload.data(), payload.size());
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(rec.size(), &reserved));
+  if (!fits) {
+    return Status::InvalidArgument("foreign record too large for the journal");
+  }
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  return JournalRecord(rec, reserved);
+}
+
+// ---------------------------------------------------------------- replay
+
+Status Osd::ReplayRecord(Slice payload, const ForeignReplayFn& replay_foreign) {
+  if (payload.empty()) {
+    return Status::Corruption("empty journal record");
+  }
+  uint8_t type = static_cast<uint8_t>(payload[0]);
+  Slice in = payload;
+  in.RemovePrefix(1);
+  switch (type) {
+    case kRtCreate: {
+      uint64_t oid, now;
+      if (!GetVarint64(&in, &oid) || !GetFixed64(&in, &now)) {
+        return Status::Corruption("bad create record");
+      }
+      HFAD_RETURN_IF_ERROR(DoCreate(oid, now).status());
+      uint64_t expect = next_oid_.load();
+      while (expect <= oid && !next_oid_.compare_exchange_weak(expect, oid + 1)) {
+      }
+      return Status::Ok();
+    }
+    case kRtDelete: {
+      uint64_t oid;
+      if (!GetVarint64(&in, &oid)) {
+        return Status::Corruption("bad delete record");
+      }
+      return DoDelete(oid);
+    }
+    case kRtWrite:
+    case kRtInsert: {
+      uint64_t oid, off, now;
+      Slice data;
+      if (!GetVarint64(&in, &oid) || !GetVarint64(&in, &off) || !GetFixed64(&in, &now) ||
+          !GetLengthPrefixed(&in, &data)) {
+        return Status::Corruption("bad write/insert record");
+      }
+      return type == kRtWrite ? DoWrite(oid, off, data, now) : DoInsert(oid, off, data, now);
+    }
+    case kRtRemoveRange: {
+      uint64_t oid, off, len, now;
+      if (!GetVarint64(&in, &oid) || !GetVarint64(&in, &off) || !GetVarint64(&in, &len) ||
+          !GetFixed64(&in, &now)) {
+        return Status::Corruption("bad remove-range record");
+      }
+      return DoRemoveRange(oid, off, len, now);
+    }
+    case kRtTruncate: {
+      uint64_t oid, size, now;
+      if (!GetVarint64(&in, &oid) || !GetVarint64(&in, &size) || !GetFixed64(&in, &now)) {
+        return Status::Corruption("bad truncate record");
+      }
+      return DoTruncate(oid, size, now);
+    }
+    case kRtSetAttr: {
+      uint64_t oid, now;
+      uint32_t mode, uid, gid;
+      if (!GetVarint64(&in, &oid) || !GetVarint32(&in, &mode) || !GetVarint32(&in, &uid) ||
+          !GetVarint32(&in, &gid) || !GetFixed64(&in, &now)) {
+        return Status::Corruption("bad setattr record");
+      }
+      return DoSetAttributes(oid, mode, uid, gid, now);
+    }
+    case kRtForeign:
+      if (replay_foreign == nullptr) {
+        return Status::Corruption("foreign journal record but no replay hook");
+      }
+      return replay_foreign(this, in);
+    default:
+      return Status::Corruption("unknown journal record type " + std::to_string(type));
+  }
+}
+
+// ---------------------------------------------------------------- lifecycle ops
+
+Result<ObjectId> Osd::CreateObject() {
+  std::string rec_payload;
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
+  (void)fits;  // A create record always fits.
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  ObjectId oid = next_oid_.fetch_add(1);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    rec_payload.push_back(static_cast<char>(kRtCreate));
+    PutVarint64(&rec_payload, oid);
+    PutFixed64(&rec_payload, now);
+    HFAD_RETURN_IF_ERROR(JournalRecord(rec_payload, reserved));
+  }
+  HFAD_RETURN_IF_ERROR(DoCreate(oid, now).status());
+  return oid;
+}
+
+Result<ObjectId> Osd::DoCreate(ObjectId oid, uint64_t now_ns) {
+  std::string key = OidKey(oid);
+  if (object_table_->Contains(key)) {
+    return Status::AlreadyExists("object " + std::to_string(oid) + " already exists");
+  }
+  ObjectRecord rec;
+  rec.meta.atime_ns = rec.meta.mtime_ns = rec.meta.ctime_ns = now_ns;
+  HFAD_RETURN_IF_ERROR(object_table_->Put(key, EncodeRecord(rec)));
+  return oid;
+}
+
+Status Osd::DeleteObject(ObjectId oid) {
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
+  (void)fits;
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  if (options_.journaling && !in_recovery_) {
+    if (!object_table_->Contains(OidKey(oid))) {
+      return Status::NotFound("no object " + std::to_string(oid));
+    }
+    std::string rec;
+    rec.push_back(static_cast<char>(kRtDelete));
+    PutVarint64(&rec, oid);
+    HFAD_RETURN_IF_ERROR(JournalRecord(rec, reserved));
+  }
+  return DoDelete(oid);
+}
+
+Status Osd::DoDelete(ObjectId oid) {
+  std::string key = OidKey(oid);
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(key));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  extent::ExtentTree tree(pager_.get(), allocator_.get(), rec.extent_root);
+  HFAD_RETURN_IF_ERROR(tree.Clear());
+  return object_table_->Delete(key);
+}
+
+bool Osd::Exists(ObjectId oid) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  return object_table_->Contains(OidKey(oid));
+}
+
+uint64_t Osd::object_count() const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  return object_table_->Count();
+}
+
+Status Osd::ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  Status decode_status;
+  Status s = object_table_->Scan("", "", [&](Slice key, Slice value) {
+    auto rec = DecodeRecord(value);
+    if (!rec.ok()) {
+      decode_status = rec.status();
+      return false;
+    }
+    return fn(OidFromKey(key), rec->meta);
+  });
+  HFAD_RETURN_IF_ERROR(decode_status);
+  return s;
+}
+
+// ---------------------------------------------------------------- metadata ops
+
+Result<ObjectMeta> Osd::Stat(ObjectId oid) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  return rec.meta;
+}
+
+Status Osd::SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid) {
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
+  (void)fits;
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    if (!object_table_->Contains(OidKey(oid))) {
+      return Status::NotFound("no object " + std::to_string(oid));
+    }
+    std::string rec;
+    rec.push_back(static_cast<char>(kRtSetAttr));
+    PutVarint64(&rec, oid);
+    PutVarint32(&rec, mode);
+    PutVarint32(&rec, uid);
+    PutVarint32(&rec, gid);
+    PutFixed64(&rec, now);
+    HFAD_RETURN_IF_ERROR(JournalRecord(rec, reserved));
+  }
+  return DoSetAttributes(oid, mode, uid, gid, now);
+}
+
+Status Osd::DoSetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid,
+                            uint64_t now_ns) {
+  std::string key = OidKey(oid);
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(key));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  rec.meta.mode = mode;
+  rec.meta.uid = uid;
+  rec.meta.gid = gid;
+  rec.meta.ctime_ns = now_ns;
+  return object_table_->Put(key, EncodeRecord(rec));
+}
+
+// ---------------------------------------------------------------- byte access
+
+Status Osd::Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  std::string key = OidKey(oid);
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(key));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  extent::ExtentTree tree(pager_.get(), allocator_.get(), rec.extent_root);
+  HFAD_RETURN_IF_ERROR(tree.Read(offset, n, out));
+  if (options_.update_atime) {
+    rec.meta.atime_ns = NowNs();
+    // atime is restored only to checkpoint granularity after a crash (like relatime);
+    // it is deliberately not journaled.
+    HFAD_RETURN_IF_ERROR(object_table_->Put(key, EncodeRecord(rec)));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Data-op journal payload: type, oid, offset, mtime, data.
+std::string EncodeDataRecord(uint8_t type, ObjectId oid, uint64_t offset, uint64_t now,
+                             Slice data) {
+  std::string rec;
+  rec.push_back(static_cast<char>(type));
+  PutVarint64(&rec, oid);
+  PutVarint64(&rec, offset);
+  PutFixed64(&rec, now);
+  PutLengthPrefixed(&rec, data);
+  return rec;
+}
+
+}  // namespace
+
+Status Osd::Write(ObjectId oid, uint64_t offset, Slice data) {
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(data.size() + 64, &reserved));
+  if (!fits) {
+    // Op too large to journal: apply under an exclusive lock and checkpoint immediately,
+    // so no later journal record can depend on unjournaled state.
+    std::unique_lock<std::shared_mutex> vlock(volume_mu_);
+    HFAD_RETURN_IF_ERROR(DoWrite(oid, offset, data, NowNs()));
+    return CheckpointLocked();
+  }
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    HFAD_ASSIGN_OR_RETURN(uint64_t size, LockedSize(oid));
+    if (offset > size) {
+      return Status::OutOfRange("write at " + std::to_string(offset) + " past end " +
+                                std::to_string(size));
+    }
+    // Overwrites clobber live payload bytes in place (raw IO, not no-steal cached), so
+    // the redo record must be durable first.
+    bool overwrite = offset < size;
+    HFAD_RETURN_IF_ERROR(JournalRecord(EncodeDataRecord(kRtWrite, oid, offset, now, data),
+                                       reserved, overwrite));
+  }
+  return DoWrite(oid, offset, data, now);
+}
+
+Status Osd::Insert(ObjectId oid, uint64_t offset, Slice data) {
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(data.size() + 64, &reserved));
+  if (!fits) {
+    std::unique_lock<std::shared_mutex> vlock(volume_mu_);
+    HFAD_RETURN_IF_ERROR(DoInsert(oid, offset, data, NowNs()));
+    return CheckpointLocked();
+  }
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    HFAD_ASSIGN_OR_RETURN(uint64_t size, LockedSize(oid));
+    if (offset > size) {
+      return Status::OutOfRange("insert at " + std::to_string(offset) + " past end " +
+                                std::to_string(size));
+    }
+    HFAD_RETURN_IF_ERROR(
+        JournalRecord(EncodeDataRecord(kRtInsert, oid, offset, now, data), reserved));
+  }
+  return DoInsert(oid, offset, data, now);
+}
+
+Status Osd::RemoveRange(ObjectId oid, uint64_t offset, uint64_t length) {
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(64, &reserved));
+  (void)fits;
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    HFAD_ASSIGN_OR_RETURN(uint64_t size, LockedSize(oid));
+    if (offset + length > size) {
+      return Status::OutOfRange("remove range past end of object");
+    }
+    std::string rec;
+    rec.push_back(static_cast<char>(kRtRemoveRange));
+    PutVarint64(&rec, oid);
+    PutVarint64(&rec, offset);
+    PutVarint64(&rec, length);
+    PutFixed64(&rec, now);
+    HFAD_RETURN_IF_ERROR(JournalRecord(rec, reserved));
+  }
+  return DoRemoveRange(oid, offset, length, now);
+}
+
+Status Osd::Truncate(ObjectId oid, uint64_t new_size) {
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(64, &reserved));
+  (void)fits;
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    HFAD_RETURN_IF_ERROR(LockedSize(oid).status());  // Object must exist.
+    std::string rec;
+    rec.push_back(static_cast<char>(kRtTruncate));
+    PutVarint64(&rec, oid);
+    PutVarint64(&rec, new_size);
+    PutFixed64(&rec, now);
+    HFAD_RETURN_IF_ERROR(JournalRecord(rec, reserved));
+  }
+  return DoTruncate(oid, new_size, now);
+}
+
+Result<uint64_t> Osd::Size(ObjectId oid) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  return rec.meta.size;
+}
+
+// Shared read-modify-write on an object's extent tree + record.
+namespace {
+
+template <typename Fn>
+Status MutateObject(btree::BTree* table, Pager* pager, BuddyAllocator* alloc, ObjectId oid,
+                    uint64_t now_ns, const Fn& fn) {
+  std::string key = OidKey(oid);
+  auto raw = table->Get(key);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  auto rec = DecodeRecord(*raw);
+  if (!rec.ok()) {
+    return rec.status();
+  }
+  extent::ExtentTree tree(pager, alloc, rec->extent_root);
+  HFAD_RETURN_IF_ERROR(fn(&tree));
+  rec->extent_root = tree.root();
+  rec->meta.size = tree.Size();
+  rec->meta.mtime_ns = now_ns;
+  return table->Put(key, EncodeRecord(*rec));
+}
+
+}  // namespace
+
+Status Osd::DoWrite(ObjectId oid, uint64_t offset, Slice data, uint64_t now_ns) {
+  return MutateObject(object_table_.get(), pager_.get(), allocator_.get(), oid, now_ns,
+                      [&](extent::ExtentTree* tree) { return tree->Write(offset, data); });
+}
+
+Status Osd::DoInsert(ObjectId oid, uint64_t offset, Slice data, uint64_t now_ns) {
+  return MutateObject(object_table_.get(), pager_.get(), allocator_.get(), oid, now_ns,
+                      [&](extent::ExtentTree* tree) { return tree->Insert(offset, data); });
+}
+
+Status Osd::DoRemoveRange(ObjectId oid, uint64_t offset, uint64_t length, uint64_t now_ns) {
+  return MutateObject(
+      object_table_.get(), pager_.get(), allocator_.get(), oid, now_ns,
+      [&](extent::ExtentTree* tree) { return tree->RemoveRange(offset, length); });
+}
+
+Status Osd::DoTruncate(ObjectId oid, uint64_t new_size, uint64_t now_ns) {
+  return MutateObject(object_table_.get(), pager_.get(), allocator_.get(), oid, now_ns,
+                      [&](extent::ExtentTree* tree) -> Status {
+                        uint64_t size = tree->Size();
+                        if (new_size < size) {
+                          return tree->RemoveRange(new_size, size - new_size);
+                        }
+                        if (new_size > size) {
+                          std::string zeros(new_size - size, '\0');
+                          return tree->Write(size, zeros);
+                        }
+                        return Status::Ok();
+                      });
+}
+
+Status Osd::CheckObject(ObjectId oid) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
+  HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
+  extent::ExtentTree tree(pager_.get(), allocator_.get(), rec.extent_root);
+  HFAD_RETURN_IF_ERROR(tree.CheckInvariants());
+  if (tree.Size() != rec.meta.size) {
+    return Status::Corruption("object " + std::to_string(oid) + " records size " +
+                              std::to_string(rec.meta.size) + " but extent tree holds " +
+                              std::to_string(tree.Size()));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- named roots
+
+Result<uint64_t> Osd::GetNamedRoot(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  auto raw = named_roots_->Get(name);
+  if (raw.status().IsNotFound()) {
+    return uint64_t{0};
+  }
+  HFAD_RETURN_IF_ERROR(raw.status());
+  if (raw->size() != 8) {
+    return Status::Corruption("bad named-root entry for " + name);
+  }
+  return DecodeFixed64(reinterpret_cast<const uint8_t*>(raw->data()));
+}
+
+Status Osd::SetNamedRoot(const std::string& name, uint64_t root) {
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  std::string value(8, '\0');
+  EncodeFixed64(reinterpret_cast<uint8_t*>(value.data()), root);
+  return named_roots_->Put(name, value);
+}
+
+}  // namespace osd
+}  // namespace hfad

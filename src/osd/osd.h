@@ -1,0 +1,251 @@
+// The hFAD object-based storage device (§3.3).
+//
+// The OSD presents uniquely-identified containers of bytes. Each object carries metadata
+// (security attributes, access/modification times, size) and is *fully byte-accessible*
+// (§3.1.2): beyond POSIX-style read/write, bytes can be inserted into the middle of an
+// object and removed from anywhere (the two-off_t truncate). The OSD is comparable to the
+// ZFS DMU, except it exposes a flat object space rather than objsets.
+//
+// One Osd instance owns a complete volume on a BlockDevice:
+//
+//   [0, 4K)      superblock
+//   [4K, +A)     allocator-snapshot area
+//   [.., +J)     journal region
+//   [heap, end)  buddy-allocated heap: btree pages, extent payloads, postings
+//
+// Object bookkeeping lives in the *object table*, a btree mapping OID -> object record
+// (metadata + extent-tree root). Object data lives in per-object counted extent trees.
+//
+// Durability ("the OSD may be transactional" — §3.3, made concrete here):
+//   * journaling on (default): every mutating op appends one logical redo record; the
+//     pager runs no-steal, so on-disk pages always equal the last checkpoint. Checkpoints
+//     journal the dirty page images plus a commit record (jbd-style), then write in place.
+//     Recovery either redoes a completed checkpoint or replays the logical records.
+//   * journaling off: a plain write-back cache; durability only at Checkpoint().
+//
+// Concurrency: per-object sharded locks for data ops; a global reader/writer lock lets
+// Checkpoint() quiesce the volume. Independent objects never contend on a shared ancestor,
+// which is exactly the paper's §2.3 argument.
+#ifndef HFAD_SRC_OSD_OSD_H_
+#define HFAD_SRC_OSD_OSD_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "src/btree/btree.h"
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/journal/journal.h"
+#include "src/storage/block_device.h"
+#include "src/storage/buddy_allocator.h"
+#include "src/storage/pager.h"
+#include "src/storage/superblock.h"
+
+namespace hfad {
+namespace osd {
+
+using ObjectId = uint64_t;
+
+// Per-object metadata (§3.3: "security attributes, its last access and modified times,
+// and its size"). Size is maintained by the OSD; the rest is caller-settable.
+struct ObjectMeta {
+  uint32_t mode = 0600;   // POSIX-style permission bits.
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint64_t atime_ns = 0;
+  uint64_t mtime_ns = 0;
+  uint64_t ctime_ns = 0;
+  uint64_t size = 0;      // Maintained by the OSD; ignored on SetAttributes.
+};
+
+struct OsdOptions {
+  // Append a redo record per mutating op and checkpoint jbd-style (see file comment).
+  bool journaling = true;
+  // With journaling: defer the journal sync until Sync()/Checkpoint() (group commit).
+  // Without group commit every mutating op syncs the journal before returning.
+  bool group_commit = true;
+  // Page-cache capacity. With journaling the cache can exceed this (no-steal).
+  size_t pager_capacity_pages = 4096;
+  // Journal region size; 0 = 1/8 of the device clamped to [256 KiB, 64 MiB].
+  uint64_t journal_size = 0;
+  // Maintain atime on reads (off by default, like mounting noatime).
+  bool update_atime = false;
+};
+
+class Osd {
+ public:
+  // Journal replay hook for records appended by higher layers through AppendForeign().
+  // Called in journal order, interleaved correctly with the OSD's own records. The Osd*
+  // is the volume being opened (not yet returned from Open), so the hook can mount the
+  // higher layer's structures on it lazily.
+  using ForeignReplayFn = std::function<Status(Osd* volume, Slice payload)>;
+
+  // Format `device` as a fresh volume. The device must be at least ~2 MiB.
+  static Result<std::unique_ptr<Osd>> Create(std::shared_ptr<BlockDevice> device,
+                                             const OsdOptions& options);
+
+  // Open an existing volume, running crash recovery. `replay_foreign` may be null when no
+  // higher layer journals through this OSD.
+  static Result<std::unique_ptr<Osd>> Open(std::shared_ptr<BlockDevice> device,
+                                           const OsdOptions& options,
+                                           ForeignReplayFn replay_foreign = nullptr);
+
+  ~Osd();
+
+  Osd(const Osd&) = delete;
+  Osd& operator=(const Osd&) = delete;
+
+  // ---- Object lifecycle ----
+
+  // Allocate a fresh object (empty, metadata defaulted, times set to now).
+  Result<ObjectId> CreateObject();
+
+  // Remove an object and free all its storage.
+  Status DeleteObject(ObjectId oid);
+
+  bool Exists(ObjectId oid) const;
+
+  // Number of live objects.
+  uint64_t object_count() const;
+
+  // Visit every object in OID order. Stop early by returning false.
+  Status ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const;
+
+  // ---- Metadata ----
+
+  Result<ObjectMeta> Stat(ObjectId oid) const;
+
+  // Update mode/uid/gid (and ctime). Size and times are OSD-maintained.
+  Status SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid);
+
+  // ---- Byte access (§3.1.2) ----
+
+  // Read up to n bytes at offset; short reads at end of object.
+  Status Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const;
+
+  // Overwrite (POSIX pwrite); writing at the end extends the object.
+  Status Write(ObjectId oid, uint64_t offset, Slice data);
+
+  // Insert bytes at offset, shifting the tail up — the hFAD `insert` call.
+  Status Insert(ObjectId oid, uint64_t offset, Slice data);
+
+  // Remove `length` bytes at offset, shifting the tail down — the hFAD two-off_t truncate.
+  Status RemoveRange(ObjectId oid, uint64_t offset, uint64_t length);
+
+  // POSIX-style truncate: shrink drops the tail, grow zero-fills.
+  Status Truncate(ObjectId oid, uint64_t new_size);
+
+  Result<uint64_t> Size(ObjectId oid) const;
+
+  // ---- Durability ----
+
+  // Make every acknowledged op durable (journal commit). No-op without journaling.
+  Status Sync();
+
+  // Full checkpoint: journal dirty page images + commit record, write everything in
+  // place, persist allocator snapshot and superblock, reset the journal.
+  Status Checkpoint();
+
+  // ---- Support for the index layer ----
+  //
+  // Index stores allocate their own btrees from the volume heap. Their roots are
+  // registered under names so reopening the volume can find them.
+
+  Pager* pager() { return pager_.get(); }
+  BuddyAllocator* allocator() { return allocator_.get(); }
+
+  // Root registered under `name`, or 0 when absent.
+  Result<uint64_t> GetNamedRoot(const std::string& name) const;
+  Status SetNamedRoot(const std::string& name, uint64_t root);
+
+  // Journal a higher-layer logical record; replayed via the Open() hook after a crash.
+  // A no-op when journaling is off (the higher layer then has checkpoint durability,
+  // like every other mutation).
+  Status AppendForeign(Slice payload);
+
+  // True while Open() is replaying the journal. Higher layers use this to suppress
+  // re-journaling during their own replay.
+  bool in_recovery() const { return in_recovery_; }
+
+  // Volume heap statistics (bench support).
+  uint64_t heap_allocated_bytes() const { return allocator_->allocated_bytes(); }
+
+  // Structural self-check of one object: its extent tree's invariants hold and the
+  // recorded size matches the tree. Expensive; used by fsck.
+  Status CheckObject(ObjectId oid) const;
+
+ private:
+  Osd(std::shared_ptr<BlockDevice> device, const OsdOptions& options, Superblock sb);
+
+  // Second-phase construction shared by Create/Open.
+  void InitStructures();
+
+  // Journal one OSD redo record and release the caller's space reservation. Called with
+  // the relevant object lock held, *before* the op is applied (write-ahead). force_sync
+  // commits the journal immediately — required before any apply that overwrites live
+  // extent payload in place, because payload IO bypasses the no-steal page cache.
+  Status JournalRecord(Slice payload, uint64_t reserved, bool force_sync = false);
+
+  // Object size with the object + volume locks already held.
+  Result<uint64_t> LockedSize(ObjectId oid) const;
+
+  // Reserve journal space for a record of `record_bytes` plus its share of the checkpoint
+  // epilogue, checkpointing first when needed. Returns false when the op is too large to
+  // ever journal — the caller must take the exclusive apply-then-checkpoint path.
+  Result<bool> EnsureJournalSpace(uint64_t record_bytes, uint64_t* reserved);
+
+  Status CheckpointLocked();
+
+  // Apply one journal record during recovery (type dispatch).
+  Status ReplayRecord(Slice payload, const ForeignReplayFn& replay_foreign);
+
+  // Op internals (no journaling, no global lock) shared by public ops and replay.
+  Result<ObjectId> DoCreate(ObjectId oid, uint64_t now_ns);
+  Status DoDelete(ObjectId oid);
+  Status DoWrite(ObjectId oid, uint64_t offset, Slice data, uint64_t now_ns);
+  Status DoInsert(ObjectId oid, uint64_t offset, Slice data, uint64_t now_ns);
+  Status DoRemoveRange(ObjectId oid, uint64_t offset, uint64_t length, uint64_t now_ns);
+  Status DoTruncate(ObjectId oid, uint64_t new_size, uint64_t now_ns);
+  Status DoSetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid,
+                         uint64_t now_ns);
+
+  std::mutex& ObjectLock(ObjectId oid) const {
+    return object_locks_[oid % object_locks_.size()];
+  }
+
+  std::shared_ptr<BlockDevice> device_;
+  const OsdOptions options_;
+  Superblock sb_;
+
+  std::unique_ptr<BuddyAllocator> allocator_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<journal::Journal> journal_;
+  std::unique_ptr<btree::BTree> object_table_;
+  std::unique_ptr<btree::BTree> named_roots_;
+
+  // Ops hold shared; Checkpoint holds exclusive.
+  mutable std::shared_mutex volume_mu_;
+  // Protects journal appends and the reservation counters below.
+  std::mutex journal_mu_;
+  mutable std::array<std::mutex, 64> object_locks_;
+
+  // Journal-space reservations (see EnsureJournalSpace). logical_reserved_ is released
+  // when the reserved record is appended; epilogue_reserved_ (space for the dirty page
+  // images a pending op may add to the next checkpoint) is released only by a checkpoint.
+  uint64_t logical_reserved_ = 0;
+  uint64_t epilogue_reserved_ = 0;
+
+  std::atomic<uint64_t> next_oid_{1};
+  bool in_recovery_ = false;
+};
+
+}  // namespace osd
+}  // namespace hfad
+
+#endif  // HFAD_SRC_OSD_OSD_H_

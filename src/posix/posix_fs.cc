@@ -1,0 +1,457 @@
+#include "src/posix/posix_fs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hfad {
+namespace posix {
+
+namespace {
+
+const index::IndexStore* PosixStore(const core::FileSystem* fs) {
+  return fs->indexes()->store(index::kTagPosix);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- path helpers
+
+Result<std::string> NormalizePath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: '" + path + "'");
+  }
+  std::string out;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      i++;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      i++;
+    }
+    if (i == start) {
+      break;
+    }
+    std::string component = path.substr(start, i - start);
+    if (component == "." || component == "..") {
+      return Status::InvalidArgument("'.' and '..' are not supported in paths");
+    }
+    out += "/";
+    out += component;
+  }
+  return out.empty() ? std::string("/") : out;
+}
+
+std::string ParentPath(const std::string& norm_path) {
+  if (norm_path == "/") {
+    return "";
+  }
+  size_t slash = norm_path.rfind('/');
+  return slash == 0 ? std::string("/") : norm_path.substr(0, slash);
+}
+
+std::string Basename(const std::string& norm_path) {
+  if (norm_path == "/") {
+    return "";
+  }
+  return norm_path.substr(norm_path.rfind('/') + 1);
+}
+
+// ---------------------------------------------------------------- mount
+
+Result<std::unique_ptr<PosixFs>> PosixFs::Mount(core::FileSystem* fs) {
+  std::unique_ptr<PosixFs> pfs(new PosixFs(fs));
+  auto root = pfs->ResolveNorm("/");
+  if (root.status().IsNotFound()) {
+    HFAD_ASSIGN_OR_RETURN(ObjectId oid, fs->Create({{std::string(index::kTagPosix), "/"}}));
+    HFAD_RETURN_IF_ERROR(fs->SetAttributes(oid, kModeDir | 0755, 0, 0));
+  } else {
+    HFAD_RETURN_IF_ERROR(root.status());
+  }
+  return pfs;
+}
+
+// ---------------------------------------------------------------- resolution
+
+Result<ObjectId> PosixFs::ResolveNorm(const std::string& path) const {
+  // THE hFAD path lookup: one probe of one index with the full path as the key. No
+  // component walk, no per-directory locks (§2.3).
+  HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, PosixStore(fs_)->Lookup(path));
+  if (ids.empty()) {
+    return Status::NotFound("no such path: " + path);
+  }
+  if (ids.size() > 1) {
+    return Status::Corruption("path '" + path + "' names " + std::to_string(ids.size()) +
+                              " objects");
+  }
+  return ids[0];
+}
+
+Result<ObjectId> PosixFs::Resolve(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  return ResolveNorm(norm);
+}
+
+Result<bool> PosixFs::IsDirOid(ObjectId oid) const {
+  HFAD_ASSIGN_OR_RETURN(osd::ObjectMeta meta, fs_->Stat(oid));
+  return (meta.mode & kModeDir) != 0;
+}
+
+Status PosixFs::RequireParentDir(const std::string& norm_path) const {
+  std::string parent = ParentPath(norm_path);
+  if (parent.empty()) {
+    return Status::InvalidArgument("the root directory cannot be created or removed");
+  }
+  auto oid = ResolveNorm(parent);
+  if (oid.status().IsNotFound()) {
+    return Status::NotFound("parent directory does not exist: " + parent);
+  }
+  HFAD_RETURN_IF_ERROR(oid.status());
+  HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(*oid));
+  if (!is_dir) {
+    return Status::InvalidArgument("parent is not a directory: " + parent);
+  }
+  return Status::Ok();
+}
+
+Status PosixFs::AddPathName(ObjectId oid, const std::string& path) {
+  return fs_->AddTag(oid, {std::string(index::kTagPosix), path});
+}
+
+Status PosixFs::RemovePathName(ObjectId oid, const std::string& path) {
+  return fs_->RemoveTag(oid, {std::string(index::kTagPosix), path});
+}
+
+Result<uint64_t> PosixFs::LinkCount(ObjectId oid) const {
+  HFAD_ASSIGN_OR_RETURN(std::vector<core::TagValue> tags, fs_->Tags(oid));
+  uint64_t n = 0;
+  for (const auto& tv : tags) {
+    if (tv.tag == index::kTagPosix) {
+      n++;
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------- handles
+
+Result<PosixFs::Fd> PosixFs::Open(const std::string& path, int flags, uint32_t mode) {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  if ((flags & (kRead | kWrite)) == 0) {
+    return Status::InvalidArgument("open needs kRead and/or kWrite");
+  }
+  auto resolved = ResolveNorm(norm);
+  ObjectId oid;
+  if (resolved.ok()) {
+    if ((flags & kCreate) != 0 && (flags & kExclusive) != 0) {
+      return Status::AlreadyExists("path exists: " + norm);
+    }
+    oid = *resolved;
+    HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(oid));
+    if (is_dir) {
+      return Status::InvalidArgument("cannot open a directory for IO: " + norm);
+    }
+    if ((flags & kTruncate) != 0) {
+      HFAD_ASSIGN_OR_RETURN(uint64_t size, fs_->Size(oid));
+      if (size > 0) {
+        HFAD_RETURN_IF_ERROR(fs_->Truncate(oid, 0, size));
+      }
+    }
+  } else if (resolved.status().IsNotFound() && (flags & kCreate) != 0) {
+    if ((flags & kWrite) == 0) {
+      return Status::InvalidArgument("kCreate requires kWrite");
+    }
+    HFAD_RETURN_IF_ERROR(RequireParentDir(norm));
+    HFAD_ASSIGN_OR_RETURN(oid, fs_->Create({{std::string(index::kTagPosix), norm}}));
+    HFAD_RETURN_IF_ERROR(fs_->SetAttributes(oid, mode & ~kModeDir, 0, 0));
+  } else {
+    return resolved.status();
+  }
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  Fd fd = next_fd_++;
+  handles_[fd] = Handle{oid, flags, 0};
+  return fd;
+}
+
+Status PosixFs::Close(Fd fd) {
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  return handles_.erase(fd) > 0 ? Status::Ok()
+                                : Status::InvalidArgument("bad file descriptor");
+}
+
+Result<size_t> PosixFs::Pread(Fd fd, uint64_t offset, size_t n, std::string* out) const {
+  Handle h;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    auto it = handles_.find(fd);
+    if (it == handles_.end()) {
+      return Status::InvalidArgument("bad file descriptor");
+    }
+    h = it->second;
+  }
+  if ((h.flags & kRead) == 0) {
+    return Status::InvalidArgument("descriptor not open for reading");
+  }
+  // Reading at/after EOF returns 0 bytes, POSIX-style.
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, fs_->Size(h.oid));
+  if (offset >= size) {
+    out->clear();
+    return size_t{0};
+  }
+  HFAD_RETURN_IF_ERROR(fs_->Read(h.oid, offset, n, out));
+  return out->size();
+}
+
+Result<size_t> PosixFs::Pwrite(Fd fd, uint64_t offset, Slice data) {
+  Handle h;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    auto it = handles_.find(fd);
+    if (it == handles_.end()) {
+      return Status::InvalidArgument("bad file descriptor");
+    }
+    h = it->second;
+  }
+  if ((h.flags & kWrite) == 0) {
+    return Status::InvalidArgument("descriptor not open for writing");
+  }
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, fs_->Size(h.oid));
+  if ((h.flags & kAppend) != 0) {
+    offset = size;
+  } else if (offset > size) {
+    // POSIX allows sparse writes; hFAD has no holes, so zero-fill the gap.
+    HFAD_RETURN_IF_ERROR(fs_->Write(h.oid, size, std::string(offset - size, '\0')));
+  }
+  HFAD_RETURN_IF_ERROR(fs_->Write(h.oid, offset, data));
+  return data.size();
+}
+
+Result<size_t> PosixFs::Read(Fd fd, size_t n, std::string* out) {
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    auto it = handles_.find(fd);
+    if (it == handles_.end()) {
+      return Status::InvalidArgument("bad file descriptor");
+    }
+    offset = it->second.offset;
+  }
+  HFAD_ASSIGN_OR_RETURN(size_t got, Pread(fd, offset, n, out));
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  auto it = handles_.find(fd);
+  if (it != handles_.end()) {
+    it->second.offset = offset + got;
+  }
+  return got;
+}
+
+Result<size_t> PosixFs::Write(Fd fd, Slice data) {
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(handles_mu_);
+    auto it = handles_.find(fd);
+    if (it == handles_.end()) {
+      return Status::InvalidArgument("bad file descriptor");
+    }
+    offset = it->second.offset;
+  }
+  HFAD_ASSIGN_OR_RETURN(size_t put, Pwrite(fd, offset, data));
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  auto it = handles_.find(fd);
+  if (it != handles_.end()) {
+    it->second.offset = offset + put;
+  }
+  return put;
+}
+
+Result<uint64_t> PosixFs::Seek(Fd fd, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    return Status::InvalidArgument("bad file descriptor");
+  }
+  it->second.offset = offset;
+  return offset;
+}
+
+Status PosixFs::InsertAt(Fd fd, uint64_t offset, Slice data) {
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  auto it = handles_.find(fd);
+  if (it == handles_.end() || (it->second.flags & kWrite) == 0) {
+    return Status::InvalidArgument("bad or read-only file descriptor");
+  }
+  return fs_->Insert(it->second.oid, offset, data);
+}
+
+Status PosixFs::RemoveRange(Fd fd, uint64_t offset, uint64_t length) {
+  std::lock_guard<std::mutex> lock(handles_mu_);
+  auto it = handles_.find(fd);
+  if (it == handles_.end() || (it->second.flags & kWrite) == 0) {
+    return Status::InvalidArgument("bad or read-only file descriptor");
+  }
+  return fs_->Truncate(it->second.oid, offset, length);
+}
+
+// ---------------------------------------------------------------- namespace ops
+
+Status PosixFs::Mkdir(const std::string& path, uint32_t mode) {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  if (norm == "/") {
+    return Status::AlreadyExists("/");
+  }
+  if (ResolveNorm(norm).ok()) {
+    return Status::AlreadyExists(norm);
+  }
+  HFAD_RETURN_IF_ERROR(RequireParentDir(norm));
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, fs_->Create({{std::string(index::kTagPosix), norm}}));
+  return fs_->SetAttributes(oid, kModeDir | (mode & 0777), 0, 0);
+}
+
+Status PosixFs::Rmdir(const std::string& path) {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  if (norm == "/") {
+    return Status::InvalidArgument("cannot remove the root directory");
+  }
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, ResolveNorm(norm));
+  HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(oid));
+  if (!is_dir) {
+    return Status::InvalidArgument("not a directory: " + norm);
+  }
+  HFAD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, Readdir(norm));
+  if (!entries.empty()) {
+    return Status::Busy("directory not empty: " + norm);
+  }
+  return fs_->Remove(oid);
+}
+
+Status PosixFs::Unlink(const std::string& path) {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, ResolveNorm(norm));
+  HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(oid));
+  if (is_dir) {
+    return Status::InvalidArgument("is a directory (use Rmdir): " + norm);
+  }
+  HFAD_RETURN_IF_ERROR(RemovePathName(oid, norm));
+  // POSIX frees the inode when its last link goes; hFAD's equivalent is the last *name*
+  // of any kind (§2.2: a path is just one name — UDEF/USER/APP tags keep the object
+  // alive and reachable even with no paths left).
+  HFAD_ASSIGN_OR_RETURN(std::vector<core::TagValue> names, fs_->Tags(oid));
+  if (names.empty()) {
+    return fs_->Remove(oid);
+  }
+  return Status::Ok();
+}
+
+Status PosixFs::Link(const std::string& existing, const std::string& link_path) {
+  HFAD_ASSIGN_OR_RETURN(std::string from, NormalizePath(existing));
+  HFAD_ASSIGN_OR_RETURN(std::string to, NormalizePath(link_path));
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, ResolveNorm(from));
+  HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(oid));
+  if (is_dir) {
+    return Status::InvalidArgument("hard links to directories are not allowed");
+  }
+  if (ResolveNorm(to).ok()) {
+    return Status::AlreadyExists(to);
+  }
+  HFAD_RETURN_IF_ERROR(RequireParentDir(to));
+  // §2.2 in one line: naming is decoupled from access, so a link is just another name.
+  return AddPathName(oid, to);
+}
+
+Status PosixFs::Rename(const std::string& from, const std::string& to) {
+  HFAD_ASSIGN_OR_RETURN(std::string src, NormalizePath(from));
+  HFAD_ASSIGN_OR_RETURN(std::string dst, NormalizePath(to));
+  if (src == "/" || dst == "/") {
+    return Status::InvalidArgument("cannot rename the root directory");
+  }
+  if (dst == src) {
+    return Status::Ok();
+  }
+  if (dst.size() > src.size() && dst.compare(0, src.size(), src) == 0 &&
+      dst[src.size()] == '/') {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, ResolveNorm(src));
+  if (ResolveNorm(dst).ok()) {
+    return Status::AlreadyExists(dst);
+  }
+  HFAD_RETURN_IF_ERROR(RequireParentDir(dst));
+  HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(oid));
+
+  HFAD_RETURN_IF_ERROR(AddPathName(oid, dst));
+  HFAD_RETURN_IF_ERROR(RemovePathName(oid, src));
+  if (!is_dir) {
+    return Status::Ok();
+  }
+  // Directory rename: full-path keys mean every descendant must be re-keyed. Collect
+  // first (the scan must not race our own mutations), then rewrite.
+  std::vector<std::pair<std::string, ObjectId>> descendants;
+  std::string prefix = src + "/";
+  HFAD_RETURN_IF_ERROR(
+      PosixStore(fs_)->ScanValues(prefix, [&](Slice value, ObjectId child) {
+        descendants.emplace_back(value.ToString(), child);
+        return true;
+      }));
+  for (const auto& [old_path, child] : descendants) {
+    std::string new_path = dst + old_path.substr(src.size());
+    HFAD_RETURN_IF_ERROR(AddPathName(child, new_path));
+    HFAD_RETURN_IF_ERROR(RemovePathName(child, old_path));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<DirEntry>> PosixFs::Readdir(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  HFAD_ASSIGN_OR_RETURN(ObjectId dir_oid, ResolveNorm(norm));
+  HFAD_ASSIGN_OR_RETURN(bool is_dir, IsDirOid(dir_oid));
+  if (!is_dir) {
+    return Status::InvalidArgument("not a directory: " + norm);
+  }
+  // readdir = prefix range scan over the POSIX index: children are paths that extend
+  // this one by exactly one component.
+  std::string prefix = norm == "/" ? "/" : norm + "/";
+  std::vector<DirEntry> entries;
+  HFAD_RETURN_IF_ERROR(PosixStore(fs_)->ScanValues(prefix, [&](Slice value, ObjectId oid) {
+    Slice rest(value.data() + prefix.size(), value.size() - prefix.size());
+    if (rest.empty()) {
+      return true;  // The directory itself (only for "/").
+    }
+    for (size_t i = 0; i < rest.size(); i++) {
+      if (rest[i] == '/') {
+        return true;  // Deeper descendant, not a direct child.
+      }
+    }
+    entries.push_back(DirEntry{rest.ToString(), oid, false});
+    return true;
+  }));
+  for (DirEntry& e : entries) {
+    HFAD_ASSIGN_OR_RETURN(e.is_dir, IsDirOid(e.oid));
+  }
+  return entries;
+}
+
+Result<StatResult> PosixFs::Stat(const std::string& path) const {
+  HFAD_ASSIGN_OR_RETURN(std::string norm, NormalizePath(path));
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, ResolveNorm(norm));
+  StatResult st;
+  HFAD_ASSIGN_OR_RETURN(st.meta, fs_->Stat(oid));
+  st.is_dir = (st.meta.mode & kModeDir) != 0;
+  HFAD_ASSIGN_OR_RETURN(st.nlink, LinkCount(oid));
+  return st;
+}
+
+Status PosixFs::Truncate(const std::string& path, uint64_t new_size) {
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, Resolve(path));
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, fs_->Size(oid));
+  if (new_size < size) {
+    return fs_->Truncate(oid, new_size, size - new_size);
+  }
+  if (new_size > size) {
+    return fs_->Write(oid, size, std::string(new_size - size, '\0'));
+  }
+  return Status::Ok();
+}
+
+}  // namespace posix
+}  // namespace hfad

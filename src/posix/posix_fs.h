@@ -1,0 +1,148 @@
+// POSIX compatibility layer (§3.1.1): "we support POSIX naming as a thin layer atop the
+// native API. A naming operation on POSIX path P translates into a lookup on the
+// tag/value pair: POSIX/P."
+//
+// A path is ONE name among many — nothing else about the object is special. That single
+// design choice yields the §2 behaviours directly:
+//
+//   * Lookup is one index probe on the full path, not a component-at-a-time walk through
+//     shared ancestor directories (§2.3's four-traversal complaint).
+//   * Hard links are just additional POSIX names on the same object (§2.2: "a data item
+//     may have many names, all equally useful").
+//   * Directories are ordinary objects whose "contents" are a prefix range scan over the
+//     POSIX index — there is no directory data structure to contend on.
+//
+// The trade-off is also honest: renaming a directory rewrites the paths of everything
+// under it (full-path keys), which bench_naming_flex measures.
+//
+// In the paper's prototype this layer is mounted through Linux/FUSE; FUSE only marshals
+// VFS calls into user space, so this in-process library is the identical code path minus
+// kernel round trips (see DESIGN.md substitutions).
+#ifndef HFAD_SRC_POSIX_POSIX_FS_H_
+#define HFAD_SRC_POSIX_POSIX_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/filesystem.h"
+
+namespace hfad {
+namespace posix {
+
+using core::ObjectId;
+
+// Open flags (a subset of fcntl.h semantics, renamed to avoid macro collisions).
+enum OpenFlags : int {
+  kRead = 1 << 0,
+  kWrite = 1 << 1,
+  kCreate = 1 << 2,   // Create if absent (needs kWrite).
+  kExclusive = 1 << 3,  // With kCreate: fail if the path exists.
+  kTruncate = 1 << 4,   // Truncate to zero on open.
+  kAppend = 1 << 5,     // All writes go to end-of-file.
+};
+
+// Directory bit for ObjectMeta::mode (matches S_IFDIR).
+constexpr uint32_t kModeDir = 0040000;
+
+struct DirEntry {
+  std::string name;  // Final component, not the full path.
+  ObjectId oid = 0;
+  bool is_dir = false;
+};
+
+struct StatResult {
+  osd::ObjectMeta meta;
+  bool is_dir = false;
+  uint64_t nlink = 1;  // Number of POSIX names on the object.
+};
+
+class PosixFs {
+ public:
+  using Fd = int;
+
+  // Mounts the POSIX namespace on an hFAD file system; creates "/" if absent. The
+  // FileSystem must outlive the PosixFs.
+  static Result<std::unique_ptr<PosixFs>> Mount(core::FileSystem* fs);
+
+  PosixFs(const PosixFs&) = delete;
+  PosixFs& operator=(const PosixFs&) = delete;
+
+  // ---- handles ----
+
+  Result<Fd> Open(const std::string& path, int flags, uint32_t mode = 0644);
+  Status Close(Fd fd);
+
+  // Positional IO (pread/pwrite semantics; does not move the file offset).
+  Result<size_t> Pread(Fd fd, uint64_t offset, size_t n, std::string* out) const;
+  Result<size_t> Pwrite(Fd fd, uint64_t offset, Slice data);
+
+  // Sequential IO through the handle's file offset.
+  Result<size_t> Read(Fd fd, size_t n, std::string* out);
+  Result<size_t> Write(Fd fd, Slice data);
+  Result<uint64_t> Seek(Fd fd, uint64_t offset);
+
+  // hFAD extensions on handles (§3.1.2): insert and two-off_t truncate.
+  Status InsertAt(Fd fd, uint64_t offset, Slice data);
+  Status RemoveRange(Fd fd, uint64_t offset, uint64_t length);
+
+  // ---- namespace ----
+
+  Status Mkdir(const std::string& path, uint32_t mode = 0755);
+  Status Rmdir(const std::string& path);  // Directory must be empty.
+  // Remove one path name. The object is freed only when no names of ANY kind remain —
+  // an object still tagged (UDEF/USER/APP) survives losing its last path (§2.2).
+  Status Unlink(const std::string& path);
+  // Hard link: one more POSIX name on the same object.
+  Status Link(const std::string& existing, const std::string& link_path);
+  // Rename a file or directory tree. Directory renames rewrite all descendant paths.
+  Status Rename(const std::string& from, const std::string& to);
+  Result<std::vector<DirEntry>> Readdir(const std::string& path) const;
+  Result<StatResult> Stat(const std::string& path) const;
+  Status Truncate(const std::string& path, uint64_t new_size);
+
+  // The object behind a path — the bridge from POSIX naming to the native API.
+  Result<ObjectId> Resolve(const std::string& path) const;
+
+  Status Sync() { return fs_->Sync(); }
+
+ private:
+  explicit PosixFs(core::FileSystem* fs) : fs_(fs) {}
+
+  Result<ObjectId> ResolveNorm(const std::string& path) const;
+  Result<bool> IsDirOid(ObjectId oid) const;
+  Status RequireParentDir(const std::string& norm_path) const;
+  Status AddPathName(ObjectId oid, const std::string& path);
+  Status RemovePathName(ObjectId oid, const std::string& path);
+  // Number of POSIX names currently on the object.
+  Result<uint64_t> LinkCount(ObjectId oid) const;
+
+  core::FileSystem* const fs_;
+
+  struct Handle {
+    ObjectId oid = 0;
+    int flags = 0;
+    uint64_t offset = 0;
+  };
+  mutable std::mutex handles_mu_;
+  std::map<Fd, Handle> handles_;
+  Fd next_fd_ = 3;  // Tradition.
+};
+
+// Path normalization: requires a leading '/', collapses duplicate slashes, strips any
+// trailing slash (except the root itself), and rejects "", ".", ".." components.
+Result<std::string> NormalizePath(const std::string& path);
+
+// Parent of a normalized path ("/" for top-level entries; "/" has no parent -> "").
+std::string ParentPath(const std::string& norm_path);
+
+// Final component of a normalized path ("" for the root).
+std::string Basename(const std::string& norm_path);
+
+}  // namespace posix
+}  // namespace hfad
+
+#endif  // HFAD_SRC_POSIX_POSIX_FS_H_

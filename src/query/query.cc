@@ -1,0 +1,440 @@
+#include "src/query/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace hfad {
+namespace query {
+
+// ---------------------------------------------------------------- AST constructors
+
+std::unique_ptr<Expr> Expr::Term(std::string tag, std::string value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kTerm;
+  e->tag = std::move(tag);
+  e->value = std::move(value);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::And(std::vector<std::unique_ptr<Expr>> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Or(std::vector<std::unique_ptr<Expr>> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Not(std::unique_ptr<Expr> child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+enum class TokKind { kWord, kColon, kLParen, kRParen, kQuoted, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(Slice text) : text_(text.ToString()) {}
+
+  Result<Token> Next() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+    if (pos_ >= text_.size()) {
+      return Token{TokKind::kEnd, ""};
+    }
+    char c = text_[pos_];
+    if (c == ':') {
+      pos_++;
+      return Token{TokKind::kColon, ":"};
+    }
+    if (c == '(') {
+      pos_++;
+      return Token{TokKind::kLParen, "("};
+    }
+    if (c == ')') {
+      pos_++;
+      return Token{TokKind::kRParen, ")"};
+    }
+    if (c == '"') {
+      pos_++;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        out.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated quoted value");
+      }
+      pos_++;  // Closing quote.
+      return Token{TokKind::kQuoted, out};
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char w = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(w)) || w == ':' || w == '(' || w == ')' ||
+          w == '"') {
+        break;
+      }
+      out.push_back(w);
+      pos_++;
+    }
+    return Token{TokKind::kWord, out};
+  }
+
+ private:
+  std::string text_;
+  size_t pos_ = 0;
+};
+
+bool IsKeyword(const Token& t, const char* kw) {
+  if (t.kind != TokKind::kWord || t.text.size() != strlen(kw)) {
+    return false;
+  }
+  for (size_t i = 0; i < t.text.size(); i++) {
+    if (std::toupper(static_cast<unsigned char>(t.text[i])) != kw[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(Slice text) : lexer_(text) {}
+
+  Result<std::unique_ptr<Expr>> Parse() {
+    HFAD_RETURN_IF_ERROR(Advance());
+    HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseOr());
+    if (cur_.kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing input after query: '" + cur_.text + "'");
+    }
+    return e;
+  }
+
+ private:
+  Status Advance() {
+    HFAD_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseAnd());
+    std::vector<std::unique_ptr<Expr>> children;
+    children.push_back(std::move(first));
+    while (IsKeyword(cur_, "OR")) {
+      HFAD_RETURN_IF_ERROR(Advance());
+      HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) {
+      return std::move(children[0]);
+    }
+    return Expr::Or(std::move(children));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    std::vector<std::unique_ptr<Expr>> children;
+    HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseUnary());
+    children.push_back(std::move(first));
+    for (;;) {
+      if (IsKeyword(cur_, "AND")) {
+        HFAD_RETURN_IF_ERROR(Advance());
+      } else if (cur_.kind == TokKind::kEnd || cur_.kind == TokKind::kRParen ||
+                 IsKeyword(cur_, "OR")) {
+        break;
+      }
+      // Implicit AND between adjacent operands.
+      HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) {
+      return std::move(children[0]);
+    }
+    return Expr::And(std::move(children));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (IsKeyword(cur_, "NOT")) {
+      HFAD_RETURN_IF_ERROR(Advance());
+      HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseUnary());
+      return Expr::Not(std::move(child));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    if (cur_.kind == TokKind::kLParen) {
+      HFAD_RETURN_IF_ERROR(Advance());
+      HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+      if (cur_.kind != TokKind::kRParen) {
+        return Status::InvalidArgument("expected ')'");
+      }
+      HFAD_RETURN_IF_ERROR(Advance());
+      return inner;
+    }
+    if (cur_.kind != TokKind::kWord) {
+      return Status::InvalidArgument("expected tag:value term, got '" + cur_.text + "'");
+    }
+    std::string tag = cur_.text;
+    HFAD_RETURN_IF_ERROR(Advance());
+    if (cur_.kind != TokKind::kColon) {
+      return Status::InvalidArgument("expected ':' after tag '" + tag + "'");
+    }
+    HFAD_RETURN_IF_ERROR(Advance());
+    if (cur_.kind != TokKind::kWord && cur_.kind != TokKind::kQuoted) {
+      return Status::InvalidArgument("expected value after '" + tag + ":'");
+    }
+    std::string value = cur_.text;
+    bool quoted = cur_.kind == TokKind::kQuoted;
+    HFAD_RETURN_IF_ERROR(Advance());
+    // Unquoted values may themselves contain colons (UDEF:person:grandma): keep
+    // absorbing ':'-joined words until whitespace or a structural token.
+    while (!quoted && cur_.kind == TokKind::kColon) {
+      value.push_back(':');
+      HFAD_RETURN_IF_ERROR(Advance());
+      if (cur_.kind == TokKind::kWord || cur_.kind == TokKind::kQuoted) {
+        value += cur_.text;
+        HFAD_RETURN_IF_ERROR(Advance());
+      } else {
+        break;
+      }
+    }
+    return Expr::Term(std::move(tag), std::move(value));
+  }
+
+  Lexer lexer_;
+  Token cur_{TokKind::kEnd, ""};
+};
+
+std::vector<ObjectId> UnionSorted(const std::vector<ObjectId>& a,
+                                  const std::vector<ObjectId>& b) {
+  std::vector<ObjectId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+std::vector<ObjectId> DifferenceSorted(const std::vector<ObjectId>& a,
+                                       const std::vector<ObjectId>& b) {
+  std::vector<ObjectId> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Expr>> Parse(Slice text) { return Parser(text).Parse(); }
+
+std::string ToString(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kTerm:
+      return expr.tag + ":\"" + expr.value + "\"";
+    case Expr::Kind::kNot:
+      return "NOT " + ToString(*expr.children[0]);
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      std::string op = expr.kind == Expr::Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < expr.children.size(); i++) {
+        if (i > 0) {
+          out += op;
+        }
+        out += ToString(*expr.children[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- evaluation
+
+uint64_t QueryEngine::Estimate(const Expr& expr) const {
+  constexpr uint64_t kUnknown = std::numeric_limits<uint64_t>::max() / 4;
+  switch (expr.kind) {
+    case Expr::Kind::kTerm: {
+      const index::IndexStore* s = indexes_->store(expr.tag);
+      if (s == nullptr) {
+        return kUnknown;
+      }
+      auto est = s->EstimateCardinality(expr.value);
+      return est.ok() ? *est : kUnknown;
+    }
+    case Expr::Kind::kAnd: {
+      uint64_t best = kUnknown;
+      for (const auto& child : expr.children) {
+        if (child->kind != Expr::Kind::kNot) {
+          best = std::min(best, Estimate(*child));
+        }
+      }
+      return best;
+    }
+    case Expr::Kind::kOr: {
+      uint64_t total = 0;
+      for (const auto& child : expr.children) {
+        total += Estimate(*child);
+      }
+      return total;
+    }
+    case Expr::Kind::kNot:
+      return kUnknown;  // Complements are unbounded.
+  }
+  return kUnknown;
+}
+
+Result<std::vector<ObjectId>> QueryEngine::EvalAnd(const Expr& expr,
+                                                   PlanStats* stats) const {
+  std::vector<const Expr*> positives;
+  std::vector<const Expr*> negatives;
+  for (const auto& child : expr.children) {
+    if (child->kind == Expr::Kind::kNot) {
+      negatives.push_back(child->children[0].get());
+    } else {
+      positives.push_back(child.get());
+    }
+  }
+  if (positives.empty()) {
+    return Status::InvalidArgument(
+        "a conjunction needs at least one non-negated term (NOT alone names the "
+        "unbounded complement)");
+  }
+  // The optimizer's whole job (ablated in bench_query_plan): cheapest conjunct first.
+  if (optimize_) {
+    std::vector<std::pair<uint64_t, const Expr*>> ranked;
+    ranked.reserve(positives.size());
+    for (const Expr* p : positives) {
+      ranked.emplace_back(Estimate(*p), p);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    positives.clear();
+    for (const auto& [est, p] : ranked) {
+      positives.push_back(p);
+    }
+  }
+
+  std::vector<ObjectId> result;
+  bool first = true;
+  for (const Expr* p : positives) {
+    if (!first && result.empty()) {
+      if (stats != nullptr) {
+        stats->early_exit = true;
+      }
+      return result;  // Empty intersection: skip the remaining (larger) lookups.
+    }
+    // When the running intersection is already small relative to this conjunct,
+    // probing membership per candidate beats materializing the conjunct's postings.
+    if (!first && p->kind == Expr::Kind::kTerm && optimize_ &&
+        result.size() * 8 < Estimate(*p)) {
+      const index::IndexStore* s = indexes_->store(p->tag);
+      if (s == nullptr) {
+        return Status::NotFound("no index store for tag '" + p->tag + "'");
+      }
+      std::vector<ObjectId> kept;
+      kept.reserve(result.size());
+      for (ObjectId oid : result) {
+        HFAD_ASSIGN_OR_RETURN(bool has, s->Contains(p->value, oid));
+        if (stats != nullptr) {
+          stats->membership_probes++;
+        }
+        if (has) {
+          kept.push_back(oid);
+        }
+      }
+      result = std::move(kept);
+      if (stats != nullptr) {
+        stats->intermediate_rows += result.size();
+      }
+      continue;
+    }
+    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, EvalNode(*p, stats));
+    if (first) {
+      result = std::move(ids);
+      first = false;
+    } else {
+      result = index::IntersectSorted(result, ids);
+    }
+    if (stats != nullptr) {
+      stats->intermediate_rows += result.size();
+    }
+  }
+  for (const Expr* n : negatives) {
+    if (result.empty()) {
+      break;
+    }
+    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, EvalNode(*n, stats));
+    result = DifferenceSorted(result, ids);
+    if (stats != nullptr) {
+      stats->intermediate_rows += result.size();
+    }
+  }
+  return result;
+}
+
+Result<std::vector<ObjectId>> QueryEngine::EvalNode(const Expr& expr,
+                                                    PlanStats* stats) const {
+  switch (expr.kind) {
+    case Expr::Kind::kTerm: {
+      const index::IndexStore* s = indexes_->store(expr.tag);
+      if (s == nullptr) {
+        return Status::NotFound("no index store for tag '" + expr.tag + "'");
+      }
+      HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, s->Lookup(expr.value));
+      if (stats != nullptr) {
+        stats->index_lookups++;
+        stats->rows_scanned += ids.size();
+      }
+      return ids;
+    }
+    case Expr::Kind::kAnd:
+      return EvalAnd(expr, stats);
+    case Expr::Kind::kOr: {
+      std::vector<ObjectId> result;
+      for (const auto& child : expr.children) {
+        HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, EvalNode(*child, stats));
+        result = UnionSorted(result, ids);
+        if (stats != nullptr) {
+          stats->intermediate_rows += result.size();
+        }
+      }
+      return result;
+    }
+    case Expr::Kind::kNot:
+      return Status::InvalidArgument(
+          "negation is only meaningful inside a conjunction (found bare NOT)");
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+Result<std::vector<ObjectId>> QueryEngine::Evaluate(const Expr& expr,
+                                                    PlanStats* stats) const {
+  return EvalNode(expr, stats);
+}
+
+Result<std::vector<ObjectId>> QueryEngine::Run(Slice text, PlanStats* stats) const {
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, Parse(text));
+  return Evaluate(*expr, stats);
+}
+
+}  // namespace query
+}  // namespace hfad

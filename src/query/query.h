@@ -1,0 +1,88 @@
+// Boolean query engine over the index stores — the paper's open question #3 ("should
+// they support arbitrary boolean queries? Should they include full-fledged query
+// optimizers?") answered with a deliberately bounded design:
+//
+//   * arbitrary AND / OR / NOT expressions over tag:value terms, with parentheses;
+//   * a selectivity-based optimizer that evaluates conjuncts in ascending estimated
+//     cardinality (cheapest index first, early exit on an empty intersection);
+//   * no cost-based join planning — index stores expose only a cardinality estimate, and
+//     the engine stays a thin client above them, which is the paper's layering.
+//
+// Query syntax:   UDEF:vacation AND USER:margo AND NOT UDEF:work
+//                 FULLTEXT:report (FULLTEXT:2009 OR FULLTEXT:2008)
+// Adjacent terms are implicitly conjoined. Values with spaces use double quotes:
+// POSIX:"/home/m/my file.txt". NOT binds tighter than AND, AND tighter than OR. Negation
+// is only meaningful inside a conjunction (NOT x alone would name the unbounded
+// complement), so a NOT without positive siblings is rejected.
+#ifndef HFAD_SRC_QUERY_QUERY_H_
+#define HFAD_SRC_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/index/index_store.h"
+
+namespace hfad {
+namespace query {
+
+using index::ObjectId;
+
+// Expression tree. Terms carry tag/value; And/Or carry children; Not carries exactly one.
+struct Expr {
+  enum class Kind { kTerm, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kTerm;
+  std::string tag;    // kTerm only.
+  std::string value;  // kTerm only.
+  std::vector<std::unique_ptr<Expr>> children;
+
+  static std::unique_ptr<Expr> Term(std::string tag, std::string value);
+  static std::unique_ptr<Expr> And(std::vector<std::unique_ptr<Expr>> children);
+  static std::unique_ptr<Expr> Or(std::vector<std::unique_ptr<Expr>> children);
+  static std::unique_ptr<Expr> Not(std::unique_ptr<Expr> child);
+};
+
+// Parse the query syntax described above.
+Result<std::unique_ptr<Expr>> Parse(Slice text);
+
+// Canonical text form (parenthesized), for tests and debugging.
+std::string ToString(const Expr& expr);
+
+// Work counters filled by Evaluate (bench/ablation support).
+struct PlanStats {
+  uint64_t index_lookups = 0;        // IndexStore::Lookup calls issued.
+  uint64_t rows_scanned = 0;         // Total ids returned by those lookups.
+  uint64_t intermediate_rows = 0;    // Sum of intersection/union result sizes.
+  uint64_t membership_probes = 0;    // Point Contains() probes in place of full lookups.
+  bool early_exit = false;           // A conjunction emptied before all terms ran.
+};
+
+class QueryEngine {
+ public:
+  // With optimize = false conjuncts run in textual order (the ablation baseline).
+  explicit QueryEngine(const index::IndexCollection* indexes, bool optimize = true)
+      : indexes_(indexes), optimize_(optimize) {}
+
+  // Evaluate an expression; results ascending by oid.
+  Result<std::vector<ObjectId>> Evaluate(const Expr& expr, PlanStats* stats = nullptr) const;
+
+  // Parse + evaluate.
+  Result<std::vector<ObjectId>> Run(Slice text, PlanStats* stats = nullptr) const;
+
+ private:
+  Result<std::vector<ObjectId>> EvalNode(const Expr& expr, PlanStats* stats) const;
+  Result<std::vector<ObjectId>> EvalAnd(const Expr& expr, PlanStats* stats) const;
+  // Cheap upper-bound estimate used to order conjuncts.
+  uint64_t Estimate(const Expr& expr) const;
+
+  const index::IndexCollection* const indexes_;
+  const bool optimize_;
+};
+
+}  // namespace query
+}  // namespace hfad
+
+#endif  // HFAD_SRC_QUERY_QUERY_H_

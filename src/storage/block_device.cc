@@ -1,0 +1,138 @@
+#include "src/storage/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace hfad {
+
+namespace {
+
+Status RangeCheck(uint64_t offset, size_t size, uint64_t capacity) {
+  if (offset > capacity || size > capacity - offset) {
+    return Status::OutOfRange("device access [" + std::to_string(offset) + ", +" +
+                              std::to_string(size) + ") beyond capacity " +
+                              std::to_string(capacity));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+MemoryBlockDevice::MemoryBlockDevice(uint64_t size_bytes) : data_(size_bytes, 0) {}
+
+Status MemoryBlockDevice::Read(uint64_t offset, size_t size, std::string* out) const {
+  HFAD_RETURN_IF_ERROR(RangeCheck(offset, size, data_.size()));
+  out->assign(data_.data() + offset, size);
+  return Status::Ok();
+}
+
+Status MemoryBlockDevice::Write(uint64_t offset, Slice data) {
+  HFAD_RETURN_IF_ERROR(RangeCheck(offset, data.size(), data_.size()));
+  memcpy(data_.data() + offset, data.data(), data.size());
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(const std::string& path,
+                                                               uint64_t size_bytes) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size_bytes)) != 0) {
+    ::close(fd);
+    return Status::IoError("ftruncate " + path + ": " + strerror(errno));
+  }
+  return std::unique_ptr<FileBlockDevice>(new FileBlockDevice(fd, size_bytes));
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status FileBlockDevice::Read(uint64_t offset, size_t size, std::string* out) const {
+  HFAD_RETURN_IF_ERROR(RangeCheck(offset, size, size_));
+  out->resize(size);
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::pread(fd_, out->data() + done, size - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("pread: ") + strerror(errno));
+    }
+    if (n == 0) {
+      // Sparse tail of a fresh file: zero-fill, matching MemoryBlockDevice semantics.
+      memset(out->data() + done, 0, size - done);
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::Write(uint64_t offset, Slice data) {
+  HFAD_RETURN_IF_ERROR(RangeCheck(offset, data.size(), size_));
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::pwrite(fd_, data.data() + done, data.size() - done,
+                         static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("pwrite: ") + strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FileBlockDevice::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FaultyBlockDevice::Write(uint64_t offset, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  writes_attempted_++;
+  if (write_budget_ < 0) {
+    return base_->Write(offset, data);
+  }
+  if (write_budget_ == 0) {
+    if (torn_writes_ && !data.empty()) {
+      // Persist a deterministic partial prefix once, then fail everything.
+      size_t torn = data.size() / 2;
+      if (torn > 0) {
+        (void)base_->Write(offset, Slice(data.data(), torn));
+      }
+      torn_writes_ = false;  // Only one torn write per crash.
+    }
+    return Status::IoError("write budget exhausted (injected crash)");
+  }
+  write_budget_--;
+  return base_->Write(offset, data);
+}
+
+Status FaultyBlockDevice::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (write_budget_ == 0) {
+    return Status::IoError("sync after injected crash");
+  }
+  return base_->Sync();
+}
+
+void FaultyBlockDevice::SetWriteBudget(int64_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_budget_ = budget;
+}
+
+}  // namespace hfad

@@ -1,0 +1,105 @@
+// Stable-storage abstraction at the bottom of Figure 1.
+//
+// A BlockDevice is a flat, byte-addressable store with explicit durability (Sync). Three
+// implementations:
+//   * MemoryBlockDevice — RAM-backed, for tests and benchmarks.
+//   * FileBlockDevice   — a single backing file, for persistence across process restarts.
+//   * FaultyBlockDevice — wraps another device and injects failures (write caps, torn writes)
+//                         for crash-recovery testing of the journal.
+#ifndef HFAD_SRC_STORAGE_BLOCK_DEVICE_H_
+#define HFAD_SRC_STORAGE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+
+namespace hfad {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Read size bytes at offset into out (resized to size). Reads beyond Size() fail.
+  virtual Status Read(uint64_t offset, size_t size, std::string* out) const = 0;
+
+  // Write data at offset. Writes beyond Size() fail (devices have fixed capacity).
+  virtual Status Write(uint64_t offset, Slice data) = 0;
+
+  // Force all completed writes to stable storage.
+  virtual Status Sync() = 0;
+
+  // Device capacity in bytes.
+  virtual uint64_t Size() const = 0;
+};
+
+// RAM-backed device. Thread-safe for non-overlapping concurrent access.
+class MemoryBlockDevice : public BlockDevice {
+ public:
+  explicit MemoryBlockDevice(uint64_t size_bytes);
+
+  Status Read(uint64_t offset, size_t size, std::string* out) const override;
+  Status Write(uint64_t offset, Slice data) override;
+  Status Sync() override { return Status::Ok(); }
+  uint64_t Size() const override { return data_.size(); }
+
+ private:
+  std::vector<char> data_;
+};
+
+// File-backed device. The file is created (and sized) if absent.
+class FileBlockDevice : public BlockDevice {
+ public:
+  // Opens (creating if needed) path with the given capacity.
+  static Result<std::unique_ptr<FileBlockDevice>> Open(const std::string& path,
+                                                       uint64_t size_bytes);
+  ~FileBlockDevice() override;
+
+  Status Read(uint64_t offset, size_t size, std::string* out) const override;
+  Status Write(uint64_t offset, Slice data) override;
+  Status Sync() override;
+  uint64_t Size() const override { return size_; }
+
+ private:
+  FileBlockDevice(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  int fd_;
+  uint64_t size_;
+};
+
+// Failure-injection wrapper. After SetWriteBudget(n), the n+1-th write (and all later ones)
+// fail with IoError; if torn_writes is enabled the failing write persists only a prefix,
+// simulating a crash mid-sector. Used by journal recovery tests.
+class FaultyBlockDevice : public BlockDevice {
+ public:
+  explicit FaultyBlockDevice(std::shared_ptr<BlockDevice> base) : base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t size, std::string* out) const override {
+    return base_->Read(offset, size, out);
+  }
+  Status Write(uint64_t offset, Slice data) override;
+  Status Sync() override;
+  uint64_t Size() const override { return base_->Size(); }
+
+  // Allow exactly budget more successful writes; -1 means unlimited (default).
+  void SetWriteBudget(int64_t budget);
+  // When the budget is exhausted, persist a random-length prefix of the failing write.
+  void EnableTornWrites(bool enabled) { torn_writes_ = enabled; }
+  // Count of writes attempted since construction.
+  uint64_t writes_attempted() const { return writes_attempted_; }
+
+ private:
+  std::shared_ptr<BlockDevice> base_;
+  mutable std::mutex mu_;
+  int64_t write_budget_ = -1;
+  bool torn_writes_ = false;
+  uint64_t writes_attempted_ = 0;
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_STORAGE_BLOCK_DEVICE_H_

@@ -1,0 +1,223 @@
+#include "src/storage/buddy_allocator.h"
+
+#include <cassert>
+
+#include "src/common/coding.h"
+#include "src/common/stats.h"
+
+namespace hfad {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int Log2Floor(uint64_t v) {
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    r++;
+  }
+  return r;
+}
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(uint64_t region_start, uint64_t region_size)
+    : region_start_(region_start),
+      region_size_(region_size),
+      max_order_(Log2Floor(region_size / kMinBlockSize)) {
+  assert(region_size >= kMinBlockSize);
+  assert(IsPowerOfTwo(region_size));
+  assert(region_start % kMinBlockSize == 0);
+  assert(region_start > 0 && "offset 0 is reserved for the superblock / empty-root sentinel");
+  free_lists_.resize(max_order_ + 1);
+  free_lists_[max_order_].insert(region_start_);
+}
+
+int BuddyAllocator::OrderForSize(uint64_t size) const {
+  uint64_t blocks = (size + kMinBlockSize - 1) / kMinBlockSize;
+  int order = 0;
+  while ((uint64_t{1} << order) < blocks) {
+    order++;
+  }
+  return order;
+}
+
+uint64_t BuddyAllocator::BuddyOf(uint64_t offset, int order) const {
+  uint64_t rel = offset - region_start_;
+  return region_start_ + (rel ^ SizeForOrder(order));
+}
+
+Result<BuddyAllocator::Extent> BuddyAllocator::Allocate(uint64_t size) {
+  if (size == 0) {
+    return Status::InvalidArgument("cannot allocate 0 bytes");
+  }
+  int want = OrderForSize(size);
+  if (want > max_order_) {
+    return Status::NoSpace("allocation of " + std::to_string(size) +
+                           " bytes exceeds region size " + std::to_string(region_size_));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Find the smallest order >= want with a free block.
+  int order = want;
+  while (order <= max_order_ && free_lists_[order].empty()) {
+    order++;
+  }
+  if (order > max_order_) {
+    return Status::NoSpace("buddy region exhausted (" + std::to_string(allocated_bytes_) +
+                           " of " + std::to_string(region_size_) + " bytes allocated)");
+  }
+  uint64_t offset = *free_lists_[order].begin();
+  free_lists_[order].erase(free_lists_[order].begin());
+  // Split down to the wanted order, returning the high halves to the free lists.
+  while (order > want) {
+    order--;
+    free_lists_[order].insert(offset + SizeForOrder(order));
+  }
+  allocations_[offset] = want;
+  allocated_bytes_ += SizeForOrder(want);
+  stats::Add(stats::Counter::kExtentsAllocated);
+  return Extent{offset, SizeForOrder(want)};
+}
+
+Status BuddyAllocator::Free(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = allocations_.find(offset);
+  if (it == allocations_.end()) {
+    return Status::InvalidArgument("free of unallocated offset " + std::to_string(offset));
+  }
+  int order = it->second;
+  allocations_.erase(it);
+  allocated_bytes_ -= SizeForOrder(order);
+  stats::Add(stats::Counter::kExtentsFreed);
+  // Coalesce with the buddy as long as it is free at the same order.
+  while (order < max_order_) {
+    uint64_t buddy = BuddyOf(offset, order);
+    auto fit = free_lists_[order].find(buddy);
+    if (fit == free_lists_[order].end()) {
+      break;
+    }
+    free_lists_[order].erase(fit);
+    offset = offset < buddy ? offset : buddy;
+    order++;
+  }
+  free_lists_[order].insert(offset);
+  return Status::Ok();
+}
+
+uint64_t BuddyAllocator::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_bytes_;
+}
+
+uint64_t BuddyAllocator::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return region_size_ - allocated_bytes_;
+}
+
+size_t BuddyAllocator::allocation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocations_.size();
+}
+
+uint64_t BuddyAllocator::largest_free_block() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int order = max_order_; order >= 0; order--) {
+    if (!free_lists_[order].empty()) {
+      return SizeForOrder(order);
+    }
+  }
+  return 0;
+}
+
+double BuddyAllocator::ExternalFragmentation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t free = region_size_ - allocated_bytes_;
+  if (free == 0) {
+    return 0.0;
+  }
+  uint64_t largest = 0;
+  for (int order = max_order_; order >= 0; order--) {
+    if (!free_lists_[order].empty()) {
+      largest = SizeForOrder(order);
+      break;
+    }
+  }
+  return 1.0 - static_cast<double>(largest) / static_cast<double>(free);
+}
+
+std::string BuddyAllocator::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  PutVarint64(&out, allocations_.size());
+  for (const auto& [offset, order] : allocations_) {
+    PutVarint64(&out, offset);
+    PutVarint32(&out, static_cast<uint32_t>(order));
+  }
+  return out;
+}
+
+Status BuddyAllocator::Deserialize(const std::string& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slice in(blob);
+  uint64_t count;
+  if (!GetVarint64(&in, &count)) {
+    return Status::Corruption("allocator snapshot: bad count");
+  }
+  std::map<uint64_t, int> allocs;
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t offset;
+    uint32_t order;
+    if (!GetVarint64(&in, &offset) || !GetVarint32(&in, &order)) {
+      return Status::Corruption("allocator snapshot: truncated entry");
+    }
+    if (static_cast<int>(order) > max_order_ || offset < region_start_ ||
+        offset + SizeForOrder(static_cast<int>(order)) > region_start_ + region_size_) {
+      return Status::Corruption("allocator snapshot: entry out of region");
+    }
+    allocs[offset] = static_cast<int>(order);
+    total += SizeForOrder(static_cast<int>(order));
+  }
+  allocations_ = std::move(allocs);
+  allocated_bytes_ = total;
+  RebuildFreeLists();
+  return Status::Ok();
+}
+
+void BuddyAllocator::RebuildFreeLists() {
+  // Start from one maximal free block, then carve out each live allocation by splitting.
+  for (auto& fl : free_lists_) {
+    fl.clear();
+  }
+  free_lists_[max_order_].insert(region_start_);
+  for (const auto& [offset, order] : allocations_) {
+    // Find the free block containing offset (there must be exactly one; allocations are
+    // disjoint and the free lists currently cover everything not yet carved).
+    for (int o = max_order_; o >= order; o--) {
+      uint64_t block = region_start_ +
+                       ((offset - region_start_) / SizeForOrder(o)) * SizeForOrder(o);
+      auto it = free_lists_[o].find(block);
+      if (it == free_lists_[o].end()) {
+        continue;
+      }
+      // Split this block down to the allocation's order, keeping the halves not on the path.
+      free_lists_[o].erase(it);
+      for (int cur = o; cur > order; cur--) {
+        uint64_t half = SizeForOrder(cur - 1);
+        uint64_t lo = block;
+        uint64_t hi = block + half;
+        if (offset >= hi) {
+          free_lists_[cur - 1].insert(lo);
+          block = hi;
+        } else {
+          free_lists_[cur - 1].insert(hi);
+          block = lo;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace hfad

@@ -1,0 +1,81 @@
+// Buddy storage allocator (Knuth, TAOCP vol. 1) — the lowest layer of the hFAD OSD (§3.4).
+//
+// Manages the byte range [region_start, region_start + region_size) of a device in
+// power-of-two blocks between kMinBlockSize and the region size. Allocations are rounded up
+// to the next power of two; freeing coalesces buddies eagerly. All bookkeeping is in memory;
+// Serialize()/Deserialize() produce a compact snapshot (the live-allocation list) that the
+// volume persists in its superblock region, from which the free lists are rebuilt on open.
+#ifndef HFAD_SRC_STORAGE_BUDDY_ALLOCATOR_H_
+#define HFAD_SRC_STORAGE_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hfad {
+
+class BuddyAllocator {
+ public:
+  static constexpr uint64_t kMinBlockSize = 4096;  // One page.
+
+  // An allocated extent: device offset and usable length (the rounded power-of-two size).
+  struct Extent {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
+  // region_size must be a power-of-two multiple of kMinBlockSize; region_start must be
+  // kMinBlockSize-aligned and non-zero. Offset 0 is reserved volume-wide (it holds the
+  // superblock, and btree/extent roots use 0 as the "empty" sentinel), so the allocator
+  // must never be able to hand it out.
+  BuddyAllocator(uint64_t region_start, uint64_t region_size);
+
+  // Allocate at least size bytes (rounded up to a power of two >= kMinBlockSize).
+  Result<Extent> Allocate(uint64_t size);
+
+  // Free a previously allocated extent by its offset. Coalesces with free buddies.
+  Status Free(uint64_t offset);
+
+  // Total bytes currently handed out (sum of rounded block sizes).
+  uint64_t allocated_bytes() const;
+  // Bytes not handed out.
+  uint64_t free_bytes() const;
+  // Number of live allocations.
+  size_t allocation_count() const;
+  // Largest single block currently allocatable (0 if full).
+  uint64_t largest_free_block() const;
+
+  // External fragmentation in [0,1]: 1 - largest_free_block / free_bytes (0 when empty/full).
+  double ExternalFragmentation() const;
+
+  // Snapshot of live allocations (offset, order), suitable for persistence.
+  std::string Serialize() const;
+  // Rebuild allocator state from a Serialize() snapshot. Region geometry must match.
+  Status Deserialize(const std::string& blob);
+
+ private:
+  int OrderForSize(uint64_t size) const;
+  uint64_t SizeForOrder(int order) const { return kMinBlockSize << order; }
+  uint64_t BuddyOf(uint64_t offset, int order) const;
+  void RebuildFreeLists();
+
+  const uint64_t region_start_;
+  const uint64_t region_size_;
+  const int max_order_;
+
+  mutable std::mutex mu_;
+  // free_lists_[order] = set of free block offsets of that order.
+  std::vector<std::set<uint64_t>> free_lists_;
+  // Live allocations: offset -> order.
+  std::map<uint64_t, int> allocations_;
+  uint64_t allocated_bytes_ = 0;
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_STORAGE_BUDDY_ALLOCATOR_H_

@@ -1,0 +1,153 @@
+#include "src/storage/pager.h"
+
+#include <cstring>
+
+#include "src/common/stats.h"
+
+namespace hfad {
+
+Pager::Pager(BlockDevice* device, size_t capacity_pages, bool no_steal)
+    : device_(device), capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      no_steal_(no_steal) {}
+
+Result<PageRef> Pager::Get(uint64_t offset) {
+  if (offset % kPageSize != 0) {
+    return Status::InvalidArgument("unaligned page offset " + std::to_string(offset));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(offset);
+  if (it != cache_.end()) {
+    stats::Add(stats::Counter::kPagerHits);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.page;
+  }
+  stats::Add(stats::Counter::kPageReads);
+  auto page = std::make_shared<Page>(offset);
+  std::string buf;
+  HFAD_RETURN_IF_ERROR(device_->Read(offset, kPageSize, &buf));
+  memcpy(page->data(), buf.data(), kPageSize);
+  HFAD_RETURN_IF_ERROR(EvictIfNeededLocked());
+  lru_.push_front(offset);
+  cache_[offset] = Entry{page, lru_.begin()};
+  return page;
+}
+
+Result<PageRef> Pager::GetZeroed(uint64_t offset) {
+  if (offset % kPageSize != 0) {
+    return Status::InvalidArgument("unaligned page offset " + std::to_string(offset));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(offset);
+  if (it != cache_.end()) {
+    // Reuse the cached buffer but reset the contents.
+    memset(it->second.page->data(), 0, kPageSize);
+    it->second.page->MarkDirty();
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.page;
+  }
+  auto page = std::make_shared<Page>(offset);
+  page->MarkDirty();
+  HFAD_RETURN_IF_ERROR(EvictIfNeededLocked());
+  lru_.push_front(offset);
+  cache_[offset] = Entry{page, lru_.begin()};
+  return page;
+}
+
+Status Pager::EvictIfNeededLocked() {
+  // Walk the LRU tail looking for unpinned victims. A page still referenced outside the
+  // cache (use_count > 1) must not be evicted: the holder may mutate it after eviction and
+  // those mutations would be lost. If everything is pinned the cache temporarily overflows,
+  // which is safe — capacity is a target, not a hard bound.
+  if (cache_.size() < capacity_) {
+    return Status::Ok();
+  }
+  std::vector<uint64_t> tail_first(lru_.rbegin(), lru_.rend());
+  for (uint64_t victim : tail_first) {
+    if (cache_.size() < capacity_) {
+      break;
+    }
+    auto cit = cache_.find(victim);
+    if (cit == cache_.end() || cit->second.page.use_count() > 1) {
+      continue;  // Already gone or pinned.
+    }
+    if (no_steal_ && cit->second.page->dirty()) {
+      continue;  // Dirty pages must not reach the device before the next checkpoint.
+    }
+    if (cit->second.page->dirty()) {
+      stats::Add(stats::Counter::kPageWrites);
+      HFAD_RETURN_IF_ERROR(
+          device_->Write(victim, Slice(cit->second.page->cdata(), kPageSize)));
+      cit->second.page->ClearDirty();
+    }
+    lru_.erase(cit->second.lru_it);
+    cache_.erase(cit);
+  }
+  return Status::Ok();
+}
+
+Status Pager::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [offset, entry] : cache_) {
+    if (entry.page->dirty()) {
+      stats::Add(stats::Counter::kPageWrites);
+      HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(entry.page->cdata(), kPageSize)));
+      entry.page->ClearDirty();
+    }
+  }
+  return device_->Sync();
+}
+
+void Pager::CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [offset, entry] : cache_) {
+    if (entry.page->dirty()) {
+      out->emplace_back(offset, std::string(entry.page->cdata(), kPageSize));
+    }
+  }
+}
+
+size_t Pager::dirty_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [offset, entry] : cache_) {
+    if (entry.page->dirty()) {
+      n++;
+    }
+  }
+  return n;
+}
+
+Status Pager::ReadRaw(uint64_t offset, size_t size, std::string* out) const {
+  return device_->Read(offset, size, out);
+}
+
+Status Pager::WriteRaw(uint64_t offset, Slice data) { return device_->Write(offset, data); }
+
+void Pager::Invalidate(uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(offset);
+  if (it != cache_.end()) {
+    lru_.erase(it->second.lru_it);
+    cache_.erase(it);
+  }
+}
+
+Status Pager::DropCacheForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [offset, entry] : cache_) {
+    if (entry.page->dirty()) {
+      HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(entry.page->cdata(), kPageSize)));
+      entry.page->ClearDirty();
+    }
+  }
+  cache_.clear();
+  lru_.clear();
+  return Status::Ok();
+}
+
+size_t Pager::cached_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace hfad

@@ -1,0 +1,113 @@
+// Pager: a fixed-size page cache between the btrees and the block device.
+//
+// Pages are 4 KiB, identified by their byte offset on the device (always page-aligned —
+// the buddy allocator's minimum block is one page). The pager keeps an LRU cache of shared
+// page buffers with dirty tracking and write-back, and counts hits/misses/write-backs in
+// hfad::stats so benchmarks can report IO amplification.
+//
+// Concurrency: the cache map is internally synchronized. Page *content* synchronization is
+// the responsibility of the owning structure (each btree holds its own lock), matching the
+// paper's argument that locking should live in the index, not a shared namespace.
+#ifndef HFAD_SRC_STORAGE_PAGER_H_
+#define HFAD_SRC_STORAGE_PAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+
+constexpr size_t kPageSize = 4096;
+
+// A cached page buffer. Access content through data(); call MarkDirty() after mutating.
+class Page {
+ public:
+  explicit Page(uint64_t offset) : offset_(offset) { buf_.resize(kPageSize); }
+
+  uint64_t offset() const { return offset_; }
+  uint8_t* data() { return reinterpret_cast<uint8_t*>(buf_.data()); }
+  const uint8_t* data() const { return reinterpret_cast<const uint8_t*>(buf_.data()); }
+  char* cdata() { return buf_.data(); }
+  const char* cdata() const { return buf_.data(); }
+
+  void MarkDirty() { dirty_.store(true, std::memory_order_release); }
+  bool dirty() const { return dirty_.load(std::memory_order_acquire); }
+  void ClearDirty() { dirty_.store(false, std::memory_order_release); }
+
+ private:
+  const uint64_t offset_;
+  std::string buf_;
+  std::atomic<bool> dirty_{false};
+};
+
+using PageRef = std::shared_ptr<Page>;
+
+class Pager {
+ public:
+  // capacity_pages bounds the cache; evicted dirty pages are written back first.
+  //
+  // With no_steal = true the pager never writes a dirty page back on eviction: dirty pages
+  // stay cached (the cache may exceed capacity) until an explicit Flush(). This is the
+  // no-steal buffer policy the journaled OSD depends on — between checkpoints the on-disk
+  // state is exactly the last checkpoint, so crash recovery can replay the journal onto it.
+  Pager(BlockDevice* device, size_t capacity_pages, bool no_steal = false);
+
+  // Fetch the page at the given byte offset (must be page-aligned), reading on miss.
+  Result<PageRef> Get(uint64_t offset);
+
+  // Return a zeroed page at offset without reading the device (for freshly allocated pages).
+  Result<PageRef> GetZeroed(uint64_t offset);
+
+  // Write back every dirty page and Sync the device.
+  Status Flush();
+
+  // Copy (offset, image) of every dirty page, without writing anything back. The OSD
+  // journals these images ahead of a checkpoint so the checkpoint's in-place writes are
+  // redo-able after a crash.
+  void CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const;
+
+  // Number of dirty pages currently cached.
+  size_t dirty_pages() const;
+
+  // Drop a page from the cache (after its extent is freed). Discards dirty data.
+  void Invalidate(uint64_t offset);
+
+  // Uncached device IO for overflow extents (large btree values). Callers guarantee these
+  // ranges are never simultaneously cached as pages (freed pages are Invalidate()d).
+  Status ReadRaw(uint64_t offset, size_t size, std::string* out) const;
+  Status WriteRaw(uint64_t offset, Slice data);
+
+  // Drop the whole cache (testing: force re-reads from the device).
+  Status DropCacheForTesting();
+
+  size_t cached_pages() const;
+
+ private:
+  Status EvictIfNeededLocked();
+
+  BlockDevice* const device_;
+  const size_t capacity_;
+  const bool no_steal_;
+
+  mutable std::mutex mu_;
+  // LRU: most recently used at front.
+  std::list<uint64_t> lru_;
+  struct Entry {
+    PageRef page;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  std::unordered_map<uint64_t, Entry> cache_;
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_STORAGE_PAGER_H_

@@ -1,0 +1,62 @@
+#include "src/storage/superblock.h"
+
+#include "src/common/coding.h"
+#include "src/common/crc32.h"
+
+namespace hfad {
+
+std::string Superblock::Encode() const {
+  std::string out;
+  out.reserve(kSuperblockSize);
+  PutFixed32(&out, kMagic);
+  PutFixed32(&out, kVersion);
+  PutFixed64(&out, device_size);
+  PutFixed64(&out, alloc_area_offset);
+  PutFixed64(&out, alloc_area_size);
+  PutFixed64(&out, alloc_snapshot_size);
+  PutFixed64(&out, journal_offset);
+  PutFixed64(&out, journal_size);
+  PutFixed64(&out, heap_offset);
+  PutFixed64(&out, heap_size);
+  PutFixed64(&out, object_table_root);
+  PutFixed64(&out, index_dir_root);
+  PutFixed64(&out, next_oid);
+  PutFixed64(&out, journal_sequence);
+  out.resize(kSuperblockSize - 4, 0);
+  uint32_t crc = MaskCrc(Crc32c(Slice(out)));
+  PutFixed32(&out, crc);
+  return out;
+}
+
+Result<Superblock> Superblock::Decode(const std::string& buf) {
+  if (buf.size() != kSuperblockSize) {
+    return Status::Corruption("superblock: wrong size " + std::to_string(buf.size()));
+  }
+  uint32_t stored_crc = DecodeFixed32(
+      reinterpret_cast<const uint8_t*>(buf.data() + kSuperblockSize - 4));
+  uint32_t actual = Crc32c(Slice(buf.data(), kSuperblockSize - 4));
+  if (UnmaskCrc(stored_crc) != actual) {
+    return Status::Corruption("superblock: CRC mismatch");
+  }
+  Slice in(buf);
+  Superblock sb;
+  uint32_t magic, version;
+  if (!GetFixed32(&in, &magic) || magic != kMagic) {
+    return Status::Corruption("superblock: bad magic");
+  }
+  if (!GetFixed32(&in, &version) || version != kVersion) {
+    return Status::Corruption("superblock: unsupported version");
+  }
+  bool ok = GetFixed64(&in, &sb.device_size) && GetFixed64(&in, &sb.alloc_area_offset) &&
+            GetFixed64(&in, &sb.alloc_area_size) && GetFixed64(&in, &sb.alloc_snapshot_size) &&
+            GetFixed64(&in, &sb.journal_offset) && GetFixed64(&in, &sb.journal_size) &&
+            GetFixed64(&in, &sb.heap_offset) && GetFixed64(&in, &sb.heap_size) &&
+            GetFixed64(&in, &sb.object_table_root) && GetFixed64(&in, &sb.index_dir_root) &&
+            GetFixed64(&in, &sb.next_oid) && GetFixed64(&in, &sb.journal_sequence);
+  if (!ok) {
+    return Status::Corruption("superblock: truncated");
+  }
+  return sb;
+}
+
+}  // namespace hfad

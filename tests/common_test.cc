@@ -1,0 +1,455 @@
+// Unit tests for hfad_common: Status/Result, Slice, coding, CRC32C, Random, stats.
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/coding.h"
+#include "src/common/crc32.h"
+#include "src/common/random.h"
+#include "src/common/slice.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+namespace hfad {
+namespace {
+
+// ---------------------------------------------------------------- Status / Result
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("no object with oid 17");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no object with oid 17");
+  EXPECT_EQ(s.ToString(), "NotFound: no object with oid 17");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  std::vector<StatusCode> codes = {
+      StatusCode::kOk,          StatusCode::kNotFound,   StatusCode::kAlreadyExists,
+      StatusCode::kInvalidArgument, StatusCode::kOutOfRange, StatusCode::kNoSpace,
+      StatusCode::kCorruption,  StatusCode::kNotSupported, StatusCode::kBusy,
+      StatusCode::kIoError,     StatusCode::kInternal};
+  std::vector<std::string_view> names;
+  for (StatusCode c : codes) {
+    names.push_back(StatusCodeName(c));
+  }
+  for (size_t i = 0; i < names.size(); i++) {
+    EXPECT_FALSE(names[i].empty());
+    for (size_t j = i + 1; j < names.size(); j++) {
+      EXPECT_NE(names[i], names[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::Busy("x"), Status::Busy("x"));
+  EXPECT_FALSE(Status::Busy("x") == Status::Busy("y"));
+  EXPECT_FALSE(Status::Busy("x") == Status::IoError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NoSpace("full"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNoSpace());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status FailingHelper() { return Status::IoError("disk gone"); }
+
+Status PropagateWithMacro() {
+  HFAD_RETURN_IF_ERROR(FailingHelper());
+  return Status::Internal("unreachable");
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(PropagateWithMacro(), Status::IoError("disk gone"));
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Result<int> AssignWithMacro() {
+  HFAD_ASSIGN_OR_RETURN(int v, GiveSeven());
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  Result<int> r = AssignWithMacro();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 14);
+}
+
+// ---------------------------------------------------------------- Slice
+
+TEST(SliceTest, ConstructionForms) {
+  std::string s = "abc";
+  EXPECT_EQ(Slice(s).size(), 3u);
+  EXPECT_EQ(Slice("abc").size(), 3u);
+  EXPECT_EQ(Slice(std::string_view("abc")).size(), 3u);
+  std::vector<uint8_t> v = {1, 2, 3, 4};
+  EXPECT_EQ(Slice(v).size(), 4u);
+  EXPECT_TRUE(Slice().empty());
+  EXPECT_EQ(Slice(static_cast<const char*>(nullptr)).size(), 0u);
+}
+
+TEST(SliceTest, CompareIsMemcmpWithLengthTiebreak) {
+  EXPECT_LT(Slice("abc").Compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);   // Prefix sorts first.
+  EXPECT_GT(Slice("abc").Compare(Slice("ab")), 0);
+  EXPECT_LT(Slice("").Compare(Slice("a")), 0);
+  EXPECT_EQ(Slice("").Compare(Slice("")), 0);
+}
+
+TEST(SliceTest, CompareIsUnsignedBytewise) {
+  // 0xFF must sort after 0x01 even though signed char comparison says otherwise.
+  char hi = static_cast<char>(0xff);
+  char lo = 0x01;
+  EXPECT_GT(Slice(&hi, 1).Compare(Slice(&lo, 1)), 0);
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").StartsWith("abc"));
+  EXPECT_TRUE(Slice("abc").StartsWith(""));
+  EXPECT_TRUE(Slice("").StartsWith(""));
+  EXPECT_FALSE(Slice("ab").StartsWith("abc"));
+  EXPECT_FALSE(Slice("xbc").StartsWith("ab"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("hello world");
+  s.RemovePrefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(SliceTest, EmbeddedNulBytesCompareCorrectly) {
+  std::string a("a\0b", 3);
+  std::string b("a\0c", 3);
+  EXPECT_LT(Slice(a).Compare(Slice(b)), 0);
+  EXPECT_EQ(Slice(a).ToString().size(), 3u);
+}
+
+// ---------------------------------------------------------------- Coding
+
+TEST(CodingTest, FixedRoundTrip) {
+  uint8_t buf[8];
+  EncodeFixed16(buf, 0xBEEF);
+  EXPECT_EQ(DecodeFixed16(buf), 0xBEEF);
+  EncodeFixed32(buf, 0xDEADBEEF);
+  EXPECT_EQ(DecodeFixed32(buf), 0xDEADBEEFu);
+  EncodeFixed64(buf, 0x0123456789ABCDEFull);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, FixedIsLittleEndian) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ull << 21) - 1,
+                                  1ull << 21,
+                                  (1ull << 28) - 1,
+                                  1ull << 28,
+                                  (1ull << 35),
+                                  (1ull << 63),
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 300u, 70000u, std::numeric_limits<uint32_t>::max()}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    Slice in(buf);
+    uint32_t out = 0;
+    ASSERT_TRUE(GetVarint32(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintSizes) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint64(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(CodingTest, VarintTruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut < buf.size(); cut++) {
+    Slice in(buf.data(), cut);
+    uint64_t out;
+    EXPECT_FALSE(GetVarint64(&in, &out)) << "prefix length " << cut;
+  }
+}
+
+TEST(CodingTest, VarintEmptyInputFails) {
+  Slice in;
+  uint32_t v32;
+  uint64_t v64;
+  EXPECT_FALSE(GetVarint32(&in, &v32));
+  EXPECT_FALSE(GetVarint64(&in, &v64));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  std::string big(100000, 'x');
+  PutLengthPrefixed(&buf, Slice(big));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.ToString(), big);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  Slice in(buf.data(), buf.size() - 1);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(CodingTest, MixedStreamDecodesInOrder) {
+  std::string buf;
+  PutVarint32(&buf, 7);
+  PutFixed64(&buf, 0x1122334455667788ull);
+  PutLengthPrefixed(&buf, Slice("tag"));
+  PutVarint64(&buf, 1ull << 33);
+  Slice in(buf);
+  uint32_t a;
+  ASSERT_TRUE(GetVarint32(&in, &a));
+  EXPECT_EQ(a, 7u);
+  uint64_t f;
+  ASSERT_TRUE(GetFixed64(&in, &f));
+  EXPECT_EQ(f, 0x1122334455667788ull);
+  Slice s;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &s));
+  EXPECT_EQ(s.ToString(), "tag");
+  uint64_t b;
+  ASSERT_TRUE(GetVarint64(&in, &b));
+  EXPECT_EQ(b, 1ull << 33);
+  EXPECT_TRUE(in.empty());
+}
+
+// ---------------------------------------------------------------- CRC32C
+
+TEST(Crc32Test, KnownVectors) {
+  // RFC 3720 test vectors for CRC32C.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(Slice(zeros)), 0x8a9136aau);
+  std::string ones(32, static_cast<char>(0xff));
+  EXPECT_EQ(Crc32c(Slice(ones)), 0x62a8ab43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; i++) {
+    ascending[i] = static_cast<char>(i);
+  }
+  EXPECT_EQ(Crc32c(Slice(ascending)), 0x46dd794eu);
+}
+
+TEST(Crc32Test, ExtendMatchesConcatenation) {
+  std::string a = "hello ";
+  std::string b = "world";
+  uint32_t whole = Crc32c(Slice(a + b));
+  uint32_t streamed = Crc32cExtend(Crc32c(Slice(a)), Slice(b));
+  EXPECT_EQ(whole, streamed);
+}
+
+TEST(Crc32Test, DifferentInputsDiffer) {
+  EXPECT_NE(Crc32c(Slice("abc")), Crc32c(Slice("abd")));
+  EXPECT_NE(Crc32c(Slice("abc")), Crc32c(Slice("ab")));
+}
+
+TEST(Crc32Test, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, Crc32c(Slice("x"))}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);  // Masking must change the value.
+  }
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    uint64_t x = r.Range(5, 9);
+    EXPECT_GE(x, 5u);
+    EXPECT_LE(x, 9u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(3);
+  for (int i = 0; i < 1000; i++) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextStringIsLowercaseOfRequestedLength) {
+  Random r(9);
+  std::string s = r.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RandomTest, UniformCoversRangeEventually) {
+  Random r(11);
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 1000; i++) {
+    seen[r.Uniform(8)] = true;
+  }
+  for (bool b : seen) {
+    EXPECT_TRUE(b);
+  }
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StatsTest, AddAndGet) {
+  stats::ResetAll();
+  EXPECT_EQ(stats::Get(stats::Counter::kIndexTraversals), 0u);
+  stats::Add(stats::Counter::kIndexTraversals);
+  stats::Add(stats::Counter::kIndexTraversals, 4);
+  EXPECT_EQ(stats::Get(stats::Counter::kIndexTraversals), 5u);
+  stats::ResetAll();
+  EXPECT_EQ(stats::Get(stats::Counter::kIndexTraversals), 0u);
+}
+
+TEST(StatsTest, SnapshotDelta) {
+  stats::ResetAll();
+  stats::Add(stats::Counter::kPageReads, 3);
+  stats::Snapshot before = stats::Snapshot::Take();
+  stats::Add(stats::Counter::kPageReads, 7);
+  stats::Add(stats::Counter::kPageWrites, 2);
+  stats::Snapshot delta = stats::Snapshot::Take().Delta(before);
+  EXPECT_EQ(delta[stats::Counter::kPageReads], 7u);
+  EXPECT_EQ(delta[stats::Counter::kPageWrites], 2u);
+  EXPECT_EQ(delta[stats::Counter::kIndexTraversals], 0u);
+}
+
+TEST(StatsTest, CounterNamesDistinctAndNonEmpty) {
+  for (int i = 0; i < stats::kNumCounters; i++) {
+    auto name_i = stats::CounterName(static_cast<stats::Counter>(i));
+    EXPECT_FALSE(name_i.empty());
+    for (int j = i + 1; j < stats::kNumCounters; j++) {
+      EXPECT_NE(name_i, stats::CounterName(static_cast<stats::Counter>(j)));
+    }
+  }
+}
+
+TEST(StatsTest, ConcurrentAddsDoNotLoseUpdates) {
+  stats::ResetAll();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; i++) {
+        stats::Add(stats::Counter::kLockAcquisitions);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(stats::Get(stats::Counter::kLockAcquisitions),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(StatsTest, ToStringMentionsNonZeroCounters) {
+  stats::ResetAll();
+  stats::Add(stats::Counter::kJournalRecords, 5);
+  std::string s = stats::Snapshot::Take().ToString();
+  EXPECT_NE(s.find(std::string(stats::CounterName(stats::Counter::kJournalRecords))),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hfad

@@ -1,0 +1,214 @@
+// Tests for the hierarchical baseline file system.
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/hierfs/hierfs.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace hierfs {
+namespace {
+
+constexpr uint64_t kDev = 64 * 1024 * 1024;
+
+class HierFsTest : public ::testing::Test {
+ protected:
+  HierFsTest() : dev_(std::make_shared<MemoryBlockDevice>(kDev)) {
+    auto fs = HierFs::Create(dev_);
+    EXPECT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(fs).value();
+  }
+
+  std::string ReadFile(const std::string& path) {
+    auto ino = fs_->ResolvePath(path);
+    EXPECT_TRUE(ino.ok()) << path;
+    std::string out;
+    EXPECT_TRUE(fs_->Read(*ino, 0, 1 << 20, &out).ok());
+    return out;
+  }
+
+  std::shared_ptr<MemoryBlockDevice> dev_;
+  std::unique_ptr<HierFs> fs_;
+};
+
+TEST_F(HierFsTest, RootResolves) {
+  auto ino = fs_->ResolvePath("/");
+  ASSERT_TRUE(ino.ok());
+  EXPECT_EQ(*ino, kRootIno);
+  auto st = fs_->Stat("/");
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir());
+}
+
+TEST_F(HierFsTest, MkdirAndResolve) {
+  ASSERT_TRUE(fs_->Mkdir("/home").ok());
+  ASSERT_TRUE(fs_->Mkdir("/home/margo").ok());
+  auto ino = fs_->ResolvePath("/home/margo");
+  ASSERT_TRUE(ino.ok());
+  auto st = fs_->StatIno(*ino);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->is_dir());
+  EXPECT_TRUE(fs_->Mkdir("/home").IsAlreadyExists());
+  EXPECT_TRUE(fs_->Mkdir("/nope/deep").IsNotFound());
+}
+
+TEST_F(HierFsTest, CreateWriteRead) {
+  ASSERT_TRUE(fs_->Mkdir("/docs").ok());
+  auto ino = fs_->CreateFile("/docs/paper.tex");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, "hierarchies forever").ok());
+  EXPECT_EQ(ReadFile("/docs/paper.tex"), "hierarchies forever");
+  auto st = fs_->Stat("/docs/paper.tex");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 19u);
+  EXPECT_FALSE(st->is_dir());
+}
+
+TEST_F(HierFsTest, ResolveCountsComponentsAndLocks) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b/c").ok());
+  ASSERT_TRUE(fs_->CreateFile("/a/b/c/f").ok());
+  stats::ResetAll();
+  ASSERT_TRUE(fs_->ResolvePath("/a/b/c/f").ok());
+  // One component walked + one lock acquired per path element — the §2.3 cost.
+  EXPECT_EQ(stats::Get(stats::Counter::kDirComponentsWalked), 4u);
+  EXPECT_EQ(stats::Get(stats::Counter::kLockAcquisitions), 4u);
+  EXPECT_GE(stats::Get(stats::Counter::kIndexTraversals), 4u);
+}
+
+TEST_F(HierFsTest, UnlinkAndRmdir) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->CreateFile("/d/f").ok());
+  EXPECT_FALSE(fs_->Rmdir("/d").ok());  // Not empty.
+  ASSERT_TRUE(fs_->Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_->ResolvePath("/d/f").status().IsNotFound());
+  ASSERT_TRUE(fs_->Rmdir("/d").ok());
+  EXPECT_TRUE(fs_->ResolvePath("/d").status().IsNotFound());
+  EXPECT_TRUE(fs_->Unlink("/d").IsNotFound());
+}
+
+TEST_F(HierFsTest, HardLinksBumpNlink) {
+  auto ino = fs_->CreateFile("/orig");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, "payload").ok());
+  ASSERT_TRUE(fs_->Link("/orig", "/alias").ok());
+  auto st = fs_->Stat("/alias");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->nlink, 2u);
+  EXPECT_EQ(ReadFile("/alias"), "payload");
+  ASSERT_TRUE(fs_->Unlink("/orig").ok());
+  EXPECT_EQ(ReadFile("/alias"), "payload");  // Object alive through second link.
+  auto st2 = fs_->Stat("/alias");
+  ASSERT_TRUE(st2.ok());
+  EXPECT_EQ(st2->nlink, 1u);
+}
+
+TEST_F(HierFsTest, RenameMovesEntryBetweenDirectories) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dst").ok());
+  auto ino = fs_->CreateFile("/src/f");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, "moving").ok());
+  ASSERT_TRUE(fs_->Rename("/src/f", "/dst/g").ok());
+  EXPECT_TRUE(fs_->ResolvePath("/src/f").status().IsNotFound());
+  EXPECT_EQ(ReadFile("/dst/g"), "moving");
+  // Directory rename is a pointer swing: children keep resolving.
+  ASSERT_TRUE(fs_->Rename("/dst", "/renamed").ok());
+  EXPECT_EQ(ReadFile("/renamed/g"), "moving");
+}
+
+TEST_F(HierFsTest, ReaddirSorted) {
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  ASSERT_TRUE(fs_->CreateFile("/dir/zeta").ok());
+  ASSERT_TRUE(fs_->CreateFile("/dir/alpha").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dir/mid").ok());
+  auto entries = fs_->Readdir("/dir");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "alpha");
+  EXPECT_EQ((*entries)[1].name, "mid");
+  EXPECT_TRUE((*entries)[1].is_dir);
+  EXPECT_EQ((*entries)[2].name, "zeta");
+}
+
+TEST_F(HierFsTest, TruncateAndInsertViaRewrite) {
+  auto ino = fs_->CreateFile("/f");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, "helloworld").ok());
+  ASSERT_TRUE(fs_->InsertViaRewrite(*ino, 5, ", ").ok());
+  EXPECT_EQ(ReadFile("/f"), "hello, world");
+  ASSERT_TRUE(fs_->Truncate(*ino, 5).ok());
+  EXPECT_EQ(ReadFile("/f"), "hello");
+  ASSERT_TRUE(fs_->Truncate(*ino, 8).ok());
+  EXPECT_EQ(ReadFile("/f"), std::string("hello") + std::string(3, '\0'));
+}
+
+TEST_F(HierFsTest, DeepTreeManyFiles) {
+  std::string path;
+  for (int d = 0; d < 8; d++) {
+    path += "/level" + std::to_string(d);
+    ASSERT_TRUE(fs_->Mkdir(path).ok());
+  }
+  for (int i = 0; i < 100; i++) {
+    auto ino = fs_->CreateFile(path + "/file" + std::to_string(i));
+    ASSERT_TRUE(ino.ok()) << i;
+    ASSERT_TRUE(fs_->Write(*ino, 0, std::to_string(i)).ok());
+  }
+  auto entries = fs_->Readdir(path);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 100u);
+  EXPECT_EQ(ReadFile(path + "/file42"), "42");
+}
+
+TEST_F(HierFsTest, PersistsAcrossReopen) {
+  ASSERT_TRUE(fs_->Mkdir("/keep").ok());
+  auto ino = fs_->CreateFile("/keep/data");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, "durable hierarchy").ok());
+  ASSERT_TRUE(fs_->Flush().ok());
+  fs_.reset();
+
+  auto fs = HierFs::Open(dev_);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  fs_ = std::move(fs).value();
+  EXPECT_EQ(ReadFile("/keep/data"), "durable hierarchy");
+  // New inodes do not collide with recovered ones.
+  auto fresh = fs_->CreateFile("/keep/new");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_NE(*fresh, *ino);
+}
+
+TEST_F(HierFsTest, ConcurrentCreatesInSeparateDirs) {
+  constexpr int kThreads = 8;
+  for (int t = 0; t < kThreads; t++) {
+    ASSERT_TRUE(fs_->Mkdir("/u" + std::to_string(t)).ok());
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([this, t] {
+      for (int i = 0; i < 40; i++) {
+        auto ino = fs_->CreateFile("/u" + std::to_string(t) + "/f" + std::to_string(i));
+        ASSERT_TRUE(ino.ok());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; t++) {
+    auto entries = fs_->Readdir("/u" + std::to_string(t));
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), 40u);
+  }
+}
+
+}  // namespace
+}  // namespace hierfs
+}  // namespace hfad

@@ -1,0 +1,282 @@
+// Tests for the index-store collection: Table 1 stores, conjunction lookups, the ID
+// fastpath, persistence, and the plug-in model (open question #1).
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/index/index_store.h"
+#include "src/osd/osd.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace index {
+namespace {
+
+constexpr uint64_t kDev = 64 * 1024 * 1024;
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() : dev_(std::make_shared<MemoryBlockDevice>(kDev)) {
+    auto osd = osd::Osd::Create(dev_, osd::OsdOptions{});
+    EXPECT_TRUE(osd.ok()) << osd.status().ToString();
+    osd_ = std::move(osd).value();
+    auto coll = IndexCollection::Mount(osd_.get());
+    EXPECT_TRUE(coll.ok()) << coll.status().ToString();
+    collection_ = std::move(coll).value();
+  }
+
+  ObjectId NewObject() {
+    auto oid = osd_->CreateObject();
+    EXPECT_TRUE(oid.ok());
+    return *oid;
+  }
+
+  std::shared_ptr<MemoryBlockDevice> dev_;
+  std::unique_ptr<osd::Osd> osd_;
+  std::unique_ptr<IndexCollection> collection_;
+};
+
+TEST_F(IndexTest, MountsAllStandardTags) {
+  std::vector<std::string> tags = collection_->tags();
+  EXPECT_EQ(tags, (std::vector<std::string>{"APP", "FULLTEXT", "ID", "POSIX", "UDEF",
+                                            "USER"}));
+  for (const std::string& tag : tags) {
+    EXPECT_NE(collection_->store(tag), nullptr) << tag;
+  }
+  EXPECT_EQ(collection_->store("NOPE"), nullptr);
+}
+
+TEST_F(IndexTest, KeyValueAddLookupRemove) {
+  IndexStore* udef = collection_->store(kTagUdef);
+  ObjectId a = NewObject(), b = NewObject();
+  ASSERT_TRUE(udef->Add("vacation", a).ok());
+  ASSERT_TRUE(udef->Add("vacation", b).ok());
+  ASSERT_TRUE(udef->Add("beach", a).ok());
+
+  auto vacation = udef->Lookup("vacation");
+  ASSERT_TRUE(vacation.ok());
+  EXPECT_EQ(*vacation, (std::vector<ObjectId>{a, b}));
+  auto beach = udef->Lookup("beach");
+  ASSERT_TRUE(beach.ok());
+  EXPECT_EQ(*beach, (std::vector<ObjectId>{a}));
+
+  ASSERT_TRUE(udef->Remove("vacation", a).ok());
+  vacation = udef->Lookup("vacation");
+  ASSERT_TRUE(vacation.ok());
+  EXPECT_EQ(*vacation, (std::vector<ObjectId>{b}));
+  EXPECT_TRUE(udef->Remove("vacation", a).IsNotFound());
+}
+
+TEST_F(IndexTest, LookupOfUnknownValueIsEmptyNotError) {
+  auto r = collection_->store(kTagUser)->Lookup("nobody");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(IndexTest, OneObjectManyNames) {
+  // §2.2: "a single piece of data may belong to multiple collections."
+  IndexStore* udef = collection_->store(kTagUdef);
+  ObjectId obj = NewObject();
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE(udef->Add("collection" + std::to_string(i), obj).ok());
+  }
+  for (int i = 0; i < 64; i++) {
+    auto r = udef->Lookup("collection" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, (std::vector<ObjectId>{obj}));
+  }
+}
+
+TEST_F(IndexTest, ConjunctionAcrossStores) {
+  ObjectId photo1 = NewObject(), photo2 = NewObject(), doc = NewObject();
+  ASSERT_TRUE(collection_->store(kTagUser)->Add("margo", photo1).ok());
+  ASSERT_TRUE(collection_->store(kTagUser)->Add("margo", photo2).ok());
+  ASSERT_TRUE(collection_->store(kTagUser)->Add("nick", doc).ok());
+  ASSERT_TRUE(collection_->store(kTagUdef)->Add("hawaii", photo1).ok());
+  ASSERT_TRUE(collection_->store(kTagUdef)->Add("boston", photo2).ok());
+
+  auto r = collection_->Lookup({{"USER", "margo"}, {"UDEF", "hawaii"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<ObjectId>{photo1}));
+
+  auto all_margo = collection_->Lookup({{"USER", "margo"}});
+  ASSERT_TRUE(all_margo.ok());
+  EXPECT_EQ(*all_margo, (std::vector<ObjectId>{photo1, photo2}));
+
+  auto none = collection_->Lookup({{"USER", "nick"}, {"UDEF", "hawaii"}});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(IndexTest, FulltextStoreIndexesContent) {
+  ObjectId a = NewObject(), b = NewObject();
+  IndexStore* ft = collection_->store(kTagFulltext);
+  ASSERT_TRUE(ft->Add("annual report with quarterly numbers", a).ok());
+  ASSERT_TRUE(ft->Add("holiday photo album", b).ok());
+
+  auto r = collection_->Lookup({{"FULLTEXT", "quarterly"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<ObjectId>{a}));
+
+  // Multi-term conjunction through the collection (§3.1.1's FULLTEXT/S1, FULLTEXT/S2).
+  auto r2 = collection_->Lookup({{"FULLTEXT", "annual"}, {"FULLTEXT", "numbers"}});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, (std::vector<ObjectId>{a}));
+
+  ASSERT_TRUE(ft->Remove("", a).ok());
+  auto r3 = collection_->Lookup({{"FULLTEXT", "quarterly"}});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3->empty());
+}
+
+TEST_F(IndexTest, IdFastpath) {
+  ObjectId obj = NewObject();
+  auto r = collection_->Lookup({{"ID", std::to_string(obj)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<ObjectId>{obj}));
+
+  auto missing = collection_->Lookup({{"ID", "999999"}});
+  ASSERT_TRUE(missing.ok());
+  EXPECT_TRUE(missing->empty());
+
+  EXPECT_FALSE(collection_->store(kTagId)->Lookup("not-a-number").ok());
+  EXPECT_FALSE(collection_->store(kTagId)->Lookup("").ok());
+}
+
+TEST_F(IndexTest, IdFastpathIntersectsWithOtherTags) {
+  ObjectId obj = NewObject();
+  ASSERT_TRUE(collection_->store(kTagUdef)->Add("starred", obj).ok());
+  auto r = collection_->Lookup({{"UDEF", "starred"}, {"ID", std::to_string(obj)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<ObjectId>{obj}));
+}
+
+TEST_F(IndexTest, ScanValuesEnumeratesInOrder) {
+  IndexStore* posix = collection_->store(kTagPosix);
+  ObjectId a = NewObject(), b = NewObject(), c = NewObject();
+  ASSERT_TRUE(posix->Add("/home/margo/a.txt", a).ok());
+  ASSERT_TRUE(posix->Add("/home/margo/b.txt", b).ok());
+  ASSERT_TRUE(posix->Add("/home/nick/c.txt", c).ok());
+  std::vector<std::string> values;
+  ASSERT_TRUE(posix->ScanValues("/home/margo/", [&](Slice value, ObjectId) {
+    values.push_back(value.ToString());
+    return true;
+  }).ok());
+  EXPECT_EQ(values, (std::vector<std::string>{"/home/margo/a.txt", "/home/margo/b.txt"}));
+}
+
+TEST_F(IndexTest, CardinalityEstimates) {
+  IndexStore* udef = collection_->store(kTagUdef);
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(udef->Add("common", NewObject()).ok());
+  }
+  ASSERT_TRUE(udef->Add("rare", NewObject()).ok());
+  EXPECT_EQ(*udef->EstimateCardinality("common"), 40u);
+  EXPECT_EQ(*udef->EstimateCardinality("rare"), 1u);
+  EXPECT_EQ(*udef->EstimateCardinality("absent"), 0u);
+}
+
+TEST_F(IndexTest, UnknownTagInLookupFails) {
+  EXPECT_FALSE(collection_->Lookup({{"IMAGE", "sunset"}}).ok());
+  EXPECT_FALSE(collection_->Lookup({}).ok());
+}
+
+TEST_F(IndexTest, PersistsAcrossReopen) {
+  ObjectId a = NewObject();
+  ASSERT_TRUE(collection_->store(kTagUdef)->Add("persistent-tag", a).ok());
+  ASSERT_TRUE(collection_->store(kTagFulltext)->Add("persistent searchable text", a).ok());
+  collection_.reset();
+  ASSERT_TRUE(osd_->Checkpoint().ok());
+  osd_.reset();
+
+  auto osd = osd::Osd::Open(dev_, osd::OsdOptions{});
+  ASSERT_TRUE(osd.ok()) << osd.status().ToString();
+  osd_ = std::move(osd).value();
+  auto coll = IndexCollection::Mount(osd_.get());
+  ASSERT_TRUE(coll.ok());
+  collection_ = std::move(coll).value();
+
+  auto tag = collection_->Lookup({{"UDEF", "persistent-tag"}});
+  ASSERT_TRUE(tag.ok());
+  EXPECT_EQ(*tag, (std::vector<ObjectId>{a}));
+  auto text = collection_->Lookup({{"FULLTEXT", "searchable"}});
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, (std::vector<ObjectId>{a}));
+}
+
+// ---------------------------------------------------------------- plug-in model
+
+// Worked example for open question #1: a toy "image" index that tags objects with the
+// dominant color extracted at Add time. Any IndexStore can be registered for a new tag.
+class ImageIndexStore : public IndexStore {
+ public:
+  explicit ImageIndexStore(std::unique_ptr<KeyValueIndexStore> backing)
+      : backing_(std::move(backing)) {}
+
+  std::string_view tag() const override { return "IMAGE"; }
+
+  // `value` is the image's pixel data; this toy analyzer extracts the most frequent byte
+  // as the "dominant color".
+  Status Add(Slice value, ObjectId oid) override {
+    return backing_->Add(DominantColor(value), oid);
+  }
+  Status Remove(Slice value, ObjectId oid) override {
+    return backing_->Remove(DominantColor(value), oid);
+  }
+  // Lookup by color name.
+  Result<std::vector<ObjectId>> Lookup(Slice color) const override {
+    return backing_->Lookup(color);
+  }
+  Result<bool> Contains(Slice color, ObjectId oid) const override {
+    return backing_->Contains(color, oid);
+  }
+  Result<uint64_t> EstimateCardinality(Slice color) const override {
+    return backing_->EstimateCardinality(color);
+  }
+  Status ScanValues(Slice prefix,
+                    const std::function<bool(Slice, ObjectId)>& fn) const override {
+    return backing_->ScanValues(prefix, fn);
+  }
+
+ private:
+  static std::string DominantColor(Slice pixels) {
+    int histogram[4] = {};
+    for (size_t i = 0; i < pixels.size(); i++) {
+      histogram[static_cast<uint8_t>(pixels[i]) % 4]++;
+    }
+    static const char* kNames[4] = {"red", "green", "blue", "gray"};
+    return kNames[std::max_element(histogram, histogram + 4) - histogram];
+  }
+
+  std::unique_ptr<KeyValueIndexStore> backing_;
+};
+
+TEST_F(IndexTest, PluginStoreIntegratesWithLookup) {
+  auto backing = KeyValueIndexStore::Mount(osd_.get(), "IMAGE");
+  ASSERT_TRUE(backing.ok());
+  ASSERT_TRUE(
+      collection_->Register(std::make_unique<ImageIndexStore>(std::move(*backing))).ok());
+
+  ObjectId red_photo = NewObject();
+  std::string red_pixels(100, '\0');  // 0 % 4 == 0 -> "red".
+  ASSERT_TRUE(collection_->store("IMAGE")->Add(red_pixels, red_photo).ok());
+  ASSERT_TRUE(collection_->store(kTagUser)->Add("margo", red_photo).ok());
+
+  // Cross-store conjunction: margo's red images.
+  auto r = collection_->Lookup({{"IMAGE", "red"}, {"USER", "margo"}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<ObjectId>{red_photo}));
+}
+
+TEST_F(IndexTest, DuplicateTagRegistrationRejected) {
+  auto backing = KeyValueIndexStore::Mount(osd_.get(), "POSIX");
+  ASSERT_TRUE(backing.ok());
+  EXPECT_TRUE(collection_->Register(std::move(*backing)).IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace hfad

@@ -1,0 +1,336 @@
+// Unit and failure-injection tests for the write-ahead journal.
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/journal/journal.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace journal {
+namespace {
+
+constexpr uint64_t kRegion = 256 * 1024;
+
+using Records = std::vector<std::pair<uint64_t, std::string>>;
+
+Records RecoverAll(Journal* j, uint64_t* count = nullptr) {
+  Records out;
+  auto n = j->Recover([&](uint64_t seq, Slice payload) {
+    out.emplace_back(seq, payload.ToString());
+  });
+  EXPECT_TRUE(n.ok()) << n.status().ToString();
+  if (count != nullptr) {
+    *count = n.ok() ? *n : 0;
+  }
+  return out;
+}
+
+TEST(JournalTest, EmptyLogRecoversNothing) {
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  Records r = RecoverAll(&j);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(j.next_sequence(), 1u);
+}
+
+TEST(JournalTest, AppendCommitRecover) {
+  MemoryBlockDevice dev(kRegion);
+  {
+    Journal j(&dev, 0, kRegion);
+    auto s1 = j.Append("first record");
+    auto s2 = j.Append("second record");
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    EXPECT_EQ(*s1, 1u);
+    EXPECT_EQ(*s2, 2u);
+    ASSERT_TRUE(j.Commit().ok());
+  }
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], (std::pair<uint64_t, std::string>{1, "first record"}));
+  EXPECT_EQ(r[1], (std::pair<uint64_t, std::string>{2, "second record"}));
+  EXPECT_EQ(j2.next_sequence(), 3u);
+}
+
+TEST(JournalTest, UncommittedRecordsAreNotDurable) {
+  MemoryBlockDevice dev(kRegion);
+  {
+    Journal j(&dev, 0, kRegion);
+    ASSERT_TRUE(j.Append("committed").ok());
+    ASSERT_TRUE(j.Commit().ok());
+    ASSERT_TRUE(j.Append("lost in crash").ok());
+    EXPECT_EQ(j.pending_records(), 1u);
+    // No commit: simulated crash.
+  }
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "committed");
+}
+
+TEST(JournalTest, GroupCommitBatchesPending) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  FaultyBlockDevice dev(base);
+  Journal j(&dev, 0, kRegion);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(j.Append("record " + std::to_string(i)).ok());
+  }
+  uint64_t writes_before = dev.writes_attempted();
+  ASSERT_TRUE(j.Commit().ok());
+  EXPECT_EQ(dev.writes_attempted(), writes_before + 1);  // One write for 100 records.
+  EXPECT_EQ(j.pending_records(), 0u);
+}
+
+TEST(JournalTest, CommitIsNoOpWithNothingPending) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  FaultyBlockDevice dev(base);
+  Journal j(&dev, 0, kRegion);
+  uint64_t before = dev.writes_attempted();
+  ASSERT_TRUE(j.Commit().ok());
+  EXPECT_EQ(dev.writes_attempted(), before);
+}
+
+TEST(JournalTest, EmptyPayloadIsValid) {
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  ASSERT_TRUE(j.Append("").ok());
+  ASSERT_TRUE(j.Commit().ok());
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r[0].second.empty());
+}
+
+TEST(JournalTest, BinaryPayloadSurvives) {
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  std::string payload;
+  for (int i = 0; i < 256; i++) {
+    payload.push_back(static_cast<char>(i));
+  }
+  ASSERT_TRUE(j.Append(payload).ok());
+  ASSERT_TRUE(j.Commit().ok());
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, payload);
+}
+
+TEST(JournalTest, NoSpaceWhenRegionFull) {
+  MemoryBlockDevice dev(8192);
+  Journal j(&dev, 0, 8192);
+  std::string big(4080, 'x');  // One record: 16 + 4080 = 4096 bytes.
+  ASSERT_TRUE(j.Append(big).ok());
+  ASSERT_TRUE(j.Append(big).status().IsNoSpace());
+  // Small records still fit in the remainder.
+  ASSERT_TRUE(j.Append("small").ok());
+}
+
+TEST(JournalTest, ResetEmptiesTheLog) {
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  ASSERT_TRUE(j.Append("before checkpoint").ok());
+  ASSERT_TRUE(j.Commit().ok());
+  ASSERT_TRUE(j.Reset().ok());
+  EXPECT_EQ(j.committed_bytes(), 0u);
+  // Sequence numbering continues across the reset.
+  auto s = j.Append("after checkpoint");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 2u);
+  ASSERT_TRUE(j.Commit().ok());
+
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "after checkpoint");
+  EXPECT_EQ(r[0].first, 2u);
+}
+
+TEST(JournalTest, RecoveryStopsAtStaleGenerationRecords) {
+  // Reset() only zeroes one header; stale records from a longer previous log generation
+  // remain beyond the new tail. The sequence-continuity check must reject them.
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  ASSERT_TRUE(j.Append("old-1").ok());
+  ASSERT_TRUE(j.Append("old-2").ok());
+  ASSERT_TRUE(j.Append("old-3").ok());
+  ASSERT_TRUE(j.Commit().ok());
+  ASSERT_TRUE(j.Reset().ok());
+  ASSERT_TRUE(j.Append("new-4").ok());  // Sequence 4.
+  ASSERT_TRUE(j.Commit().ok());
+
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  // Recovery sees new-4 (seq 4) then old-2 (seq 2) — discontinuous, so it stops.
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "new-4");
+}
+
+TEST(JournalTest, TornFinalRecordIsDiscarded) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  {
+    FaultyBlockDevice dev(base);
+    Journal j(&dev, 0, kRegion);
+    ASSERT_TRUE(j.Append("intact record").ok());
+    ASSERT_TRUE(j.Commit().ok());
+    // Second commit is torn mid-write.
+    ASSERT_TRUE(j.Append(std::string(1000, 'T')).ok());
+    dev.SetWriteBudget(0);
+    dev.EnableTornWrites(true);
+    EXPECT_FALSE(j.Commit().ok());
+  }
+  Journal j2(base.get(), 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "intact record");
+  // The journal is positioned to append after the intact record; new appends work.
+  ASSERT_TRUE(j2.Append("after recovery").ok());
+  ASSERT_TRUE(j2.Commit().ok());
+  Journal j3(base.get(), 0, kRegion);
+  Records r3 = RecoverAll(&j3);
+  ASSERT_EQ(r3.size(), 2u);
+  EXPECT_EQ(r3[1].second, "after recovery");
+}
+
+TEST(JournalTest, CorruptMiddleRecordTruncatesRecovery) {
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  ASSERT_TRUE(j.Append("one").ok());
+  ASSERT_TRUE(j.Append("two").ok());
+  ASSERT_TRUE(j.Append("three").ok());
+  ASSERT_TRUE(j.Commit().ok());
+  // Flip a byte in the second record's payload.
+  uint64_t second_payload_off = (16 + 3) + 16;
+  std::string b;
+  ASSERT_TRUE(dev.Read(second_payload_off, 1, &b).ok());
+  b[0] ^= 0x40;
+  ASSERT_TRUE(dev.Write(second_payload_off, Slice(b)).ok());
+
+  Journal j2(&dev, 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "one");
+}
+
+TEST(JournalTest, FailedCommitKeepsRecordsPending) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  FaultyBlockDevice dev(base);
+  Journal j(&dev, 0, kRegion);
+  ASSERT_TRUE(j.Append("retry me").ok());
+  dev.SetWriteBudget(0);
+  EXPECT_FALSE(j.Commit().ok());
+  EXPECT_EQ(j.pending_records(), 1u);
+  dev.SetWriteBudget(-1);
+  ASSERT_TRUE(j.Commit().ok());
+  Journal j2(base.get(), 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "retry me");
+}
+
+TEST(JournalTest, RegionOffsetIsRespected) {
+  MemoryBlockDevice dev(kRegion);
+  constexpr uint64_t kOff = 64 * 1024;
+  Journal j(&dev, kOff, 64 * 1024);
+  ASSERT_TRUE(j.Append("at offset").ok());
+  ASSERT_TRUE(j.Commit().ok());
+  // Nothing before the region was touched.
+  std::string head;
+  ASSERT_TRUE(dev.Read(0, 1024, &head).ok());
+  EXPECT_EQ(head, std::string(1024, '\0'));
+  Journal j2(&dev, kOff, 64 * 1024);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].second, "at offset");
+}
+
+TEST(JournalTest, SequencesContinueAfterRecovery) {
+  MemoryBlockDevice dev(kRegion);
+  {
+    Journal j(&dev, 0, kRegion, 100);
+    ASSERT_TRUE(j.Append("a").ok());
+    auto s = j.Append("b");
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, 101u);
+    ASSERT_TRUE(j.Commit().ok());
+  }
+  Journal j2(&dev, 0, kRegion);
+  RecoverAll(&j2);
+  EXPECT_EQ(j2.next_sequence(), 102u);
+}
+
+// Property sweep: random append/commit/crash cycles always recover exactly the committed
+// prefix, across payload-size regimes.
+struct JournalWorkload {
+  uint64_t seed;
+  uint64_t max_payload;
+};
+
+class JournalPropertyTest : public ::testing::TestWithParam<JournalWorkload> {};
+
+TEST_P(JournalPropertyTest, RecoversExactlyCommittedPrefix) {
+  const JournalWorkload p = GetParam();
+  Random rng(p.seed);
+  auto base = std::make_shared<MemoryBlockDevice>(4 * 1024 * 1024);
+  Records committed;
+  Records in_flight;  // Batch being committed when the crash (if any) happened.
+  {
+    FaultyBlockDevice dev(base);
+    Journal j(&dev, 0, 4 * 1024 * 1024);
+    Records batch;
+    for (int op = 0; op < 500; op++) {
+      if (rng.OneIn(4)) {
+        if (rng.OneIn(10) && !batch.empty()) {
+          // Crash this commit partway through.
+          dev.SetWriteBudget(0);
+          dev.EnableTornWrites(true);
+          EXPECT_FALSE(j.Commit().ok());
+          in_flight = batch;
+          break;
+        }
+        ASSERT_TRUE(j.Commit().ok());
+        committed.insert(committed.end(), batch.begin(), batch.end());
+        batch.clear();
+      } else {
+        std::string payload = rng.NextString(rng.Range(0, p.max_payload));
+        auto s = j.Append(payload);
+        ASSERT_TRUE(s.ok());
+        batch.emplace_back(*s, payload);
+      }
+    }
+    if (!batch.empty() && in_flight.empty() && rng.OneIn(2)) {
+      if (j.Commit().ok()) {
+        committed.insert(committed.end(), batch.begin(), batch.end());
+      }
+    }
+  }
+  Journal j2(base.get(), 0, 4 * 1024 * 1024);
+  Records r = RecoverAll(&j2);
+  // Everything acked as committed must be recovered, in order; a torn commit may
+  // additionally surface a prefix of the in-flight batch (each record is a complete op).
+  ASSERT_GE(r.size(), committed.size());
+  for (size_t i = 0; i < committed.size(); i++) {
+    ASSERT_EQ(r[i], committed[i]) << "committed record " << i;
+  }
+  for (size_t i = committed.size(); i < r.size(); i++) {
+    size_t k = i - committed.size();
+    ASSERT_LT(k, in_flight.size());
+    ASSERT_EQ(r[i], in_flight[k]) << "in-flight record " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, JournalPropertyTest,
+                         ::testing::Values(JournalWorkload{11, 32},
+                                           JournalWorkload{22, 512},
+                                           JournalWorkload{33, 4096},
+                                           JournalWorkload{44, 1}));
+
+}  // namespace
+}  // namespace journal
+}  // namespace hfad

@@ -1,0 +1,255 @@
+// Tests for the boolean query engine: parser, evaluator, optimizer.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/index/index_store.h"
+#include "src/osd/osd.h"
+#include "src/query/query.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace query {
+namespace {
+
+constexpr uint64_t kDev = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------- parser
+
+TEST(QueryParseTest, SingleTerm) {
+  auto e = Parse("UDEF:vacation");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(ToString(**e), "UDEF:\"vacation\"");
+}
+
+TEST(QueryParseTest, QuotedValue) {
+  auto e = Parse("POSIX:\"/home/m/my file.txt\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, Expr::Kind::kTerm);
+  EXPECT_EQ((*e)->value, "/home/m/my file.txt");
+}
+
+TEST(QueryParseTest, ValuesMayContainColons) {
+  auto e = Parse("UDEF:person:grandma");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->tag, "UDEF");
+  EXPECT_EQ((*e)->value, "person:grandma");
+  auto multi = Parse("UDEF:a:b:c AND USER:margo");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(ToString(**multi), "(UDEF:\"a:b:c\" AND USER:\"margo\")");
+}
+
+TEST(QueryParseTest, ImplicitAndExplicitAnd) {
+  auto implicit = Parse("UDEF:a USER:b");
+  auto explicit_and = Parse("UDEF:a AND USER:b");
+  ASSERT_TRUE(implicit.ok());
+  ASSERT_TRUE(explicit_and.ok());
+  EXPECT_EQ(ToString(**implicit), ToString(**explicit_and));
+  EXPECT_EQ(ToString(**implicit), "(UDEF:\"a\" AND USER:\"b\")");
+}
+
+TEST(QueryParseTest, PrecedenceOrLowerThanAnd) {
+  auto e = Parse("UDEF:a AND USER:b OR APP:c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToString(**e), "((UDEF:\"a\" AND USER:\"b\") OR APP:\"c\")");
+}
+
+TEST(QueryParseTest, ParenthesesOverridePrecedence) {
+  auto e = Parse("UDEF:a AND (USER:b OR APP:c)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToString(**e), "(UDEF:\"a\" AND (USER:\"b\" OR APP:\"c\"))");
+}
+
+TEST(QueryParseTest, NotBindsTightest) {
+  auto e = Parse("UDEF:a AND NOT UDEF:b");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToString(**e), "(UDEF:\"a\" AND NOT UDEF:\"b\")");
+}
+
+TEST(QueryParseTest, KeywordsAreCaseInsensitive) {
+  auto e = Parse("UDEF:a and not UDEF:b or APP:c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToString(**e), "((UDEF:\"a\" AND NOT UDEF:\"b\") OR APP:\"c\")");
+}
+
+TEST(QueryParseTest, MalformedQueriesRejected) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("UDEF").ok());           // Missing colon.
+  EXPECT_FALSE(Parse("UDEF:").ok());          // Missing value.
+  EXPECT_FALSE(Parse("(UDEF:a").ok());        // Unbalanced paren.
+  EXPECT_FALSE(Parse("UDEF:a)").ok());        // Trailing paren.
+  EXPECT_FALSE(Parse("UDEF:\"unterminated").ok());
+  EXPECT_FALSE(Parse("AND UDEF:a").ok());     // Operator with no left operand... AND is a
+                                              // keyword, not a term.
+}
+
+// ---------------------------------------------------------------- evaluation fixture
+
+class QueryEvalTest : public ::testing::Test {
+ protected:
+  QueryEvalTest() {
+    auto osd = osd::Osd::Create(std::make_shared<MemoryBlockDevice>(kDev),
+                                osd::OsdOptions{});
+    EXPECT_TRUE(osd.ok());
+    osd_ = std::move(osd).value();
+    auto coll = index::IndexCollection::Mount(osd_.get());
+    EXPECT_TRUE(coll.ok());
+    indexes_ = std::move(coll).value();
+
+    // A small photo-library corpus.
+    //   oid  user    tags                 content
+    //   a    margo   vacation,beach       "sunset over the pacific"
+    //   b    margo   vacation,mountains   "alpine hike photos"
+    //   c    margo   work                 "quarterly budget spreadsheet"
+    //   d    nick    vacation,beach       "surfing at dawn"
+    a_ = Tag("margo", {"vacation", "beach"}, "sunset over pacific ocean");
+    b_ = Tag("margo", {"vacation", "mountains"}, "alpine hike photos");
+    c_ = Tag("margo", {"work"}, "quarterly budget spreadsheet");
+    d_ = Tag("nick", {"vacation", "beach"}, "surfing at dawn");
+  }
+
+  ObjectId Tag(const std::string& user, const std::vector<std::string>& tags,
+               const std::string& content) {
+    auto oid = osd_->CreateObject();
+    EXPECT_TRUE(oid.ok());
+    EXPECT_TRUE(indexes_->store(index::kTagUser)->Add(user, *oid).ok());
+    for (const std::string& t : tags) {
+      EXPECT_TRUE(indexes_->store(index::kTagUdef)->Add(t, *oid).ok());
+    }
+    EXPECT_TRUE(indexes_->store(index::kTagFulltext)->Add(content, *oid).ok());
+    return *oid;
+  }
+
+  std::vector<ObjectId> Run(const std::string& q, PlanStats* stats = nullptr) {
+    QueryEngine engine(indexes_.get());
+    auto r = engine.Run(q, stats);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    return r.ok() ? *r : std::vector<ObjectId>{};
+  }
+
+  std::unique_ptr<osd::Osd> osd_;
+  std::unique_ptr<index::IndexCollection> indexes_;
+  ObjectId a_, b_, c_, d_;
+};
+
+TEST_F(QueryEvalTest, SingleTerm) {
+  EXPECT_EQ(Run("UDEF:beach"), (std::vector<ObjectId>{a_, d_}));
+  EXPECT_EQ(Run("USER:nick"), (std::vector<ObjectId>{d_}));
+}
+
+TEST_F(QueryEvalTest, Conjunction) {
+  EXPECT_EQ(Run("UDEF:vacation AND USER:margo"), (std::vector<ObjectId>{a_, b_}));
+  EXPECT_EQ(Run("UDEF:beach AND UDEF:vacation AND USER:nick"),
+            (std::vector<ObjectId>{d_}));
+}
+
+TEST_F(QueryEvalTest, Disjunction) {
+  EXPECT_EQ(Run("UDEF:mountains OR UDEF:work"), (std::vector<ObjectId>{b_, c_}));
+  // Union deduplicates.
+  EXPECT_EQ(Run("UDEF:beach OR UDEF:vacation"), (std::vector<ObjectId>{a_, b_, d_}));
+}
+
+TEST_F(QueryEvalTest, Negation) {
+  EXPECT_EQ(Run("USER:margo AND NOT UDEF:work"), (std::vector<ObjectId>{a_, b_}));
+  EXPECT_EQ(Run("UDEF:vacation AND NOT UDEF:beach"), (std::vector<ObjectId>{b_}));
+}
+
+TEST_F(QueryEvalTest, BareNegationRejected) {
+  QueryEngine engine(indexes_.get());
+  EXPECT_FALSE(engine.Run("NOT UDEF:work").ok());
+  EXPECT_FALSE(engine.Run("NOT UDEF:a AND NOT UDEF:b").ok());
+}
+
+TEST_F(QueryEvalTest, MixedStoresAndFulltext) {
+  EXPECT_EQ(Run("FULLTEXT:alpine"), (std::vector<ObjectId>{b_}));
+  EXPECT_EQ(Run("FULLTEXT:photos AND USER:margo"), (std::vector<ObjectId>{b_}));
+  EXPECT_EQ(Run("(FULLTEXT:sunset OR FULLTEXT:surfing) AND UDEF:beach"),
+            (std::vector<ObjectId>{a_, d_}));
+}
+
+TEST_F(QueryEvalTest, ComplexNesting) {
+  EXPECT_EQ(Run("(USER:margo OR USER:nick) AND UDEF:beach AND NOT FULLTEXT:surfing"),
+            (std::vector<ObjectId>{a_}));
+}
+
+TEST_F(QueryEvalTest, EmptyResultIsOkNotError) {
+  EXPECT_TRUE(Run("UDEF:nonexistent").empty());
+  EXPECT_TRUE(Run("UDEF:beach AND UDEF:work").empty());
+}
+
+TEST_F(QueryEvalTest, UnknownTagFails) {
+  QueryEngine engine(indexes_.get());
+  EXPECT_FALSE(engine.Run("BOGUS:x").ok());
+}
+
+TEST_F(QueryEvalTest, OptimizerRunsSelectiveTermFirst) {
+  // Add skew: 500 objects tagged "common", one of which is also "rare".
+  ObjectId needle = Tag("bulk", {"common", "rare"}, "needle");
+  for (int i = 0; i < 500; i++) {
+    Tag("bulk", {"common"}, "hay");
+  }
+  // Optimized: evaluates UDEF:rare (1 row) first; the common lookup still scans its 501
+  // rows, but the intersection work is bounded by the small side. Unoptimized left-to-
+  // right starts with the 501-row set.
+  PlanStats optimized;
+  QueryEngine opt(indexes_.get(), /*optimize=*/true);
+  auto r1 = opt.Run("UDEF:common AND UDEF:rare", &optimized);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, (std::vector<ObjectId>{needle}));
+
+  PlanStats naive;
+  QueryEngine no_opt(indexes_.get(), /*optimize=*/false);
+  auto r2 = no_opt.Run("UDEF:common AND UDEF:rare", &naive);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, *r1);
+
+  // Both issue 2 lookups here, but the optimized plan's intermediate results are smaller.
+  EXPECT_LE(optimized.intermediate_rows, naive.intermediate_rows);
+}
+
+TEST_F(QueryEvalTest, OptimizerEarlyExitSkipsLookups) {
+  for (int i = 0; i < 100; i++) {
+    Tag("bulk", {"everywhere"}, "filler");
+  }
+  PlanStats stats;
+  QueryEngine engine(indexes_.get(), /*optimize=*/true);
+  // "absent" has cardinality 0: the optimizer runs it first, sees an empty set, and
+  // never looks up "everywhere".
+  auto r = engine.Run("UDEF:everywhere AND UDEF:absent", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(stats.index_lookups, 1u);
+  EXPECT_TRUE(stats.early_exit);
+}
+
+TEST_F(QueryEvalTest, SmallIntersectionUsesMembershipProbes) {
+  // One "rare" object among many "common" ones: after evaluating rare (1 row), the
+  // optimizer should probe common membership instead of scanning its 501 postings.
+  ObjectId needle = Tag("bulk", {"probecommon", "proberare"}, "x");
+  for (int i = 0; i < 500; i++) {
+    Tag("bulk", {"probecommon"}, "y");
+  }
+  PlanStats stats;
+  QueryEngine engine(indexes_.get(), /*optimize=*/true);
+  auto r = engine.Run("UDEF:probecommon AND UDEF:proberare", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<ObjectId>{needle}));
+  EXPECT_EQ(stats.index_lookups, 1u);       // Only the rare term materialized.
+  EXPECT_EQ(stats.membership_probes, 1u);   // One candidate probed against common.
+  EXPECT_LT(stats.rows_scanned, 10u);
+}
+
+TEST_F(QueryEvalTest, StatsCountLookups) {
+  PlanStats stats;
+  QueryEngine engine(indexes_.get());
+  auto r = engine.Run("UDEF:vacation AND USER:margo AND FULLTEXT:photos", &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(stats.index_lookups, 3u);
+  EXPECT_GT(stats.rows_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace hfad

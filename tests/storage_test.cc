@@ -1,0 +1,565 @@
+// Unit tests for hfad_storage: block devices, buddy allocator, pager, superblock.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/storage/block_device.h"
+#include "src/storage/buddy_allocator.h"
+#include "src/storage/pager.h"
+#include "src/storage/superblock.h"
+
+namespace hfad {
+namespace {
+
+constexpr uint64_t kMiB = 1024 * 1024;
+// Allocator regions never start at 0: offset 0 is the superblock in a real volume.
+constexpr uint64_t kBase = 4096;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("hfad_storage_test_" + name)).string();
+}
+
+// ---------------------------------------------------------------- MemoryBlockDevice
+
+TEST(MemoryBlockDeviceTest, WriteReadRoundTrip) {
+  MemoryBlockDevice dev(kMiB);
+  EXPECT_EQ(dev.Size(), kMiB);
+  ASSERT_TRUE(dev.Write(4096, Slice("hello")).ok());
+  std::string out;
+  ASSERT_TRUE(dev.Read(4096, 5, &out).ok());
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(MemoryBlockDeviceTest, FreshDeviceReadsZeros) {
+  MemoryBlockDevice dev(8192);
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 16, &out).ok());
+  EXPECT_EQ(out, std::string(16, '\0'));
+}
+
+TEST(MemoryBlockDeviceTest, OutOfBoundsRejected) {
+  MemoryBlockDevice dev(8192);
+  std::string out;
+  EXPECT_FALSE(dev.Read(8192, 1, &out).ok());
+  EXPECT_FALSE(dev.Read(8190, 4, &out).ok());
+  EXPECT_FALSE(dev.Write(8192, Slice("x")).ok());
+  EXPECT_FALSE(dev.Write(8190, Slice("abcd")).ok());
+  // Exactly at the boundary is fine.
+  EXPECT_TRUE(dev.Write(8188, Slice("abcd")).ok());
+  EXPECT_TRUE(dev.Read(8188, 4, &out).ok());
+}
+
+TEST(MemoryBlockDeviceTest, OverlappingWritesLastWins) {
+  MemoryBlockDevice dev(8192);
+  ASSERT_TRUE(dev.Write(0, Slice("aaaaaaaa")).ok());
+  ASSERT_TRUE(dev.Write(4, Slice("bbbb")).ok());
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 8, &out).ok());
+  EXPECT_EQ(out, "aaaabbbb");
+}
+
+// ---------------------------------------------------------------- FileBlockDevice
+
+TEST(FileBlockDeviceTest, PersistsAcrossReopen) {
+  std::string path = TempPath("persist");
+  std::filesystem::remove(path);
+  {
+    auto dev = FileBlockDevice::Open(path, kMiB);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    ASSERT_TRUE((*dev)->Write(4096, Slice("durable data")).ok());
+    ASSERT_TRUE((*dev)->Sync().ok());
+  }
+  {
+    auto dev = FileBlockDevice::Open(path, kMiB);
+    ASSERT_TRUE(dev.ok());
+    std::string out;
+    ASSERT_TRUE((*dev)->Read(4096, 12, &out).ok());
+    EXPECT_EQ(out, "durable data");
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FileBlockDeviceTest, RespectsCapacity) {
+  std::string path = TempPath("capacity");
+  std::filesystem::remove(path);
+  auto dev = FileBlockDevice::Open(path, 8192);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_EQ((*dev)->Size(), 8192u);
+  EXPECT_FALSE((*dev)->Write(8192, Slice("x")).ok());
+  std::string out;
+  EXPECT_FALSE((*dev)->Read(8192, 1, &out).ok());
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------- FaultyBlockDevice
+
+TEST(FaultyBlockDeviceTest, UnlimitedByDefault) {
+  auto base = std::make_shared<MemoryBlockDevice>(kMiB);
+  FaultyBlockDevice dev(base);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(dev.Write(0, Slice("x")).ok());
+  }
+  EXPECT_EQ(dev.writes_attempted(), 100u);
+}
+
+TEST(FaultyBlockDeviceTest, BudgetExhaustionFailsWrites) {
+  auto base = std::make_shared<MemoryBlockDevice>(kMiB);
+  FaultyBlockDevice dev(base);
+  dev.SetWriteBudget(3);
+  EXPECT_TRUE(dev.Write(0, Slice("a")).ok());
+  EXPECT_TRUE(dev.Write(1, Slice("b")).ok());
+  EXPECT_TRUE(dev.Write(2, Slice("c")).ok());
+  EXPECT_FALSE(dev.Write(3, Slice("d")).ok());
+  EXPECT_FALSE(dev.Write(4, Slice("e")).ok());
+  // Reads still succeed after write failures.
+  std::string out;
+  EXPECT_TRUE(dev.Read(0, 3, &out).ok());
+  EXPECT_EQ(out, "abc");
+}
+
+TEST(FaultyBlockDeviceTest, TornWritePersistsOnlyPrefix) {
+  auto base = std::make_shared<MemoryBlockDevice>(kMiB);
+  FaultyBlockDevice dev(base);
+  dev.SetWriteBudget(0);
+  dev.EnableTornWrites(true);
+  std::string payload(256, 'Z');
+  EXPECT_FALSE(dev.Write(0, Slice(payload)).ok());
+  std::string out;
+  ASSERT_TRUE(base->Read(0, 256, &out).ok());
+  // Some (possibly zero-length) prefix of Z's, then untouched zeros — never all Z's.
+  size_t z_run = 0;
+  while (z_run < out.size() && out[z_run] == 'Z') {
+    z_run++;
+  }
+  EXPECT_LT(z_run, 256u);
+  for (size_t i = z_run; i < out.size(); i++) {
+    EXPECT_EQ(out[i], '\0') << "byte " << i << " written past the torn prefix";
+  }
+}
+
+// ---------------------------------------------------------------- BuddyAllocator
+
+TEST(BuddyAllocatorTest, AllocateRoundsUpToPowerOfTwo) {
+  BuddyAllocator alloc(kBase, kMiB);
+  auto e = alloc.Allocate(1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->length, BuddyAllocator::kMinBlockSize);
+  auto e2 = alloc.Allocate(4097);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2->length, 8192u);
+  auto e3 = alloc.Allocate(65536);
+  ASSERT_TRUE(e3.ok());
+  EXPECT_EQ(e3->length, 65536u);
+}
+
+TEST(BuddyAllocatorTest, DistinctAllocationsDoNotOverlap) {
+  BuddyAllocator alloc(kBase, kMiB);
+  std::vector<BuddyAllocator::Extent> extents;
+  Random rng(17);
+  for (int i = 0; i < 50; i++) {
+    auto e = alloc.Allocate(rng.Range(1, 16384));
+    ASSERT_TRUE(e.ok());
+    extents.push_back(*e);
+  }
+  std::sort(extents.begin(), extents.end(),
+            [](const auto& a, const auto& b) { return a.offset < b.offset; });
+  for (size_t i = 1; i < extents.size(); i++) {
+    EXPECT_GE(extents[i].offset, extents[i - 1].offset + extents[i - 1].length);
+  }
+}
+
+TEST(BuddyAllocatorTest, RegionStartRespected) {
+  BuddyAllocator alloc(64 * 1024, kMiB);
+  auto e = alloc.Allocate(4096);
+  ASSERT_TRUE(e.ok());
+  EXPECT_GE(e->offset, 64u * 1024);
+}
+
+TEST(BuddyAllocatorTest, FreeCoalescesBuddies) {
+  BuddyAllocator alloc(kBase, kMiB);
+  // Fill the region with min-size blocks, then free all: the region must coalesce back
+  // into one max-size block.
+  std::vector<uint64_t> offsets;
+  while (true) {
+    auto e = alloc.Allocate(BuddyAllocator::kMinBlockSize);
+    if (!e.ok()) {
+      break;
+    }
+    offsets.push_back(e->offset);
+  }
+  EXPECT_EQ(offsets.size(), kMiB / BuddyAllocator::kMinBlockSize);
+  EXPECT_EQ(alloc.largest_free_block(), 0u);
+  for (uint64_t off : offsets) {
+    ASSERT_TRUE(alloc.Free(off).ok());
+  }
+  EXPECT_EQ(alloc.allocated_bytes(), 0u);
+  EXPECT_EQ(alloc.largest_free_block(), kMiB);
+  EXPECT_EQ(alloc.allocation_count(), 0u);
+}
+
+TEST(BuddyAllocatorTest, ExhaustionReturnsNoSpace) {
+  BuddyAllocator alloc(kBase, 64 * 1024);
+  auto big = alloc.Allocate(64 * 1024);
+  ASSERT_TRUE(big.ok());
+  auto more = alloc.Allocate(1);
+  EXPECT_FALSE(more.ok());
+  EXPECT_TRUE(more.status().IsNoSpace());
+}
+
+TEST(BuddyAllocatorTest, OversizedRequestRejected) {
+  BuddyAllocator alloc(kBase, 64 * 1024);
+  EXPECT_FALSE(alloc.Allocate(128 * 1024).ok());
+}
+
+TEST(BuddyAllocatorTest, DoubleFreeRejected) {
+  BuddyAllocator alloc(kBase, kMiB);
+  auto e = alloc.Allocate(4096);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(alloc.Free(e->offset).ok());
+  EXPECT_FALSE(alloc.Free(e->offset).ok());
+}
+
+TEST(BuddyAllocatorTest, FreeUnknownOffsetRejected) {
+  BuddyAllocator alloc(kBase, kMiB);
+  EXPECT_FALSE(alloc.Free(4096).ok());
+}
+
+TEST(BuddyAllocatorTest, AccountingTracksAllocations) {
+  BuddyAllocator alloc(kBase, kMiB);
+  EXPECT_EQ(alloc.free_bytes(), kMiB);
+  auto a = alloc.Allocate(4096);
+  auto b = alloc.Allocate(10000);  // Rounds to 16384.
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.allocated_bytes(), 4096u + 16384u);
+  EXPECT_EQ(alloc.free_bytes(), kMiB - 4096 - 16384);
+  EXPECT_EQ(alloc.allocation_count(), 2u);
+  ASSERT_TRUE(alloc.Free(a->offset).ok());
+  EXPECT_EQ(alloc.allocated_bytes(), 16384u);
+}
+
+TEST(BuddyAllocatorTest, FragmentationMetricBehaves) {
+  BuddyAllocator alloc(kBase, kMiB);
+  EXPECT_DOUBLE_EQ(alloc.ExternalFragmentation(), 0.0);
+  // Allocate everything as 4K then free every other block: free space exists but the
+  // largest block stays 4K => fragmentation approaches 1 - 4K/free.
+  std::vector<uint64_t> offsets;
+  while (true) {
+    auto e = alloc.Allocate(4096);
+    if (!e.ok()) {
+      break;
+    }
+    offsets.push_back(e->offset);
+  }
+  for (size_t i = 0; i < offsets.size(); i += 2) {
+    ASSERT_TRUE(alloc.Free(offsets[i]).ok());
+  }
+  double frag = alloc.ExternalFragmentation();
+  EXPECT_GT(frag, 0.9);
+  EXPECT_LE(frag, 1.0);
+}
+
+TEST(BuddyAllocatorTest, SerializeDeserializeRestoresState) {
+  BuddyAllocator alloc(kBase, kMiB);
+  Random rng(23);
+  std::vector<uint64_t> live;
+  for (int i = 0; i < 30; i++) {
+    auto e = alloc.Allocate(rng.Range(1, 32768));
+    ASSERT_TRUE(e.ok());
+    live.push_back(e->offset);
+  }
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(alloc.Free(live.back()).ok());
+    live.pop_back();
+  }
+  std::string blob = alloc.Serialize();
+
+  BuddyAllocator restored(kBase, kMiB);
+  ASSERT_TRUE(restored.Deserialize(blob).ok());
+  EXPECT_EQ(restored.allocated_bytes(), alloc.allocated_bytes());
+  EXPECT_EQ(restored.allocation_count(), alloc.allocation_count());
+  EXPECT_EQ(restored.free_bytes(), alloc.free_bytes());
+  // The restored allocator must refuse to hand out live offsets again.
+  std::vector<uint64_t> fresh;
+  while (true) {
+    auto e = restored.Allocate(4096);
+    if (!e.ok()) {
+      break;
+    }
+    fresh.push_back(e->offset);
+  }
+  for (uint64_t f : fresh) {
+    EXPECT_EQ(std::count(live.begin(), live.end(), f), 0) << "offset " << f << " double-handed";
+  }
+}
+
+TEST(BuddyAllocatorTest, DeserializeGarbageRejected) {
+  BuddyAllocator alloc(kBase, kMiB);
+  EXPECT_FALSE(alloc.Deserialize("not a snapshot").ok());
+}
+
+// Property sweep: random alloc/free interleavings keep accounting consistent and
+// allocations disjoint, for several region sizes.
+class BuddyAllocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuddyAllocatorPropertyTest, RandomWorkloadMaintainsInvariants) {
+  const uint64_t region = GetParam();
+  BuddyAllocator alloc(kBase, region);
+  Random rng(region);
+  std::map<uint64_t, uint64_t> live;  // offset -> length
+  for (int step = 0; step < 2000; step++) {
+    if (live.empty() || rng.OneIn(2)) {
+      auto e = alloc.Allocate(rng.Range(1, 64 * 1024));
+      if (e.ok()) {
+        // No overlap with any live extent.
+        auto next = live.lower_bound(e->offset);
+        if (next != live.end()) {
+          ASSERT_LE(e->offset + e->length, next->first);
+        }
+        if (next != live.begin()) {
+          auto prev = std::prev(next);
+          ASSERT_LE(prev->first + prev->second, e->offset);
+        }
+        ASSERT_LE(e->offset + e->length, kBase + region);
+        ASSERT_GE(e->offset, kBase);
+        live[e->offset] = e->length;
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.Uniform(live.size()));
+      ASSERT_TRUE(alloc.Free(it->first).ok());
+      live.erase(it);
+    }
+    uint64_t live_bytes = 0;
+    for (const auto& [off, len] : live) {
+      live_bytes += len;
+    }
+    ASSERT_EQ(alloc.allocated_bytes(), live_bytes);
+    ASSERT_EQ(alloc.allocation_count(), live.size());
+    ASSERT_EQ(alloc.free_bytes(), region - live_bytes);
+  }
+  for (const auto& [off, len] : live) {
+    ASSERT_TRUE(alloc.Free(off).ok());
+  }
+  EXPECT_EQ(alloc.largest_free_block(), region);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, BuddyAllocatorPropertyTest,
+                         ::testing::Values(256 * 1024, kMiB, 4 * kMiB, 16 * kMiB));
+
+// ---------------------------------------------------------------- Pager
+
+TEST(PagerTest, GetReadsThrough) {
+  MemoryBlockDevice dev(kMiB);
+  ASSERT_TRUE(dev.Write(4096, Slice("page-one")).ok());
+  Pager pager(&dev, 16);
+  auto p = pager.Get(4096);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(memcmp((*p)->cdata(), "page-one", 8), 0);
+}
+
+TEST(PagerTest, CacheHitAvoidsDeviceRead) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 16);
+  stats::ResetAll();
+  ASSERT_TRUE(pager.Get(0).ok());
+  uint64_t misses_after_first = stats::Get(stats::Counter::kPageReads);
+  ASSERT_TRUE(pager.Get(0).ok());
+  EXPECT_EQ(stats::Get(stats::Counter::kPageReads), misses_after_first);
+  EXPECT_GE(stats::Get(stats::Counter::kPagerHits), 1u);
+}
+
+TEST(PagerTest, DirtyPageWritesBackOnFlush) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 16);
+  {
+    auto p = pager.Get(8192);
+    ASSERT_TRUE(p.ok());
+    memcpy((*p)->cdata(), "dirty!", 6);
+    (*p)->MarkDirty();
+  }
+  ASSERT_TRUE(pager.Flush().ok());
+  std::string out;
+  ASSERT_TRUE(dev.Read(8192, 6, &out).ok());
+  EXPECT_EQ(out, "dirty!");
+}
+
+TEST(PagerTest, EvictionWritesBackDirtyPages) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 4);  // Tiny cache to force eviction.
+  for (uint64_t i = 0; i < 16; i++) {
+    auto p = pager.GetZeroed(i * kPageSize);
+    ASSERT_TRUE(p.ok());
+    (*p)->cdata()[0] = static_cast<char>('A' + i);
+    (*p)->MarkDirty();
+  }
+  EXPECT_LE(pager.cached_pages(), 4u);
+  ASSERT_TRUE(pager.Flush().ok());
+  for (uint64_t i = 0; i < 16; i++) {
+    std::string out;
+    ASSERT_TRUE(dev.Read(i * kPageSize, 1, &out).ok());
+    EXPECT_EQ(out[0], static_cast<char>('A' + i)) << "page " << i;
+  }
+}
+
+TEST(PagerTest, GetZeroedSkipsDeviceRead) {
+  MemoryBlockDevice dev(kMiB);
+  ASSERT_TRUE(dev.Write(0, Slice("junkjunk")).ok());
+  Pager pager(&dev, 16);
+  stats::ResetAll();
+  auto p = pager.GetZeroed(0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(stats::Get(stats::Counter::kPageReads), 0u);
+  EXPECT_EQ((*p)->cdata()[0], '\0');  // Zeroed, not the junk on the device.
+}
+
+TEST(PagerTest, InvalidateDiscardsDirtyData) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 16);
+  {
+    auto p = pager.GetZeroed(0);
+    ASSERT_TRUE(p.ok());
+    (*p)->cdata()[0] = 'X';
+    (*p)->MarkDirty();
+  }
+  pager.Invalidate(0);
+  ASSERT_TRUE(pager.Flush().ok());
+  std::string out;
+  ASSERT_TRUE(dev.Read(0, 1, &out).ok());
+  EXPECT_EQ(out[0], '\0');
+}
+
+TEST(PagerTest, UnalignedOffsetRejected) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 16);
+  EXPECT_FALSE(pager.Get(100).ok());
+}
+
+TEST(PagerTest, RawIoBypassesCache) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 16);
+  ASSERT_TRUE(pager.WriteRaw(64 * 1024, Slice("raw payload")).ok());
+  std::string out;
+  ASSERT_TRUE(pager.ReadRaw(64 * 1024, 11, &out).ok());
+  EXPECT_EQ(out, "raw payload");
+  // Raw data is immediately on the device, no flush needed.
+  std::string direct;
+  ASSERT_TRUE(dev.Read(64 * 1024, 11, &direct).ok());
+  EXPECT_EQ(direct, "raw payload");
+}
+
+TEST(PagerTest, DropCacheForcesReRead) {
+  MemoryBlockDevice dev(kMiB);
+  Pager pager(&dev, 16);
+  {
+    auto p = pager.GetZeroed(0);
+    ASSERT_TRUE(p.ok());
+    (*p)->cdata()[0] = 'Q';
+    (*p)->MarkDirty();
+  }
+  ASSERT_TRUE(pager.DropCacheForTesting().ok());
+  EXPECT_EQ(pager.cached_pages(), 0u);
+  auto p = pager.Get(0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->cdata()[0], 'Q');  // Was flushed by the drop, then re-read.
+}
+
+TEST(PagerTest, ConcurrentDistinctPages) {
+  MemoryBlockDevice dev(16 * kMiB);
+  Pager pager(&dev, 256);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&pager, t] {
+      for (int i = 0; i < 200; i++) {
+        uint64_t off = (static_cast<uint64_t>(t) * 200 + i) * kPageSize;
+        auto p = pager.GetZeroed(off);
+        ASSERT_TRUE(p.ok());
+        (*p)->cdata()[0] = static_cast<char>(t);
+        (*p)->MarkDirty();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_TRUE(pager.Flush().ok());
+  for (int t = 0; t < kThreads; t++) {
+    std::string out;
+    ASSERT_TRUE(dev.Read(static_cast<uint64_t>(t) * 200 * kPageSize, 1, &out).ok());
+    EXPECT_EQ(out[0], static_cast<char>(t));
+  }
+}
+
+// ---------------------------------------------------------------- Superblock
+
+Superblock MakeSample() {
+  Superblock sb;
+  sb.device_size = 64 * kMiB;
+  sb.alloc_area_offset = 4096;
+  sb.alloc_area_size = 1 * kMiB;
+  sb.alloc_snapshot_size = 777;
+  sb.journal_offset = 2 * kMiB;
+  sb.journal_size = 4 * kMiB;
+  sb.heap_offset = 8 * kMiB;
+  sb.heap_size = 32 * kMiB;
+  sb.object_table_root = 8 * kMiB + 4096;
+  sb.index_dir_root = 8 * kMiB + 8192;
+  sb.next_oid = 1234;
+  sb.journal_sequence = 99;
+  return sb;
+}
+
+TEST(SuperblockTest, EncodeDecodeRoundTrip) {
+  Superblock sb = MakeSample();
+  std::string buf = sb.Encode();
+  EXPECT_EQ(buf.size(), Superblock::kSuperblockSize);
+  auto decoded = Superblock::Decode(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->device_size, sb.device_size);
+  EXPECT_EQ(decoded->alloc_area_offset, sb.alloc_area_offset);
+  EXPECT_EQ(decoded->alloc_snapshot_size, sb.alloc_snapshot_size);
+  EXPECT_EQ(decoded->journal_offset, sb.journal_offset);
+  EXPECT_EQ(decoded->journal_size, sb.journal_size);
+  EXPECT_EQ(decoded->heap_offset, sb.heap_offset);
+  EXPECT_EQ(decoded->heap_size, sb.heap_size);
+  EXPECT_EQ(decoded->object_table_root, sb.object_table_root);
+  EXPECT_EQ(decoded->index_dir_root, sb.index_dir_root);
+  EXPECT_EQ(decoded->next_oid, sb.next_oid);
+  EXPECT_EQ(decoded->journal_sequence, sb.journal_sequence);
+}
+
+TEST(SuperblockTest, CorruptionDetected) {
+  std::string buf = MakeSample().Encode();
+  for (size_t pos : {size_t{0}, size_t{8}, size_t{64}, buf.size() - 1}) {
+    std::string mutated = buf;
+    mutated[pos] ^= 0x1;
+    EXPECT_FALSE(Superblock::Decode(mutated).ok()) << "flip at " << pos;
+  }
+}
+
+TEST(SuperblockTest, WrongSizeRejected) {
+  std::string buf = MakeSample().Encode();
+  EXPECT_FALSE(Superblock::Decode(buf.substr(0, 100)).ok());
+  EXPECT_FALSE(Superblock::Decode(buf + "x").ok());
+}
+
+TEST(SuperblockTest, BadMagicRejected) {
+  std::string buf = MakeSample().Encode();
+  buf[0] = 'X';
+  buf[1] = 'Y';
+  EXPECT_FALSE(Superblock::Decode(buf).ok());
+}
+
+}  // namespace
+}  // namespace hfad

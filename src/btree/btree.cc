@@ -564,7 +564,7 @@ class BTree::Impl {
   }
 
   // Insert `cell` at slot `pos` of `leaf`, splitting up the recorded path as needed.
-  Status InsertIntoLeaf(PageRef leaf, int pos, const std::string& cell, Slice key,
+  Status InsertIntoLeaf(PageRef leaf, int pos, const std::string& cell, Slice /*key*/,
                         const std::vector<Frame>& path) {
     size_t need = cell.size() + 2;
     if (FreeSpace(*leaf) >= need) {

@@ -119,6 +119,22 @@ bool ParseCell(const Page& p, int slot, Cell* out) {
   return true;
 }
 
+// Key-only decode for search probes: LowerBound/ChildIndexFor compare keys dozens of
+// times per descent and never need the value/child fields, so skip decoding them.
+bool ParseCellKey(const Page& p, int slot, Slice* key) {
+  uint16_t off = SlotAt(p, slot);
+  if (off < kHdrSize || off >= kPageSize) {
+    return false;
+  }
+  Slice in(p.cdata() + off, kPageSize - off);
+  uint32_t klen;
+  if (!GetVarint32(&in, &klen) || in.size() < klen) {
+    return false;
+  }
+  *key = Slice(in.data(), klen);
+  return true;
+}
+
 std::string EncodeLeafCell(Slice key, uint8_t kind, Slice inline_value, uint64_t ov_offset,
                            uint64_t ov_length) {
   std::string cell;
@@ -150,13 +166,13 @@ int LowerBound(const Page& p, Slice key, bool* exact) {
   *exact = false;
   while (lo < hi) {
     int mid = (lo + hi) / 2;
-    Cell c;
-    if (!ParseCell(p, mid, &c)) {
+    Slice k;
+    if (!ParseCellKey(p, mid, &k)) {
       // Corrupt cell: treat as greater so scans terminate; CheckInvariants reports it.
       hi = mid;
       continue;
     }
-    int cmp = c.key.Compare(key);
+    int cmp = k.Compare(key);
     if (cmp < 0) {
       lo = mid + 1;
     } else {
@@ -176,12 +192,12 @@ int ChildIndexFor(const Page& p, Slice key) {
   int hi = NSlots(p);
   while (lo < hi) {
     int mid = (lo + hi) / 2;
-    Cell c;
-    if (!ParseCell(p, mid, &c)) {
+    Slice k;
+    if (!ParseCellKey(p, mid, &k)) {
       hi = mid;
       continue;
     }
-    if (c.key.Compare(key) <= 0) {
+    if (k.Compare(key) <= 0) {
       lo = mid + 1;
     } else {
       hi = mid;
@@ -314,7 +330,7 @@ class BTree::Impl {
     }
     uint64_t page_off = root_;
     for (;;) {
-      HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(page_off));
+      HFAD_ASSIGN_OR_RETURN(PageRef page, RootOrGet(page_off));
       stats::Add(stats::Counter::kBtreeNodeVisits);
       if (PageType(*page) == kLeafPage) {
         bool exact;
@@ -344,17 +360,28 @@ class BTree::Impl {
     }
   }
 
-  Status Put(Slice key, Slice value) {
+  Status Put(Slice key, Slice value, bool* inserted = nullptr) {
     // The empty key is legal: the paper stores object metadata under a NULL key (§3.4).
+    if (inserted != nullptr) {
+      *inserted = false;
+    }
     if (key.size() > kMaxKeySize) {
       return Status::InvalidArgument("key size " + std::to_string(key.size()) + " exceeds " +
                                      std::to_string(kMaxKeySize));
     }
     std::unique_lock lock(mu_);
+    // Page mutations below span pager round-trips; hold the pager's mutation lock so a
+    // concurrent checkpoint (Flush/CollectDirty) never snapshots a half-applied Put.
+    auto mutation_hold = pager_->SharedMutationHold();
     stats::Add(stats::Counter::kIndexTraversals);
     if (root_ == 0) {
       HFAD_ASSIGN_OR_RETURN(uint64_t off, NewPage(kLeafPage));
-      root_ = off;
+      SetRoot(off);
+    }
+    // Pin the root page while the exclusive lock is held; shared-lock readers then hit
+    // it without a pager round-trip (they never write root_ref_, so no read-side race).
+    if (root_ref_ == nullptr || root_ref_->offset() != root_) {
+      HFAD_ASSIGN_OR_RETURN(root_ref_, pager_->Get(root_));
     }
     // Encode the cell (spilling large values to an overflow extent first).
     std::string cell;
@@ -368,9 +395,31 @@ class BTree::Impl {
       cell = EncodeLeafCell(key, kValueInline, value, 0, 0);
     }
 
+    // Append fastpath: oid-suffixed index keys and the oid-keyed object table insert in
+    // ascending order almost always, landing on the rightmost leaf. When the pinned
+    // rightmost leaf is still rightmost (no right sibling), strictly precedes the new
+    // key, and has room, insert without a descent. The ref is only ever reset when this
+    // tree frees or splits the page, so it cannot alias a reused page of another tree.
+    if (rightmost_ref_ != nullptr && new_ov_offset == 0) {
+      Page& rp = *rightmost_ref_;
+      int n = NSlots(rp);
+      Slice last_key;
+      if (PageType(rp) == kLeafPage && Link0(rp) == 0 && n > 0 &&
+          FreeSpace(rp) >= cell.size() + 2 && ParseCellKey(rp, n - 1, &last_key) &&
+          key.Compare(last_key) > 0) {
+        InsertCellAt(rp, n, cell);
+        if (count_valid_) {
+          count_++;
+        }
+        if (inserted != nullptr) {
+          *inserted = true;
+        }
+        return Status::Ok();
+      }
+    }
+
     std::vector<Frame> path;
-    HFAD_ASSIGN_OR_RETURN(uint64_t leaf_off, DescendLocked(key, &path));
-    HFAD_ASSIGN_OR_RETURN(PageRef leaf, pager_->Get(leaf_off));
+    HFAD_ASSIGN_OR_RETURN(PageRef leaf, DescendLocked(key, &path));
 
     bool exact;
     int pos = LowerBound(*leaf, key, &exact);
@@ -387,24 +436,33 @@ class BTree::Impl {
       if (count_valid_) {
         count_++;
       }
+      if (inserted != nullptr) {
+        *inserted = true;
+      }
     }
 
     Status s = InsertIntoLeaf(leaf, pos, cell, key, path);
     if (!s.ok() && new_ov_offset != 0) {
       (void)alloc_->Free(new_ov_offset);
     }
+    if (s.ok() && Link0(*leaf) == 0 && PageType(*leaf) == kLeafPage) {
+      // This leaf is (still) the rightmost: remember it for the append fastpath. A
+      // split just now would have left it with a right sibling, failing the check.
+      rightmost_ref_ = leaf;
+    }
     return s;
   }
 
   Status Delete(Slice key) {
     std::unique_lock lock(mu_);
+    auto mutation_hold = pager_->SharedMutationHold();
     stats::Add(stats::Counter::kIndexTraversals);
     if (root_ == 0) {
       return Status::NotFound("empty tree");
     }
     std::vector<Frame> path;
-    HFAD_ASSIGN_OR_RETURN(uint64_t leaf_off, DescendLocked(key, &path));
-    HFAD_ASSIGN_OR_RETURN(PageRef leaf, pager_->Get(leaf_off));
+    HFAD_ASSIGN_OR_RETURN(PageRef leaf, DescendLocked(key, &path));
+    uint64_t leaf_off = leaf->offset();
     bool exact;
     int pos = LowerBound(*leaf, key, &exact);
     if (!exact) {
@@ -470,9 +528,10 @@ class BTree::Impl {
 
   Status Clear() {
     std::unique_lock lock(mu_);
+    auto mutation_hold = pager_->SharedMutationHold();
     if (root_ != 0) {
       HFAD_RETURN_IF_ERROR(FreeSubtree(root_));
-      root_ = 0;
+      SetRoot(0);
     }
     count_ = 0;
     count_valid_ = true;
@@ -521,6 +580,9 @@ class BTree::Impl {
   }
 
   Status FreePage(uint64_t off) {
+    if (rightmost_ref_ != nullptr && rightmost_ref_->offset() == off) {
+      rightmost_ref_.reset();
+    }
     pager_->Invalidate(off);
     return alloc_->Free(off);
   }
@@ -535,14 +597,15 @@ class BTree::Impl {
     return out;
   }
 
-  // Descend from the root to the leaf that owns `key`, recording the path.
-  Result<uint64_t> DescendLocked(Slice key, std::vector<Frame>* path) const {
+  // Descend from the root to the leaf that owns `key`, recording the path. Returns the
+  // leaf's PageRef so callers skip a second pager round-trip for it.
+  Result<PageRef> DescendLocked(Slice key, std::vector<Frame>* path) const {
     uint64_t off = root_;
     for (;;) {
-      HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(off));
+      HFAD_ASSIGN_OR_RETURN(PageRef page, RootOrGet(off));
       stats::Add(stats::Counter::kBtreeNodeVisits);
       if (PageType(*page) == kLeafPage) {
-        return off;
+        return page;
       }
       int ci = ChildIndexFor(*page, key);
       path->push_back(Frame{off, ci});
@@ -637,7 +700,7 @@ class BTree::Impl {
         SetLink0(*new_root, old_root);
         std::string cell = EncodeInteriorCell(sep, right_child);
         InsertCellAt(*new_root, 0, cell);
-        root_ = new_root_off;
+        SetRoot(new_root_off);
         return Status::Ok();
       }
       Frame frame = path.back();
@@ -705,7 +768,7 @@ class BTree::Impl {
     if (path.empty()) {
       // The leaf is the root: the tree is now empty.
       HFAD_RETURN_IF_ERROR(FreePage(leaf_off));
-      root_ = 0;
+      SetRoot(0);
       return Status::Ok();
     }
     uint64_t next = Link0(leaf);
@@ -745,7 +808,7 @@ class BTree::Impl {
         // No children remain at all: free this interior and recurse.
         HFAD_RETURN_IF_ERROR(FreePage(frame.page_off));
         if (path.empty()) {
-          root_ = 0;
+          SetRoot(0);
           return Status::Ok();
         }
         continue;
@@ -764,21 +827,21 @@ class BTree::Impl {
       }
       uint64_t only_child = Link0(*rootp);
       HFAD_RETURN_IF_ERROR(FreePage(root_));
-      root_ = only_child;
+      SetRoot(only_child);
     }
   }
 
-  Status ScanLocked(Slice first, Slice last,
-                    const std::function<bool(Slice, Slice)>& fn) const {
+  // Templated on the callback so per-entry dispatch inlines: index lookups are leaf
+  // scans, and a std::function hop per cell is measurable there.
+  template <typename Fn>
+  Status ScanLocked(Slice first, Slice last, const Fn& fn) const {
     stats::Add(stats::Counter::kIndexTraversals);
     if (root_ == 0) {
       return Status::Ok();
     }
     std::vector<Frame> path;
-    HFAD_ASSIGN_OR_RETURN(uint64_t leaf_off, DescendLocked(first, &path));
-    uint64_t off = leaf_off;
+    HFAD_ASSIGN_OR_RETURN(PageRef page, DescendLocked(first, &path));
     bool exact;
-    HFAD_ASSIGN_OR_RETURN(PageRef page, pager_->Get(off));
     int pos = first.empty() ? 0 : LowerBound(*page, first, &exact);
     // The leftmost matching key may live in a right sibling when `first` is greater than
     // every key in this leaf.
@@ -792,6 +855,13 @@ class BTree::Impl {
         if (!last.empty() && c.key.Compare(last) >= 0) {
           return Status::Ok();
         }
+        if (c.kind == kValueInline) {
+          // Inline values go to the callback zero-copy (valid for the callback only).
+          if (!fn(c.key, c.inline_value)) {
+            return Status::Ok();
+          }
+          continue;
+        }
         HFAD_ASSIGN_OR_RETURN(std::string value, ReadCellValue(c));
         if (!fn(c.key, Slice(value))) {
           return Status::Ok();
@@ -803,7 +873,6 @@ class BTree::Impl {
       }
       HFAD_ASSIGN_OR_RETURN(page, pager_->Get(next));
       stats::Add(stats::Counter::kBtreeNodeVisits);
-      off = next;
       pos = 0;
     }
   }
@@ -887,9 +956,34 @@ class BTree::Impl {
     return Status::Ok();
   }
 
+  // Point the root cache at a (possibly) new root offset. Every root_ transition goes
+  // through here so root_ref_ can never pin a freed-and-reused page across a change.
+  void SetRoot(uint64_t off) {
+    root_ = off;
+    root_ref_.reset();
+    // Conservative: any structural root change may also have moved/freed the rightmost
+    // leaf (Clear, shrink-to-empty). The next descent-path Put re-caches it.
+    rightmost_ref_.reset();
+  }
+
+  // Root page fastpath for descents. root_ref_ is written only under the exclusive
+  // lock (Put/Delete/SetRoot), so shared-lock readers may copy it concurrently; a null
+  // or mismatched ref just falls back to the pager.
+  Result<PageRef> RootOrGet(uint64_t off) const {
+    if (off == root_ && root_ref_ != nullptr && root_ref_->offset() == off) {
+      return root_ref_;
+    }
+    return pager_->Get(off);
+  }
+
   Pager* const pager_;
   BuddyAllocator* const alloc_;
   uint64_t root_;
+  // Pinned ref to the current root page (see RootOrGet).
+  PageRef root_ref_;
+  // Pinned ref to the last known rightmost leaf (append fastpath in Put). Reset
+  // whenever this tree frees the page or the root changes; revalidated on every use.
+  PageRef rightmost_ref_;
   mutable std::shared_mutex mu_;
   mutable uint64_t count_ = 0;
   mutable bool count_valid_ = false;
@@ -907,7 +1001,9 @@ BTree::~BTree() = default;
 uint64_t BTree::root() const { return impl_->root(); }
 Result<std::string> BTree::Get(Slice key) const { return impl_->Get(key); }
 bool BTree::Contains(Slice key) const { return impl_->Contains(key); }
-Status BTree::Put(Slice key, Slice value) { return impl_->Put(key, value); }
+Status BTree::Put(Slice key, Slice value, bool* inserted) {
+  return impl_->Put(key, value, inserted);
+}
 Status BTree::Delete(Slice key) { return impl_->Delete(key); }
 uint64_t BTree::Count() const { return impl_->Count(); }
 Status BTree::Scan(Slice first, Slice last,

@@ -57,8 +57,10 @@ class BTree {
   Result<std::string> Get(Slice key) const;
   bool Contains(Slice key) const;
 
-  // Insert or overwrite.
-  Status Put(Slice key, Slice value);
+  // Insert or overwrite. `inserted`, when non-null, reports whether the key was newly
+  // inserted (vs. an overwrite) — callers maintaining external cardinality caches get
+  // the answer without a separate Count() round-trip.
+  Status Put(Slice key, Slice value, bool* inserted = nullptr);
 
   // Remove. NotFound if absent.
   Status Delete(Slice key);

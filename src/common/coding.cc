@@ -24,16 +24,7 @@ void PutVarint64(std::string* dst, uint64_t v) {
   dst->append(reinterpret_cast<char*>(buf), n);
 }
 
-bool GetVarint32(Slice* input, uint32_t* value) {
-  uint64_t v64;
-  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) {
-    return false;
-  }
-  *value = static_cast<uint32_t>(v64);
-  return true;
-}
-
-bool GetVarint64(Slice* input, uint64_t* value) {
+bool GetVarint64Slow(Slice* input, uint64_t* value) {
   uint64_t result = 0;
   for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
     uint8_t byte = static_cast<uint8_t>((*input)[0]);

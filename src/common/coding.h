@@ -48,9 +48,40 @@ inline void PutFixed64(std::string* dst, uint64_t v) {
 void PutVarint32(std::string* dst, uint32_t v);
 void PutVarint64(std::string* dst, uint64_t v);
 
+// Multi-byte varint decode; out-of-line rare path (most persisted lengths fit one byte).
+bool GetVarint64Slow(Slice* input, uint64_t* value);
+
 // Returns false if the input is exhausted or malformed. On success advances *input.
-bool GetVarint32(Slice* input, uint32_t* value);
-bool GetVarint64(Slice* input, uint64_t* value);
+// Decode is inline with a one-byte fast path: btree cell parsing decodes a varint per
+// key/value and dominates index scans, so the common v < 128 case must not pay a call.
+inline bool GetVarint64(Slice* input, uint64_t* value) {
+  if (!input->empty()) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    if ((byte & 0x80) == 0) {
+      *value = byte;
+      input->RemovePrefix(1);
+      return true;
+    }
+  }
+  return GetVarint64Slow(input, value);
+}
+
+inline bool GetVarint32(Slice* input, uint32_t* value) {
+  if (!input->empty()) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    if ((byte & 0x80) == 0) {
+      *value = byte;
+      input->RemovePrefix(1);
+      return true;
+    }
+  }
+  uint64_t v64;
+  if (!GetVarint64Slow(input, &v64) || v64 > UINT32_MAX) {
+    return false;
+  }
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
 
 // Length-prefixed strings: varint32 length then bytes.
 void PutLengthPrefixed(std::string* dst, const Slice& value);

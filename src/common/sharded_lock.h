@@ -1,0 +1,387 @@
+// Sharded reader/writer locking — the lock-striping idiom shared by the FileSystem tag
+// state, the index stores, and the OSD object locks.
+//
+// The paper's §2.3 complaint about hierarchies is a *locking* complaint: unrelated files
+// synchronize through a shared ancestor directory. The tag namespace removes the shared
+// ancestor from the data structures; this header removes it from the locks. State is
+// striped into N independently locked shards keyed by object id (or any hashed key), so
+// operations on unrelated objects never touch the same mutex, and read-mostly paths take
+// the shard in shared mode.
+//
+// Two building blocks:
+//
+//   * ShardedMutex<N>: N cache-line-isolated std::shared_mutex shards. Single-shard
+//     acquisition is ShardOf(key) -> shared/exclusive RAII guard. Multi-shard operations
+//     (cross-tag retags, whole-structure scans) acquire shards in ascending shard-index
+//     order — the global lock-ordering rule that makes multi-shard acquisition
+//     deadlock-free (two MultiLocks always take their common shards in the same order).
+//
+//   * StripedMap<K, V>: a hash map striped over a ShardedMutex — each stripe is an
+//     independent map guarded by its shard. Point ops lock one stripe; ForEach visits
+//     stripes one at a time in shard order (a consistent *per-stripe* snapshot, not a
+//     global one — same guarantee a sharded cache gives).
+//
+// Instrumentation: every acquisition is counted per shard and into the process-global
+// hfad::stats counters (kLockAcquisitions / kLockContentions, via a try-lock-first
+// probe), so bench_contention can attribute throughput cliffs to specific shards.
+#ifndef HFAD_SRC_COMMON_SHARDED_LOCK_H_
+#define HFAD_SRC_COMMON_SHARDED_LOCK_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace hfad {
+
+template <size_t kShards>
+class ShardedMutex {
+  static_assert(kShards > 0 && (kShards & (kShards - 1)) == 0,
+                "shard count must be a power of two");
+
+ public:
+  static constexpr size_t kNumShards = kShards;
+
+  ShardedMutex() = default;
+  ShardedMutex(const ShardedMutex&) = delete;
+  ShardedMutex& operator=(const ShardedMutex&) = delete;
+
+  // Shard index for a key. Object ids are assigned sequentially, so the low bits alone
+  // spread consecutive oids round-robin across every shard; string keys should be hashed
+  // by the caller first (std::hash is fine).
+  static constexpr size_t ShardOf(uint64_t key) { return key & (kShards - 1); }
+
+  // ---- Single-shard acquisition ----
+
+  [[nodiscard]] std::unique_lock<std::shared_mutex> LockExclusive(uint64_t key) {
+    return LockShardExclusive(ShardOf(key));
+  }
+
+  [[nodiscard]] std::shared_lock<std::shared_mutex> LockShared(uint64_t key) const {
+    return LockShardShared(ShardOf(key));
+  }
+
+  [[nodiscard]] std::unique_lock<std::shared_mutex> LockShardExclusive(size_t shard) {
+    Shard& s = shards_[shard];
+    std::unique_lock<std::shared_mutex> lock(s.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      s.contentions.fetch_add(1, std::memory_order_relaxed);
+      stats::Add(stats::Counter::kLockContentions);
+      lock.lock();
+    }
+    s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    stats::Add(stats::Counter::kLockAcquisitions);
+    return lock;
+  }
+
+  [[nodiscard]] std::shared_lock<std::shared_mutex> LockShardShared(size_t shard) const {
+    const Shard& s = shards_[shard];
+    std::shared_lock<std::shared_mutex> lock(s.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      s.contentions.fetch_add(1, std::memory_order_relaxed);
+      stats::Add(stats::Counter::kLockContentions);
+      lock.lock();
+    }
+    s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    stats::Add(stats::Counter::kLockAcquisitions);
+    return lock;
+  }
+
+  // ---- Multi-shard acquisition ----
+  //
+  // MultiLock owns a set of shards, acquired in ascending shard-index order (duplicates
+  // collapsed) and released in reverse. This is the only sanctioned way to hold more
+  // than one shard of the same ShardedMutex at once.
+
+  class MultiLock {
+   public:
+    MultiLock() = default;
+    MultiLock(MultiLock&& other) noexcept
+        : owner_(other.owner_), exclusive_(other.exclusive_),
+          shards_(std::move(other.shards_)) {
+      other.owner_ = nullptr;
+      other.shards_.clear();
+    }
+    MultiLock& operator=(MultiLock&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        exclusive_ = other.exclusive_;
+        shards_ = std::move(other.shards_);
+        other.owner_ = nullptr;
+        other.shards_.clear();
+      }
+      return *this;
+    }
+    MultiLock(const MultiLock&) = delete;
+    MultiLock& operator=(const MultiLock&) = delete;
+    ~MultiLock() { Release(); }
+
+    bool owns_locks() const { return owner_ != nullptr; }
+    const std::vector<size_t>& shards() const { return shards_; }
+
+   private:
+    friend class ShardedMutex;
+    MultiLock(const ShardedMutex* owner, bool exclusive, std::vector<size_t> shards)
+        : owner_(owner), exclusive_(exclusive), shards_(std::move(shards)) {}
+
+    void Release() {
+      if (owner_ == nullptr) {
+        return;
+      }
+      for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+        if (exclusive_) {
+          owner_->shards_[*it].mu.unlock();
+        } else {
+          owner_->shards_[*it].mu.unlock_shared();
+        }
+      }
+      owner_ = nullptr;
+      shards_.clear();
+    }
+
+    const ShardedMutex* owner_ = nullptr;
+    bool exclusive_ = false;
+    std::vector<size_t> shards_;
+  };
+
+  // Exclusive hold over the shards covering `keys` (cross-tag / cross-object ops).
+  [[nodiscard]] MultiLock LockMultiExclusive(std::initializer_list<uint64_t> keys) {
+    return LockMulti(SortedShards(keys), /*exclusive=*/true);
+  }
+  [[nodiscard]] MultiLock LockMultiExclusive(const std::vector<uint64_t>& keys) {
+    return LockMulti(SortedShards(keys), /*exclusive=*/true);
+  }
+
+  // Shared hold over every shard (whole-structure scans: fsck, ScanAllNames).
+  [[nodiscard]] MultiLock LockAllShared() const {
+    std::vector<size_t> all(kShards);
+    for (size_t i = 0; i < kShards; i++) {
+      all[i] = i;
+    }
+    return const_cast<ShardedMutex*>(this)->LockMulti(std::move(all),
+                                                      /*exclusive=*/false);
+  }
+
+  // ---- Per-shard instrumentation ----
+
+  uint64_t acquisitions(size_t shard) const {
+    return shards_[shard].acquisitions.load(std::memory_order_relaxed);
+  }
+  uint64_t contentions(size_t shard) const {
+    return shards_[shard].contentions.load(std::memory_order_relaxed);
+  }
+  uint64_t total_acquisitions() const {
+    uint64_t n = 0;
+    for (const Shard& s : shards_) {
+      n += s.acquisitions.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+  uint64_t total_contentions() const {
+    uint64_t n = 0;
+    for (const Shard& s : shards_) {
+      n += s.contentions.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+ private:
+  // A shard gets its own cache line so uncontended acquisitions on neighbouring shards
+  // do not false-share.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    mutable std::atomic<uint64_t> acquisitions{0};
+    mutable std::atomic<uint64_t> contentions{0};
+  };
+
+  template <typename Keys>
+  static std::vector<size_t> SortedShards(const Keys& keys) {
+    std::vector<size_t> shards;
+    shards.reserve(keys.size());
+    for (uint64_t key : keys) {
+      shards.push_back(ShardOf(key));
+    }
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+    return shards;
+  }
+
+  MultiLock LockMulti(std::vector<size_t> shards, bool exclusive) {
+    // Ascending shard order (SortedShards guarantees it) is the deadlock-freedom rule.
+    for (size_t idx : shards) {
+      Shard& s = shards_[idx];
+      bool contended;
+      if (exclusive) {
+        contended = !s.mu.try_lock();
+        if (contended) {
+          s.mu.lock();
+        }
+      } else {
+        contended = !s.mu.try_lock_shared();
+        if (contended) {
+          s.mu.lock_shared();
+        }
+      }
+      if (contended) {
+        s.contentions.fetch_add(1, std::memory_order_relaxed);
+        stats::Add(stats::Counter::kLockContentions);
+      }
+      s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+      stats::Add(stats::Counter::kLockAcquisitions);
+    }
+    return MultiLock(this, exclusive, std::move(shards));
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+};
+
+// A hash map striped over a ShardedMutex: point operations lock exactly one stripe, so
+// lookups and inserts on different stripes proceed fully in parallel.
+template <typename K, typename V, size_t kStripes = 16, typename Hash = std::hash<K>>
+class StripedMap {
+ public:
+  static constexpr size_t kNumStripes = kStripes;
+
+  size_t StripeOf(const K& key) const {
+    return ShardedMutex<kStripes>::ShardOf(Hash{}(key));
+  }
+
+  // Returns false if the key is absent; otherwise copies the value out.
+  bool Get(const K& key, V* out) const {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardShared(stripe);
+    auto it = maps_[stripe].find(key);
+    if (it == maps_[stripe].end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
+  bool Contains(const K& key) const {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardShared(stripe);
+    return maps_[stripe].count(key) != 0;
+  }
+
+  // Insert or overwrite. Returns true when the key was newly inserted.
+  bool Put(const K& key, V value) {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardExclusive(stripe);
+    auto [it, inserted] = maps_[stripe].insert_or_assign(key, std::move(value));
+    (void)it;
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return inserted;
+  }
+
+  // Put with a per-stripe occupancy bound: when the stripe is full, one resident entry
+  // (first in bucket order — effectively random under hashing) is evicted to make room.
+  // O(1), no global clears; memory is bounded at stripe_cap * kStripes entries. The
+  // cache-usage pattern this serves: unique keys stream through without ever forcing a
+  // wholesale flush of the entries that do get reused.
+  bool PutWithEvict(const K& key, V value, size_t stripe_cap) {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardExclusive(stripe);
+    auto& map = maps_[stripe];
+    auto [it, inserted] = map.insert_or_assign(key, std::move(value));
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+      if (map.size() > stripe_cap) {
+        auto victim = map.begin();
+        if (victim == it) {
+          ++victim;
+        }
+        if (victim != map.end()) {
+          map.erase(victim);
+          size_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    return inserted;
+  }
+
+  // Returns true when the key existed.
+  bool Erase(const K& key) {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardExclusive(stripe);
+    if (maps_[stripe].erase(key) == 0) {
+      return false;
+    }
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Atomic read-modify-write of one key's value. `fn(V&)` runs with the stripe held
+  // exclusively; the value is default-constructed first if the key was absent.
+  template <typename Fn>
+  void Mutate(const K& key, const Fn& fn) {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardExclusive(stripe);
+    auto [it, inserted] = maps_[stripe].try_emplace(key);
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    fn(it->second);
+  }
+
+  // Like Mutate, but a no-op on absent keys (for maintaining cached values without
+  // fabricating entries). Returns true when the key was present.
+  template <typename Fn>
+  bool MutateIfPresent(const K& key, const Fn& fn) {
+    size_t stripe = StripeOf(key);
+    auto lock = mu_.LockShardExclusive(stripe);
+    auto it = maps_[stripe].find(key);
+    if (it == maps_[stripe].end()) {
+      return false;
+    }
+    fn(it->second);
+    return true;
+  }
+
+  // Visit every entry, one stripe at a time in stripe order (per-stripe consistency;
+  // entries added or removed in already-visited stripes are not revisited). Stop early
+  // by returning false.
+  void ForEach(const std::function<bool(const K&, const V&)>& fn) const {
+    for (size_t stripe = 0; stripe < kStripes; stripe++) {
+      auto lock = mu_.LockShardShared(stripe);
+      for (const auto& [key, value] : maps_[stripe]) {
+        if (!fn(key, value)) {
+          return;
+        }
+      }
+    }
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  void Clear() {
+    for (size_t stripe = 0; stripe < kStripes; stripe++) {
+      auto lock = mu_.LockShardExclusive(stripe);
+      size_.fetch_sub(maps_[stripe].size(), std::memory_order_relaxed);
+      maps_[stripe].clear();
+    }
+  }
+
+  // The underlying lock, for callers that need per-stripe stats.
+  const ShardedMutex<kStripes>& mutex() const { return mu_; }
+
+ private:
+  mutable ShardedMutex<kStripes> mu_;
+  std::array<std::unordered_map<K, V, Hash>, kStripes> maps_;
+  std::atomic<int64_t> size_{0};
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_SHARDED_LOCK_H_

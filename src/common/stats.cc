@@ -1,28 +1,10 @@
 #include "src/common/stats.h"
 
-#include <array>
-
 namespace hfad {
 namespace stats {
-namespace {
-
-std::array<std::atomic<uint64_t>, kNumCounters>& Counters() {
-  static std::array<std::atomic<uint64_t>, kNumCounters> counters{};
-  return counters;
-}
-
-}  // namespace
-
-void Add(Counter c, uint64_t delta) {
-  Counters()[static_cast<int>(c)].fetch_add(delta, std::memory_order_relaxed);
-}
-
-uint64_t Get(Counter c) {
-  return Counters()[static_cast<int>(c)].load(std::memory_order_relaxed);
-}
 
 void ResetAll() {
-  for (auto& a : Counters()) {
+  for (auto& a : internal::g_counters) {
     a.store(0, std::memory_order_relaxed);
   }
 }
@@ -66,7 +48,7 @@ std::string_view CounterName(Counter c) {
 Snapshot Snapshot::Take() {
   Snapshot s;
   for (int i = 0; i < kNumCounters; i++) {
-    s.values[i] = Counters()[i].load(std::memory_order_relaxed);
+    s.values[i] = internal::g_counters[i].load(std::memory_order_relaxed);
   }
   return s;
 }

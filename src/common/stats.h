@@ -10,6 +10,7 @@
 #ifndef HFAD_SRC_COMMON_STATS_H_
 #define HFAD_SRC_COMMON_STATS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -37,11 +38,21 @@ enum class Counter : int {
 
 constexpr int kNumCounters = static_cast<int>(Counter::kNumCounters);
 
+namespace internal {
+// Constant-initialized (no magic-static guard), so the hot-path Add() inlines to a
+// single relaxed fetch_add.
+inline std::array<std::atomic<uint64_t>, kNumCounters> g_counters{};
+}  // namespace internal
+
 // Increment a counter by delta.
-void Add(Counter c, uint64_t delta = 1);
+inline void Add(Counter c, uint64_t delta = 1) {
+  internal::g_counters[static_cast<int>(c)].fetch_add(delta, std::memory_order_relaxed);
+}
 
 // Current value.
-uint64_t Get(Counter c);
+inline uint64_t Get(Counter c) {
+  return internal::g_counters[static_cast<int>(c)].load(std::memory_order_relaxed);
+}
 
 // Reset every counter to zero (benchmark setup).
 void ResetAll();

@@ -16,7 +16,12 @@ constexpr uint8_t kNsRemoveTag = 2;
 constexpr uint8_t kNsIndexContent = 3;
 constexpr uint8_t kNsUnindexContent = 4;
 
-constexpr char kReverseRootName[] = "core/reverse-tags";
+// Reverse-map btree roots, one named root per shard ("core/reverse-tags/<shard>").
+constexpr char kReverseRootPrefix[] = "core/reverse-tags/";
+
+std::string ReverseRootName(size_t shard) {
+  return kReverseRootPrefix + std::to_string(shard);
+}
 
 std::string OidBytes(ObjectId oid) {
   std::string key(8, '\0');
@@ -33,6 +38,28 @@ std::string ReverseKey(ObjectId oid, const TagValue& name) {
   key.push_back('\0');
   key += name.value;
   return key;
+}
+
+// Decode the "tag \0 value" suffix of a reverse key.
+TagValue DecodeNameSuffix(Slice rest) {
+  size_t sep = 0;
+  while (sep < rest.size() && rest[sep] != '\0') {
+    sep++;
+  }
+  TagValue tv;
+  tv.tag = std::string(rest.data(), sep);
+  if (sep + 1 <= rest.size()) {
+    tv.value = std::string(rest.data() + sep + 1, rest.size() - sep - 1);
+  }
+  return tv;
+}
+
+ObjectId OidFromKey(Slice key) {
+  ObjectId oid = 0;
+  for (size_t i = 0; i < 8 && i < key.size(); i++) {
+    oid = (oid << 8) | static_cast<uint8_t>(key[i]);
+  }
+  return oid;
 }
 
 std::string EncodeTagRecord(uint8_t op, ObjectId oid, const TagValue& name) {
@@ -63,10 +90,12 @@ FileSystem::FileSystem(std::unique_ptr<osd::Osd> osd,
                        std::unique_ptr<index::IndexCollection> indexes,
                        const FileSystemOptions& options)
     : options_(options), osd_(std::move(osd)), indexes_(std::move(indexes)) {
-  auto root = osd_->GetNamedRoot(kReverseRootName);
-  reverse_root_ = root.ok() ? *root : 0;
-  reverse_tags_ = std::make_unique<btree::BTree>(osd_->pager(), osd_->allocator(),
-                                                 reverse_root_);
+  for (size_t shard = 0; shard < kTagShards; shard++) {
+    auto root = osd_->GetNamedRoot(ReverseRootName(shard));
+    reverse_[shard].root = root.ok() ? *root : 0;
+    reverse_[shard].tree = std::make_unique<btree::BTree>(osd_->pager(), osd_->allocator(),
+                                                          reverse_[shard].root);
+  }
   query_engine_ = std::make_unique<query::QueryEngine>(indexes_.get());
   if (options_.lazy_indexing_threads > 0) {
     auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
@@ -137,8 +166,9 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
       if (store == nullptr) {
         return Status::Corruption("tag record for unknown store '" + tag.ToString() + "'");
       }
+      const std::string root_name = ReverseRootName(TagShardOf(oid));
       btree::BTree reverse(volume->pager(), volume->allocator(),
-                           volume->GetNamedRoot(kReverseRootName).value_or(0));
+                           volume->GetNamedRoot(root_name).value_or(0));
       TagValue name{tag.ToString(), value.ToString()};
       Status s;
       if (op == kNsAddTag) {
@@ -157,7 +187,7 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
         s = Status::Ok();  // The original op may have failed after journaling; tolerate.
       }
       HFAD_RETURN_IF_ERROR(s);
-      return volume->SetNamedRoot(kReverseRootName, reverse.root());
+      return volume->SetNamedRoot(root_name, reverse.root());
     }
     case kNsIndexContent: {
       auto size = volume->Size(oid);
@@ -212,7 +242,8 @@ Result<ObjectId> FileSystem::Create(const std::vector<TagValue>& names) {
   }
   HFAD_ASSIGN_OR_RETURN(ObjectId oid, osd_->CreateObject());
   for (const TagValue& name : names) {
-    HFAD_RETURN_IF_ERROR(AddTag(oid, name));
+    // Tags validated above and the object is known to exist — skip AddTag's rechecks.
+    HFAD_RETURN_IF_ERROR(AddTagValidated(oid, name));
   }
   return oid;
 }
@@ -224,7 +255,7 @@ Status FileSystem::Remove(ObjectId oid) {
   }
   // Strip any full-text postings (journaled so replay stays in sync).
   {
-    std::lock_guard<std::mutex> lock(TagLock(oid));
+    auto lock = tag_mu_.LockExclusive(oid);
     HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeOidRecord(kNsUnindexContent, oid)));
     auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
     Status s = ft->Remove(Slice(), oid);
@@ -237,31 +268,32 @@ Status FileSystem::Remove(ObjectId oid) {
 
 // ---------------------------------------------------------------- tags
 
+Status FileSystem::SyncReverseRoot(size_t shard) {
+  ReverseShard& rs = reverse_[shard];
+  if (rs.tree->root() != rs.root) {
+    rs.root = rs.tree->root();
+    HFAD_RETURN_IF_ERROR(osd_->SetNamedRoot(ReverseRootName(shard), rs.root));
+  }
+  return Status::Ok();
+}
+
 Status FileSystem::AddTagApply(ObjectId oid, const TagValue& name) {
   index::IndexStore* store = indexes_->store(name.tag);
   HFAD_RETURN_IF_ERROR(store->Add(name.value, oid));
-  std::lock_guard<std::mutex> lock(reverse_mu_);
-  HFAD_RETURN_IF_ERROR(reverse_tags_->Put(ReverseKey(oid, name), Slice()));
-  if (reverse_tags_->root() != reverse_root_) {
-    reverse_root_ = reverse_tags_->root();
-    HFAD_RETURN_IF_ERROR(osd_->SetNamedRoot(kReverseRootName, reverse_root_));
-  }
-  return Status::Ok();
+  size_t shard = TagShardOf(oid);
+  HFAD_RETURN_IF_ERROR(reverse_[shard].tree->Put(ReverseKey(oid, name), Slice()));
+  return SyncReverseRoot(shard);
 }
 
 Status FileSystem::RemoveTagApply(ObjectId oid, const TagValue& name) {
   index::IndexStore* store = indexes_->store(name.tag);
   HFAD_RETURN_IF_ERROR(store->Remove(name.value, oid));
-  std::lock_guard<std::mutex> lock(reverse_mu_);
-  Status s = reverse_tags_->Delete(ReverseKey(oid, name));
+  size_t shard = TagShardOf(oid);
+  Status s = reverse_[shard].tree->Delete(ReverseKey(oid, name));
   if (!s.ok() && !s.IsNotFound()) {
     return s;
   }
-  if (reverse_tags_->root() != reverse_root_) {
-    reverse_root_ = reverse_tags_->root();
-    HFAD_RETURN_IF_ERROR(osd_->SetNamedRoot(kReverseRootName, reverse_root_));
-  }
-  return Status::Ok();
+  return SyncReverseRoot(shard);
 }
 
 Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
@@ -276,8 +308,14 @@ Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
   if (!osd_->Exists(oid)) {
     return Status::NotFound("no object " + std::to_string(oid));
   }
-  std::lock_guard<std::mutex> lock(TagLock(oid));
-  HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsAddTag, oid, name)));
+  return AddTagValidated(oid, name);
+}
+
+Status FileSystem::AddTagValidated(ObjectId oid, const TagValue& name) {
+  auto lock = tag_mu_.LockExclusive(oid);
+  if (osd_->journaling_enabled()) {
+    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsAddTag, oid, name)));
+  }
   return AddTagApply(oid, name);
 }
 
@@ -285,13 +323,15 @@ Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
   if (indexes_->store(name.tag) == nullptr) {
     return Status::NotFound("no index store for tag '" + name.tag + "'");
   }
-  std::lock_guard<std::mutex> lock(TagLock(oid));
+  auto lock = tag_mu_.LockExclusive(oid);
   // Validate first so a journaled remove always corresponds to a real association.
-  if (!reverse_tags_->Contains(ReverseKey(oid, name))) {
+  if (!reverse_[TagShardOf(oid)].tree->Contains(ReverseKey(oid, name))) {
     return Status::NotFound("object " + std::to_string(oid) + " has no name " + name.tag +
                             ":" + name.value);
   }
-  HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsRemoveTag, oid, name)));
+  if (osd_->journaling_enabled()) {
+    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsRemoveTag, oid, name)));
+  }
   return RemoveTagApply(oid, name);
 }
 
@@ -299,52 +339,54 @@ Result<std::vector<TagValue>> FileSystem::Tags(ObjectId oid) const {
   if (!osd_->Exists(oid)) {
     return Status::NotFound("no object " + std::to_string(oid));
   }
+  auto lock = tag_mu_.LockShared(oid);
   std::vector<TagValue> out;
   std::string prefix = OidBytes(oid);
-  HFAD_RETURN_IF_ERROR(reverse_tags_->ScanPrefix(prefix, [&](Slice key, Slice) {
-    Slice rest(key.data() + prefix.size(), key.size() - prefix.size());
-    // tag '\0' value
-    size_t sep = 0;
-    while (sep < rest.size() && rest[sep] != '\0') {
-      sep++;
-    }
-    TagValue tv;
-    tv.tag = std::string(rest.data(), sep);
-    if (sep + 1 <= rest.size()) {
-      tv.value = std::string(rest.data() + sep + 1, rest.size() - sep - 1);
-    }
-    out.push_back(std::move(tv));
-    return true;
-  }));
+  HFAD_RETURN_IF_ERROR(reverse_[TagShardOf(oid)].tree->ScanPrefix(
+      prefix, [&](Slice key, Slice) {
+        out.push_back(
+            DecodeNameSuffix(Slice(key.data() + prefix.size(), key.size() - prefix.size())));
+        return true;
+      }));
   return out;
 }
 
 bool FileSystem::HasName(ObjectId oid, const TagValue& name) const {
-  return reverse_tags_->Contains(ReverseKey(oid, name));
+  auto lock = tag_mu_.LockShared(oid);
+  return reverse_[TagShardOf(oid)].tree->Contains(ReverseKey(oid, name));
 }
 
 Status FileSystem::ScanAllNames(
     const std::function<bool(ObjectId, const TagValue&)>& fn) const {
-  return reverse_tags_->Scan("", "", [&](Slice key, Slice) {
+  // The reverse map is striped by oid, but the contract is a global scan in oid order:
+  // visit shards one at a time (each under its shared lock), gather a snapshot, and
+  // merge. Keys start with the big-endian oid, so a plain sort restores global
+  // (oid, tag, value) order across shards. Shard-at-a-time gives the same per-shard
+  // consistency as StripedMap::ForEach — mutations racing the scan land before or
+  // after their shard's visit, never mid-shard — while keeping hold times short (and
+  // staying under ThreadSanitizer's 64-held-locks ceiling). The locks are dropped
+  // before the callbacks run, so fn may call back into the FileSystem freely; it sees
+  // the snapshot.
+  std::vector<std::string> keys;
+  for (size_t shard = 0; shard < kTagShards; shard++) {
+    auto lock = tag_mu_.LockShardShared(shard);
+    HFAD_RETURN_IF_ERROR(reverse_[shard].tree->Scan("", "", [&](Slice key, Slice) {
+      keys.push_back(key.ToString());
+      return true;
+    }));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::string& key : keys) {
     if (key.size() < 9) {
-      return true;  // Malformed; fsck reports it via the forward pass.
+      continue;  // Malformed; fsck reports it via the forward pass.
     }
-    ObjectId oid = 0;
-    for (int i = 0; i < 8; i++) {
-      oid = (oid << 8) | static_cast<uint8_t>(key[i]);
+    ObjectId oid = OidFromKey(key);
+    TagValue tv = DecodeNameSuffix(Slice(key.data() + 8, key.size() - 8));
+    if (!fn(oid, tv)) {
+      return Status::Ok();
     }
-    Slice rest(key.data() + 8, key.size() - 8);
-    size_t sep = 0;
-    while (sep < rest.size() && rest[sep] != '\0') {
-      sep++;
-    }
-    TagValue tv;
-    tv.tag = std::string(rest.data(), sep);
-    if (sep + 1 <= rest.size()) {
-      tv.value = std::string(rest.data() + sep + 1, rest.size() - sep - 1);
-    }
-    return fn(oid, tv);
-  });
+  }
+  return Status::Ok();
 }
 
 Status FileSystem::IndexContentNow(ObjectId oid) {
@@ -359,7 +401,7 @@ Status FileSystem::IndexContent(ObjectId oid) {
   if (!osd_->Exists(oid)) {
     return Status::NotFound("no object " + std::to_string(oid));
   }
-  std::lock_guard<std::mutex> lock(TagLock(oid));
+  auto lock = tag_mu_.LockExclusive(oid);
   HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeOidRecord(kNsIndexContent, oid)));
   if (lazy_indexer_ == nullptr) {
     return IndexContentNow(oid);

@@ -29,10 +29,10 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/sharded_lock.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/fulltext/fulltext.h"
@@ -146,23 +146,41 @@ class FileSystem {
   static Status ApplyNamespaceRecord(osd::Osd* volume, index::IndexCollection* indexes,
                                      Slice payload);
 
+  // AddTag minus the tag/store/existence validation, for callers (Create) that have
+  // already established those invariants.
+  Status AddTagValidated(ObjectId oid, const TagValue& name);
   Status AddTagApply(ObjectId oid, const TagValue& name);
   Status RemoveTagApply(ObjectId oid, const TagValue& name);
   Status IndexContentNow(ObjectId oid);
 
-  std::mutex& TagLock(ObjectId oid) const { return tag_locks_[oid % tag_locks_.size()]; }
+  // Tag state is striped (see docs/CONCURRENCY.md): shard i of tag_mu_ guards both the
+  // serialization of tag mutations for oids in shard i and that shard's slice of the
+  // reverse map, so unrelated objects' tag operations never touch a common lock — no
+  // global reverse_mu_ bottleneck, which is the paper's §2.3 argument applied to our
+  // own metadata.
+  static constexpr size_t kTagShards = 64;
+  static constexpr size_t TagShardOf(ObjectId oid) {
+    return ShardedMutex<kTagShards>::ShardOf(oid);
+  }
+
+  // One stripe of the reverse map oid -> names (so Remove() can strip every name).
+  // Backed by a named btree per shard; `root` mirrors the last persisted root.
+  struct ReverseShard {
+    std::unique_ptr<btree::BTree> tree;
+    uint64_t root = 0;
+  };
+
+  // Persist shard's reverse-tree root if it moved. Caller holds the shard exclusively.
+  Status SyncReverseRoot(size_t shard);
 
   const FileSystemOptions options_;
   std::unique_ptr<osd::Osd> osd_;
   std::unique_ptr<index::IndexCollection> indexes_;
-  // Reverse map oid -> names, so Remove() can strip every name. Backed by a named btree.
-  std::unique_ptr<btree::BTree> reverse_tags_;
-  uint64_t reverse_root_ = 0;
   std::unique_ptr<query::QueryEngine> query_engine_;
   std::unique_ptr<fulltext::LazyIndexer> lazy_indexer_;
 
-  mutable std::array<std::mutex, 64> tag_locks_;
-  mutable std::mutex reverse_mu_;  // reverse_tags_ root bookkeeping.
+  mutable ShardedMutex<kTagShards> tag_mu_;
+  std::array<ReverseShard, kTagShards> reverse_;
 };
 
 // Iterative refinement of a search as a "current directory" (§4, open question #2).

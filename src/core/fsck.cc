@@ -58,23 +58,30 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
   }));
 
   // 3. Forward indexes -> reverse map: no orphaned entries, no dead objects.
+  // Snapshot each store's entries before probing: HasName takes a tag-shard lock, and
+  // the lock order is tag shards before store locks (docs/CONCURRENCY.md), so the
+  // probes must not run inside ScanValues' store lock.
   for (const std::string& tag : indexes->tags()) {
     const index::IndexStore* store = indexes->store(tag);
+    std::vector<std::pair<std::string, ObjectId>> entries;
     Status scan = store->ScanValues("", [&](Slice value, ObjectId oid) {
-      if (!volume->Exists(oid)) {
-        report.problems.push_back("index " + tag + " entry '" + value.ToString() +
-                                  "' references dead object " + std::to_string(oid));
-        return true;
-      }
-      if (!fs->HasName(oid, {tag, value.ToString()})) {
-        report.problems.push_back("index " + tag + " entry '" + value.ToString() +
-                                  "' has no reverse name (object " + std::to_string(oid) +
-                                  ")");
-      }
+      entries.emplace_back(value.ToString(), oid);
       return true;
     });
     if (!scan.ok() && scan.code() != StatusCode::kNotSupported) {
       return scan;  // Real IO failure; NotSupported just means non-enumerable store.
+    }
+    for (const auto& [value, oid] : entries) {
+      if (!volume->Exists(oid)) {
+        report.problems.push_back("index " + tag + " entry '" + value +
+                                  "' references dead object " + std::to_string(oid));
+        continue;
+      }
+      if (!fs->HasName(oid, {tag, value})) {
+        report.problems.push_back("index " + tag + " entry '" + value +
+                                  "' has no reverse name (object " + std::to_string(oid) +
+                                  ")");
+      }
     }
   }
 

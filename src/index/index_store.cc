@@ -1,6 +1,7 @@
 #include "src/index/index_store.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "src/common/coding.h"
@@ -79,41 +80,81 @@ Status KeyValueIndexStore::SyncRoot() {
 }
 
 Status KeyValueIndexStore::Add(Slice value, ObjectId oid) {
-  HFAD_RETURN_IF_ERROR(tree_->Put(EntryKey(value, oid), Slice()));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  bool inserted = false;
+  HFAD_RETURN_IF_ERROR(tree_->Put(EntryKey(value, oid), Slice(), &inserted));
+  if (inserted) {
+    // Keep warm cardinality estimates exact; values never estimated stay uncached.
+    card_cache_.MutateIfPresent(value.ToString(), [](uint64_t& n) { n++; });
+    postings_cache_.Erase(value.ToString());
+  }
   return SyncRoot();
 }
 
 Status KeyValueIndexStore::Remove(Slice value, ObjectId oid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   HFAD_RETURN_IF_ERROR(tree_->Delete(EntryKey(value, oid)));
+  card_cache_.MutateIfPresent(value.ToString(), [](uint64_t& n) {
+    if (n > 0) {
+      n--;
+    }
+  });
+  postings_cache_.Erase(value.ToString());
   return SyncRoot();
 }
 
 Result<std::vector<ObjectId>> KeyValueIndexStore::Lookup(Slice value) const {
-  std::vector<ObjectId> out;
+  std::string value_key = value.ToString();
+  PostingsRef cached;
+  if (postings_cache_.Get(value_key, &cached)) {
+    return *cached;
+  }
+  auto postings = std::make_shared<std::vector<ObjectId>>();
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::string prefix = ValuePrefix(value);
   HFAD_RETURN_IF_ERROR(tree_->ScanPrefix(prefix, [&](Slice key, Slice) {
     Slice oid_bytes(key.data() + prefix.size(), key.size() - prefix.size());
-    out.push_back(OidFromBytes(oid_bytes));
+    postings->push_back(OidFromBytes(oid_bytes));
     return true;
   }));
-  return out;  // Prefix scan yields ascending oid order (big-endian suffix).
+  std::vector<ObjectId> out = *postings;  // Prefix scan yields ascending oid order.
+  // The fill happens while mu_ is still held shared: mutators hold mu_ exclusive when
+  // they Erase this value, so they cannot interleave between our scan and our Put —
+  // a cached list is always consistent with some tree state no older than the scan.
+  postings_cache_.PutWithEvict(std::move(value_key), std::move(postings),
+                               kPostingsCacheMaxEntries /
+                                   decltype(postings_cache_)::kNumStripes);
+  return out;
 }
 
 Result<bool> KeyValueIndexStore::Contains(Slice value, ObjectId oid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tree_->Contains(EntryKey(value, oid));
 }
 
 Result<uint64_t> KeyValueIndexStore::EstimateCardinality(Slice value) const {
+  std::string key = value.ToString();
+  uint64_t cached = 0;
+  if (card_cache_.Get(key, &cached)) {
+    return cached;
+  }
   uint64_t n = 0;
+  std::shared_lock<std::shared_mutex> lock(mu_);
   HFAD_RETURN_IF_ERROR(tree_->ScanPrefix(ValuePrefix(value), [&](Slice, Slice) {
     n++;
     return n < 1024;  // Exact up to a cap; beyond that "large" is all the optimizer needs.
   }));
+  // Fill while mu_ is still held shared (same ordering as the postings cache): a racing
+  // Add/Remove adjusts warm entries under mu_ exclusive, so it cannot slip between our
+  // count and our fill and leave the cached baseline permanently stale.
+  card_cache_.PutWithEvict(std::move(key), n,
+                           kCardCacheMaxEntries / decltype(card_cache_)::kNumStripes);
   return n;
 }
 
 Status KeyValueIndexStore::ScanValues(
     Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return tree_->ScanPrefix(prefix, [&](Slice key, Slice) {
     // Split "value \0 oid8": the oid is the fixed-size suffix.
     if (key.size() < 9) {
@@ -148,24 +189,29 @@ Status FullTextIndexStore::SyncRoot() {
 }
 
 Status FullTextIndexStore::Add(Slice content, ObjectId oid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   HFAD_RETURN_IF_ERROR(engine_->IndexDocument(oid, content));
   return SyncRoot();
 }
 
 Status FullTextIndexStore::Remove(Slice, ObjectId oid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   HFAD_RETURN_IF_ERROR(engine_->RemoveDocument(oid));
   return SyncRoot();
 }
 
 Result<std::vector<ObjectId>> FullTextIndexStore::Lookup(Slice term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return engine_->Postings(term.ToString());
 }
 
 Result<bool> FullTextIndexStore::Contains(Slice term, ObjectId oid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return engine_->ContainsPosting(term.ToString(), oid);
 }
 
 Result<uint64_t> FullTextIndexStore::EstimateCardinality(Slice term) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return engine_->DocumentFrequency(term.ToString());
 }
 
@@ -236,18 +282,55 @@ Result<std::vector<ObjectId>> IndexCollection::Lookup(
   if (terms.empty()) {
     return Status::InvalidArgument("naming lookup needs at least one tag/value pair");
   }
-  std::vector<ObjectId> result;
-  bool first = true;
+  struct Conjunct {
+    const IndexStore* store;
+    const TagValue* term;
+    uint64_t estimate;
+  };
+  constexpr uint64_t kUnknown = std::numeric_limits<uint64_t>::max() / 4;
+  std::vector<Conjunct> plan;
+  plan.reserve(terms.size());
   for (const TagValue& term : terms) {
     const IndexStore* s = store(term.tag);
     if (s == nullptr) {
       return Status::NotFound("no index store for tag '" + term.tag + "'");
     }
-    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, s->Lookup(term.value));
+    uint64_t estimate = kUnknown;
+    if (terms.size() > 1) {
+      auto est = s->EstimateCardinality(term.value);
+      if (est.ok()) {
+        estimate = *est;
+      }
+    }
+    plan.push_back({s, &term, estimate});
+  }
+  // Cheapest conjunct first: the smallest postings list bounds every intersection that
+  // follows (and an empty one ends the lookup before the expensive terms run at all).
+  std::stable_sort(plan.begin(), plan.end(),
+                   [](const Conjunct& a, const Conjunct& b) {
+                     return a.estimate < b.estimate;
+                   });
+  std::vector<ObjectId> result;
+  bool first = true;
+  for (const Conjunct& c : plan) {
     if (first) {
-      result = std::move(ids);
+      HFAD_ASSIGN_OR_RETURN(result, c.store->Lookup(c.term->value));
       first = false;
+    } else if (result.size() * 8 < c.estimate) {
+      // The running intersection is small relative to this conjunct: probe membership
+      // per candidate instead of materializing the postings (the query engine's plan
+      // for AND nodes; the 8x factor matches a probe's descent cost vs. a scan step).
+      std::vector<ObjectId> kept;
+      kept.reserve(result.size());
+      for (ObjectId oid : result) {
+        HFAD_ASSIGN_OR_RETURN(bool has, c.store->Contains(c.term->value, oid));
+        if (has) {
+          kept.push_back(oid);
+        }
+      }
+      result = std::move(kept);
     } else {
+      HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, c.store->Lookup(c.term->value));
       result = IntersectSorted(result, ids);
     }
     if (result.empty()) {

@@ -22,11 +22,13 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/btree/btree.h"
+#include "src/common/sharded_lock.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/fulltext/fulltext.h"
@@ -53,6 +55,12 @@ struct TagValue {
 
 // Interface every index store implements. Values are tag-specific byte strings; the tag
 // "tells hFAD how to interpret the value and in which of multiple indexes to search".
+//
+// Thread safety: implementations must be internally synchronized with reader/writer
+// separation — Add/Remove exclusive, the read methods shared — so that concurrent
+// queries on one store proceed in parallel and never block each other (see
+// docs/CONCURRENCY.md). Cross-store operations need no shared lock at all: independent
+// indexes have no common ancestor to synchronize through (§2.3).
 class IndexStore {
  public:
   virtual ~IndexStore() = default;
@@ -102,12 +110,16 @@ class KeyValueIndexStore : public IndexStore {
       Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const override;
 
   // Number of (value, oid) associations (test support).
-  uint64_t entry_count() const { return tree_->Count(); }
+  uint64_t entry_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return tree_->Count();
+  }
 
  private:
   KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root);
 
-  // Persist the btree root under the named root when it has moved.
+  // Persist the btree root under the named root when it has moved. Callers hold mu_
+  // exclusively.
   Status SyncRoot();
 
   osd::Osd* const volume_;
@@ -115,6 +127,29 @@ class KeyValueIndexStore : public IndexStore {
   const std::string root_name_;
   std::unique_ptr<btree::BTree> tree_;
   uint64_t last_root_ = 0;
+
+  // Reader/writer separation: queries hold mu_ shared, mutations exclusive. Also what
+  // makes last_root_ bookkeeping safe under concurrent Add/Remove.
+  mutable std::shared_mutex mu_;
+
+  // Cardinality cache: value -> posting count, maintained on Add/Remove for values that
+  // have been estimated at least once. Makes EstimateCardinality O(1) warm, which is
+  // what lets conjunction planning (IndexCollection::Lookup, the query optimizer) order
+  // terms cheaply on every lookup. Striped so estimates on different values never
+  // contend. Bounded per stripe: at capacity each insert displaces one arbitrary
+  // resident entry (StripedMap::PutWithEvict) — no global flushes.
+  static constexpr size_t kCardCacheMaxEntries = 1 << 16;
+  mutable StripedMap<std::string, uint64_t> card_cache_;
+
+  // Postings cache: value -> materialized ascending-oid postings list, filled on
+  // Lookup misses and invalidated (per value) on Add/Remove. Repeated naming lookups
+  // on warm values skip the btree descent + leaf walk entirely — the §3.1.1 conjunction
+  // then runs off cached arrays. Shared_ptr values keep hits zero-copy under the shard
+  // lock. Bounded like the cardinality cache: per-stripe single-entry eviction at
+  // capacity, no global flushes.
+  static constexpr size_t kPostingsCacheMaxEntries = 1 << 14;
+  using PostingsRef = std::shared_ptr<const std::vector<ObjectId>>;
+  mutable StripedMap<std::string, PostingsRef> postings_cache_;
 };
 
 // Full-text store: Add() treats the value as document *content* to index; Lookup()
@@ -140,12 +175,16 @@ class FullTextIndexStore : public IndexStore {
  private:
   FullTextIndexStore(osd::Osd* volume, uint64_t root);
 
+  // Callers hold mu_ exclusively.
   Status SyncRoot();
 
   osd::Osd* const volume_;
   std::unique_ptr<btree::BTree> tree_;
   std::unique_ptr<fulltext::FullTextIndex> engine_;
   uint64_t last_root_ = 0;
+  // Reader/writer separation for the store API. The LazyIndexer's workers write through
+  // engine() directly and rely on the engine's own serialization instead.
+  mutable std::shared_mutex mu_;
 };
 
 // The ID fastpath (Table 1): "a special tag, ID, indicates that the value is actually a
@@ -176,13 +215,17 @@ class IdIndexStore : public IndexStore {
 
 // The collection of index stores: tag dispatch, plug-in registration, and conjunctive
 // naming lookups.
+//
+// The store map itself is immutable after mount-time registration (Register is not
+// thread-safe against concurrent lookups); all run-time synchronization lives inside
+// the individual stores.
 class IndexCollection {
  public:
   // Mounts the six Table 1 standard stores on `volume`.
   static Result<std::unique_ptr<IndexCollection>> Mount(osd::Osd* volume);
 
   // Plug-in model (open question #1): add a store for a new tag. AlreadyExists if the
-  // tag is taken.
+  // tag is taken. Mount-time only: not synchronized against concurrent lookups.
   Status Register(std::unique_ptr<IndexStore> store);
 
   // Store for a tag, or nullptr.
@@ -194,6 +237,11 @@ class IndexCollection {
 
   // Naming lookup (§3.1.1): the conjunction of per-term lookups, ascending oid order.
   // Multiple results are expected; "no query need uniquely define a data item".
+  //
+  // Conjuncts are evaluated cheapest-first (EstimateCardinality order), and once the
+  // running intersection is small relative to a conjunct's postings, membership is
+  // probed per candidate instead of materializing the postings — the same plan the
+  // query engine uses for AND nodes.
   Result<std::vector<ObjectId>> Lookup(const std::vector<TagValue>& terms) const;
 
  private:

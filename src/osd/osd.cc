@@ -274,26 +274,39 @@ Result<bool> Osd::EnsureJournalSpace(uint64_t record_bytes, uint64_t* reserved) 
   if (2 * (logical_need + epilogue_need) > sb_.journal_size) {
     return false;
   }
-  for (int attempt = 0; attempt < 2; attempt++) {
-    {
-      std::lock_guard<std::mutex> lock(journal_mu_);
-      uint64_t committed_epilogue =
-          pager_->dirty_pages() * (kPageSize + 32) + allocator_->allocation_count() * 16 +
-          4096;
-      uint64_t available = journal_->SpaceRemaining();
-      uint64_t needed =
-          logical_need + epilogue_need + logical_reserved_ + epilogue_reserved_ +
-          committed_epilogue;
-      if (available >= needed) {
-        logical_reserved_ += logical_need;
-        epilogue_reserved_ += epilogue_need;
-        *reserved = logical_need;
-        return true;
-      }
+  auto try_reserve = [&]() {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    uint64_t committed_epilogue =
+        pager_->dirty_pages() * (kPageSize + 32) + allocator_->allocation_count() * 16 +
+        4096;
+    uint64_t available = journal_->SpaceRemaining();
+    uint64_t needed =
+        logical_need + epilogue_need + logical_reserved_ + epilogue_reserved_ +
+        committed_epilogue;
+    if (available < needed) {
+      return false;
     }
-    // Not enough room: checkpoint (exclusive) and retry once.
+    logical_reserved_ += logical_need;
+    epilogue_reserved_ += epilogue_need;
+    *reserved = logical_need;
+    return true;
+  };
+  // The structural check above guarantees an op this size fits an empty journal, so a
+  // failed reservation is transient pressure from concurrent reservers. Checkpoint and
+  // re-reserve *while still holding the volume lock*: re-checking only on the next loop
+  // iteration would let rival threads refill the reservation budget first and starve
+  // this op (observed as spurious NoSpace under an 8-thread tag storm once the tag path
+  // got fast enough). The retry bound covers reservations that slip in between our
+  // checkpoint and re-check.
+  for (int attempt = 0; attempt < 8; attempt++) {
+    if (try_reserve()) {
+      return true;
+    }
     std::unique_lock<std::shared_mutex> vlock(volume_mu_);
     HFAD_RETURN_IF_ERROR(CheckpointLocked());
+    if (try_reserve()) {
+      return true;
+    }
   }
   return Status::NoSpace("journal cannot accommodate op of " +
                          std::to_string(record_bytes) + " bytes even after checkpoint");
@@ -470,7 +483,7 @@ Result<ObjectId> Osd::CreateObject() {
   (void)fits;  // A create record always fits.
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   ObjectId oid = next_oid_.fetch_add(1);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {
     rec_payload.push_back(static_cast<char>(kRtCreate));
@@ -484,12 +497,16 @@ Result<ObjectId> Osd::CreateObject() {
 
 Result<ObjectId> Osd::DoCreate(ObjectId oid, uint64_t now_ns) {
   std::string key = OidKey(oid);
-  if (object_table_->Contains(key)) {
-    return Status::AlreadyExists("object " + std::to_string(oid) + " already exists");
-  }
   ObjectRecord rec;
   rec.meta.atime_ns = rec.meta.mtime_ns = rec.meta.ctime_ns = now_ns;
-  HFAD_RETURN_IF_ERROR(object_table_->Put(key, EncodeRecord(rec)));
+  // Fresh oids come off the monotonic next_oid_ counter and replayed creates always
+  // postdate the last checkpoint (the journal resets there), so the key is new; Put's
+  // inserted flag is a cheaper uniqueness check than a separate Contains descent.
+  bool inserted = false;
+  HFAD_RETURN_IF_ERROR(object_table_->Put(key, EncodeRecord(rec), &inserted));
+  if (!inserted) {
+    return Status::AlreadyExists("object " + std::to_string(oid) + " already exists");
+  }
   return oid;
 }
 
@@ -498,7 +515,7 @@ Status Osd::DeleteObject(ObjectId oid) {
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
   (void)fits;
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   if (options_.journaling && !in_recovery_) {
     if (!object_table_->Contains(OidKey(oid))) {
       return Status::NotFound("no object " + std::to_string(oid));
@@ -549,7 +566,7 @@ Status Osd::ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& 
 
 Result<ObjectMeta> Osd::Stat(ObjectId oid) const {
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockShared(oid);
   HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
   HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
   return rec.meta;
@@ -560,7 +577,7 @@ Status Osd::SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gi
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
   (void)fits;
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {
     if (!object_table_->Contains(OidKey(oid))) {
@@ -594,7 +611,15 @@ Status Osd::DoSetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t 
 
 Status Osd::Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const {
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  // Plain reads hold the object shard shared; atime maintenance mutates the record,
+  // so it needs the exclusive hold.
+  std::shared_lock<std::shared_mutex> oshared;
+  std::unique_lock<std::shared_mutex> oexcl;
+  if (options_.update_atime) {
+    oexcl = object_mu_.LockExclusive(oid);
+  } else {
+    oshared = object_mu_.LockShared(oid);
+  }
   std::string key = OidKey(oid);
   HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(key));
   HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
@@ -636,7 +661,7 @@ Status Osd::Write(ObjectId oid, uint64_t offset, Slice data) {
     return CheckpointLocked();
   }
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {
     HFAD_ASSIGN_OR_RETURN(uint64_t size, LockedSize(oid));
@@ -662,7 +687,7 @@ Status Osd::Insert(ObjectId oid, uint64_t offset, Slice data) {
     return CheckpointLocked();
   }
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {
     HFAD_ASSIGN_OR_RETURN(uint64_t size, LockedSize(oid));
@@ -681,7 +706,7 @@ Status Osd::RemoveRange(ObjectId oid, uint64_t offset, uint64_t length) {
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(64, &reserved));
   (void)fits;
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {
     HFAD_ASSIGN_OR_RETURN(uint64_t size, LockedSize(oid));
@@ -704,7 +729,7 @@ Status Osd::Truncate(ObjectId oid, uint64_t new_size) {
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(64, &reserved));
   (void)fits;
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {
     HFAD_RETURN_IF_ERROR(LockedSize(oid).status());  // Object must exist.
@@ -720,7 +745,7 @@ Status Osd::Truncate(ObjectId oid, uint64_t new_size) {
 
 Result<uint64_t> Osd::Size(ObjectId oid) const {
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockShared(oid);
   HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
   HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
   return rec.meta.size;
@@ -784,7 +809,7 @@ Status Osd::DoTruncate(ObjectId oid, uint64_t new_size, uint64_t now_ns) {
 
 Status Osd::CheckObject(ObjectId oid) const {
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> olock(ObjectLock(oid));
+  auto olock = object_mu_.LockShared(oid);
   HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
   HFAD_ASSIGN_OR_RETURN(ObjectRecord rec, DecodeRecord(raw));
   extent::ExtentTree tree(pager_.get(), allocator_.get(), rec.extent_root);

@@ -23,13 +23,14 @@
 //     Recovery either redoes a completed checkpoint or replays the logical records.
 //   * journaling off: a plain write-back cache; durability only at Checkpoint().
 //
-// Concurrency: per-object sharded locks for data ops; a global reader/writer lock lets
-// Checkpoint() quiesce the volume. Independent objects never contend on a shared ancestor,
-// which is exactly the paper's §2.3 argument.
+// Concurrency: per-object sharded reader/writer locks (common::ShardedMutex) for data
+// ops — mutations exclusive, reads shared — plus a global reader/writer lock that lets
+// Checkpoint() quiesce the volume. Independent objects never contend on a shared
+// ancestor, which is exactly the paper's §2.3 argument. See docs/CONCURRENCY.md for the
+// full locking model and ordering rules.
 #ifndef HFAD_SRC_OSD_OSD_H_
 #define HFAD_SRC_OSD_OSD_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -39,6 +40,7 @@
 #include <string>
 
 #include "src/btree/btree.h"
+#include "src/common/sharded_lock.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/journal/journal.h"
@@ -110,6 +112,10 @@ class Osd {
   Status DeleteObject(ObjectId oid);
 
   bool Exists(ObjectId oid) const;
+
+  // Whether the volume journals logical records. Higher layers use this to skip
+  // encoding records that AppendForeign would discard anyway.
+  bool journaling_enabled() const { return options_.journaling; }
 
   // Number of live objects.
   uint64_t object_count() const;
@@ -215,10 +221,6 @@ class Osd {
   Status DoSetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid,
                          uint64_t now_ns);
 
-  std::mutex& ObjectLock(ObjectId oid) const {
-    return object_locks_[oid % object_locks_.size()];
-  }
-
   std::shared_ptr<BlockDevice> device_;
   const OsdOptions options_;
   Superblock sb_;
@@ -233,7 +235,11 @@ class Osd {
   mutable std::shared_mutex volume_mu_;
   // Protects journal appends and the reservation counters below.
   std::mutex journal_mu_;
-  mutable std::array<std::mutex, 64> object_locks_;
+  // Per-object sharded reader/writer locks: mutations take the object's shard
+  // exclusive, pure readers (Read/Stat/Size/CheckObject) take it shared, so
+  // independent objects never contend and readers of one object run in parallel.
+  static constexpr size_t kObjectShards = 64;
+  mutable ShardedMutex<kObjectShards> object_mu_;
 
   // Journal-space reservations (see EnsureJournalSpace). logical_reserved_ is released
   // when the reserved record is appended; epilogue_reserved_ (space for the dirty page

@@ -9,7 +9,7 @@ namespace hfad {
 
 namespace {
 
-bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+[[maybe_unused]] bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 int Log2Floor(uint64_t v) {
   int r = 0;

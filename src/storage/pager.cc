@@ -1,34 +1,62 @@
 #include "src/storage/pager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "src/common/stats.h"
 
 namespace hfad {
 
+namespace {
+
+// One stripe per 64 pages of capacity, at most 16: big caches get read parallelism,
+// small (test-sized) caches keep strict global capacity behavior in one stripe.
+size_t StripeCountFor(size_t capacity_pages) {
+  return std::max<size_t>(1, std::min<size_t>(16, capacity_pages / 64));
+}
+
+}  // namespace
+
 Pager::Pager(BlockDevice* device, size_t capacity_pages, bool no_steal)
-    : device_(device), capacity_(capacity_pages == 0 ? 1 : capacity_pages),
-      no_steal_(no_steal) {}
+    : device_(device),
+      capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      no_steal_(no_steal),
+      stripe_count_(StripeCountFor(capacity_)),
+      stripe_capacity_(std::max<size_t>(1, capacity_ / stripe_count_)),
+      stripes_(std::make_unique<Stripe[]>(stripe_count_)) {}
 
 Result<PageRef> Pager::Get(uint64_t offset) {
   if (offset % kPageSize != 0) {
     return Status::InvalidArgument("unaligned page offset " + std::to_string(offset));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(offset);
-  if (it != cache_.end()) {
+  Stripe& s = StripeFor(offset);
+  {
+    // Hit path: shared stripe lock + reference bit — no list maintenance, so
+    // concurrent readers never serialize.
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(offset);
+    if (it != s.map.end()) {
+      stats::Add(stats::Counter::kPagerHits);
+      it->second->Touch();
+      return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.map.find(offset);
+  if (it != s.map.end()) {
+    // Raced with another miss on the same page.
     stats::Add(stats::Counter::kPagerHits);
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return it->second.page;
+    it->second->Touch();
+    return it->second;
   }
   stats::Add(stats::Counter::kPageReads);
-  auto page = std::make_shared<Page>(offset);
+  auto page = std::make_shared<Page>(offset, &dirty_count_);
   std::string buf;
   HFAD_RETURN_IF_ERROR(device_->Read(offset, kPageSize, &buf));
   memcpy(page->data(), buf.data(), kPageSize);
-  HFAD_RETURN_IF_ERROR(EvictIfNeededLocked());
-  lru_.push_front(offset);
-  cache_[offset] = Entry{page, lru_.begin()};
+  HFAD_RETURN_IF_ERROR(EvictLocked(s));
+  s.map.emplace(offset, page);
+  s.ring.push_back(offset);
   return page;
 }
 
@@ -36,85 +64,94 @@ Result<PageRef> Pager::GetZeroed(uint64_t offset) {
   if (offset % kPageSize != 0) {
     return Status::InvalidArgument("unaligned page offset " + std::to_string(offset));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(offset);
-  if (it != cache_.end()) {
+  Stripe& s = StripeFor(offset);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.map.find(offset);
+  if (it != s.map.end()) {
     // Reuse the cached buffer but reset the contents.
-    memset(it->second.page->data(), 0, kPageSize);
-    it->second.page->MarkDirty();
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    return it->second.page;
+    memset(it->second->data(), 0, kPageSize);
+    it->second->MarkDirty();
+    it->second->Touch();
+    return it->second;
   }
-  auto page = std::make_shared<Page>(offset);
+  auto page = std::make_shared<Page>(offset, &dirty_count_);
   page->MarkDirty();
-  HFAD_RETURN_IF_ERROR(EvictIfNeededLocked());
-  lru_.push_front(offset);
-  cache_[offset] = Entry{page, lru_.begin()};
+  HFAD_RETURN_IF_ERROR(EvictLocked(s));
+  s.map.emplace(offset, page);
+  s.ring.push_back(offset);
   return page;
 }
 
-Status Pager::EvictIfNeededLocked() {
-  // Walk the LRU tail looking for unpinned victims. A page still referenced outside the
-  // cache (use_count > 1) must not be evicted: the holder may mutate it after eviction and
-  // those mutations would be lost. If everything is pinned the cache temporarily overflows,
-  // which is safe — capacity is a target, not a hard bound.
-  if (cache_.size() < capacity_) {
+Status Pager::EvictLocked(Stripe& s) {
+  if (s.map.size() < stripe_capacity_) {
     return Status::Ok();
   }
-  std::vector<uint64_t> tail_first(lru_.rbegin(), lru_.rend());
-  for (uint64_t victim : tail_first) {
-    if (cache_.size() < capacity_) {
-      break;
+  // Second-chance sweep. A page still referenced outside the cache (use_count > 1) must
+  // not be evicted: the holder may mutate it after eviction and those mutations would be
+  // lost. If everything is pinned/recently-used/no-steal-dirty, the sweep budget runs
+  // out and the stripe temporarily overflows, which is safe — capacity is a target, not
+  // a hard bound.
+  size_t budget = 2 * s.ring.size() + 4;
+  while (s.map.size() >= stripe_capacity_ && budget-- > 0 && !s.ring.empty()) {
+    uint64_t victim = s.ring.front();
+    s.ring.pop_front();
+    auto it = s.map.find(victim);
+    if (it == s.map.end()) {
+      continue;  // Stale ring entry (Invalidate'd page).
     }
-    auto cit = cache_.find(victim);
-    if (cit == cache_.end() || cit->second.page.use_count() > 1) {
-      continue;  // Already gone or pinned.
+    PageRef& page = it->second;
+    if (page.use_count() > 1) {
+      s.ring.push_back(victim);  // Pinned.
+      continue;
     }
-    if (no_steal_ && cit->second.page->dirty()) {
-      continue;  // Dirty pages must not reach the device before the next checkpoint.
+    if (page->referenced()) {
+      page->ClearReferenced();  // Second chance.
+      s.ring.push_back(victim);
+      continue;
     }
-    if (cit->second.page->dirty()) {
+    if (page->dirty()) {
+      if (no_steal_) {
+        s.ring.push_back(victim);  // Must not reach the device before the checkpoint.
+        continue;
+      }
       stats::Add(stats::Counter::kPageWrites);
-      HFAD_RETURN_IF_ERROR(
-          device_->Write(victim, Slice(cit->second.page->cdata(), kPageSize)));
-      cit->second.page->ClearDirty();
+      HFAD_RETURN_IF_ERROR(device_->Write(victim, Slice(page->cdata(), kPageSize)));
+      page->ClearDirty();
     }
-    lru_.erase(cit->second.lru_it);
-    cache_.erase(cit);
+    s.map.erase(it);
   }
   return Status::Ok();
 }
 
 Status Pager::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [offset, entry] : cache_) {
-    if (entry.page->dirty()) {
-      stats::Add(stats::Counter::kPageWrites);
-      HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(entry.page->cdata(), kPageSize)));
-      entry.page->ClearDirty();
+  // Exclude in-flight multi-page structure mutations (see SharedMutationHold) so the
+  // write-back is a consistent snapshot.
+  std::unique_lock<std::shared_mutex> mutation_barrier(flush_mu_);
+  for (size_t i = 0; i < stripe_count_; i++) {
+    Stripe& s = stripes_[i];
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    for (auto& [offset, page] : s.map) {
+      if (page->dirty()) {
+        stats::Add(stats::Counter::kPageWrites);
+        HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(page->cdata(), kPageSize)));
+        page->ClearDirty();
+      }
     }
   }
   return device_->Sync();
 }
 
 void Pager::CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [offset, entry] : cache_) {
-    if (entry.page->dirty()) {
-      out->emplace_back(offset, std::string(entry.page->cdata(), kPageSize));
+  std::unique_lock<std::shared_mutex> mutation_barrier(flush_mu_);
+  for (size_t i = 0; i < stripe_count_; i++) {
+    const Stripe& s = stripes_[i];
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    for (const auto& [offset, page] : s.map) {
+      if (page->dirty()) {
+        out->emplace_back(offset, std::string(page->cdata(), kPageSize));
+      }
     }
   }
-}
-
-size_t Pager::dirty_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t n = 0;
-  for (const auto& [offset, entry] : cache_) {
-    if (entry.page->dirty()) {
-      n++;
-    }
-  }
-  return n;
 }
 
 Status Pager::ReadRaw(uint64_t offset, size_t size, std::string* out) const {
@@ -124,30 +161,39 @@ Status Pager::ReadRaw(uint64_t offset, size_t size, std::string* out) const {
 Status Pager::WriteRaw(uint64_t offset, Slice data) { return device_->Write(offset, data); }
 
 void Pager::Invalidate(uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = cache_.find(offset);
-  if (it != cache_.end()) {
-    lru_.erase(it->second.lru_it);
-    cache_.erase(it);
+  Stripe& s = StripeFor(offset);
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  auto it = s.map.find(offset);
+  if (it != s.map.end()) {
+    it->second->ClearDirty();  // Discarded, not deferred: keep the dirty count honest.
+    s.map.erase(it);           // The ring entry goes stale; the sweep skips it.
   }
 }
 
 Status Pager::DropCacheForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [offset, entry] : cache_) {
-    if (entry.page->dirty()) {
-      HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(entry.page->cdata(), kPageSize)));
-      entry.page->ClearDirty();
+  std::unique_lock<std::shared_mutex> mutation_barrier(flush_mu_);
+  for (size_t i = 0; i < stripe_count_; i++) {
+    Stripe& s = stripes_[i];
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    for (auto& [offset, page] : s.map) {
+      if (page->dirty()) {
+        HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(page->cdata(), kPageSize)));
+        page->ClearDirty();
+      }
     }
+    s.map.clear();
+    s.ring.clear();
   }
-  cache_.clear();
-  lru_.clear();
   return Status::Ok();
 }
 
 size_t Pager::cached_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cache_.size();
+  size_t n = 0;
+  for (size_t i = 0; i < stripe_count_; i++) {
+    std::shared_lock<std::shared_mutex> lock(stripes_[i].mu);
+    n += stripes_[i].map.size();
+  }
+  return n;
 }
 
 }  // namespace hfad

@@ -1,21 +1,28 @@
-// Pager: a fixed-size page cache between the btrees and the block device.
+// Pager: a striped page cache between the btrees and the block device.
 //
 // Pages are 4 KiB, identified by their byte offset on the device (always page-aligned —
-// the buddy allocator's minimum block is one page). The pager keeps an LRU cache of shared
-// page buffers with dirty tracking and write-back, and counts hits/misses/write-backs in
-// hfad::stats so benchmarks can report IO amplification.
+// the buddy allocator's minimum block is one page). The cache is striped by page offset
+// into independently locked stripes (the same lock-striping idiom as
+// common/sharded_lock.h — see docs/CONCURRENCY.md): a cache hit takes its stripe's lock
+// *shared* and sets a second-chance reference bit, so concurrent readers of disjoint —
+// or even the same — pages never serialize on a global cache mutex. Only misses,
+// zero-fills, and eviction take a stripe exclusively. Eviction is per-stripe
+// second-chance FIFO (CLOCK): approximate LRU that needs no list splice on the hit
+// path. The stripe count adapts to capacity (one stripe per 64 pages, at most 16) so
+// small caches keep strict global capacity behavior.
 //
-// Concurrency: the cache map is internally synchronized. Page *content* synchronization is
-// the responsibility of the owning structure (each btree holds its own lock), matching the
-// paper's argument that locking should live in the index, not a shared namespace.
+// Hits/misses/write-backs are counted in hfad::stats so benchmarks can report IO
+// amplification. Page *content* synchronization remains the responsibility of the
+// owning structure (each btree holds its own lock), matching the paper's argument that
+// locking should live in the index, not a shared namespace.
 #ifndef HFAD_SRC_STORAGE_PAGER_H_
 #define HFAD_SRC_STORAGE_PAGER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <list>
+#include <deque>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -31,7 +38,12 @@ constexpr size_t kPageSize = 4096;
 // A cached page buffer. Access content through data(); call MarkDirty() after mutating.
 class Page {
  public:
-  explicit Page(uint64_t offset) : offset_(offset) { buf_.resize(kPageSize); }
+  // `dirty_counter`, when set, tracks the number of dirty pages across the owning
+  // cache — maintained here because content owners mark pages dirty directly.
+  explicit Page(uint64_t offset, std::atomic<int64_t>* dirty_counter = nullptr)
+      : offset_(offset), dirty_counter_(dirty_counter) {
+    buf_.resize(kPageSize);
+  }
 
   uint64_t offset() const { return offset_; }
   uint8_t* data() { return reinterpret_cast<uint8_t*>(buf_.data()); }
@@ -39,14 +51,29 @@ class Page {
   char* cdata() { return buf_.data(); }
   const char* cdata() const { return buf_.data(); }
 
-  void MarkDirty() { dirty_.store(true, std::memory_order_release); }
+  void MarkDirty() {
+    if (!dirty_.exchange(true, std::memory_order_acq_rel) && dirty_counter_ != nullptr) {
+      dirty_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   bool dirty() const { return dirty_.load(std::memory_order_acquire); }
-  void ClearDirty() { dirty_.store(false, std::memory_order_release); }
+  void ClearDirty() {
+    if (dirty_.exchange(false, std::memory_order_acq_rel) && dirty_counter_ != nullptr) {
+      dirty_counter_->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Second-chance (CLOCK) reference bit, settable under a shared stripe lock.
+  void Touch() { referenced_.store(true, std::memory_order_relaxed); }
+  bool referenced() const { return referenced_.load(std::memory_order_relaxed); }
+  void ClearReferenced() { referenced_.store(false, std::memory_order_relaxed); }
 
  private:
   const uint64_t offset_;
   std::string buf_;
   std::atomic<bool> dirty_{false};
+  std::atomic<bool> referenced_{false};
+  std::atomic<int64_t>* const dirty_counter_;
 };
 
 using PageRef = std::shared_ptr<Page>;
@@ -75,8 +102,12 @@ class Pager {
   // redo-able after a crash.
   void CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const;
 
-  // Number of dirty pages currently cached.
-  size_t dirty_pages() const;
+  // Number of dirty pages currently cached. O(1): journal-space accounting calls this
+  // on every journaled op.
+  size_t dirty_pages() const {
+    int64_t n = dirty_count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
 
   // Drop a page from the cache (after its extent is freed). Discards dirty data.
   void Invalidate(uint64_t offset);
@@ -86,26 +117,52 @@ class Pager {
   Status ReadRaw(uint64_t offset, size_t size, std::string* out) const;
   Status WriteRaw(uint64_t offset, Slice data);
 
+  // Multi-page mutation vs. snapshot coordination. Structure mutators (btree writers)
+  // hold this shared for the duration of a mutation that spans page boundaries; Flush /
+  // CollectDirty / DropCacheForTesting hold it exclusive internally, so a checkpoint
+  // only ever snapshots complete mutations. Page *content* writes under an OSD object
+  // lock are already excluded from checkpoints by volume_mu_; this hold covers the
+  // FileSystem-layer index/reverse trees that mutate pages outside the volume lock.
+  // Lock order: tree lock -> this -> stripe locks (see docs/CONCURRENCY.md).
+  [[nodiscard]] std::shared_lock<std::shared_mutex> SharedMutationHold() const {
+    return std::shared_lock<std::shared_mutex>(flush_mu_);
+  }
+
   // Drop the whole cache (testing: force re-reads from the device).
   Status DropCacheForTesting();
 
   size_t cached_pages() const;
 
+  size_t stripe_count() const { return stripe_count_; }
+
  private:
-  Status EvictIfNeededLocked();
+  // One independently locked cache stripe: hash map of resident pages plus the
+  // second-chance FIFO ring the evictor sweeps. Ring entries are lazily deleted
+  // (Invalidate leaves a stale offset behind; the sweep skips it).
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, PageRef> map;
+    std::deque<uint64_t> ring;
+  };
+
+  Stripe& StripeFor(uint64_t offset) const {
+    return stripes_[(offset / kPageSize) % stripe_count_];
+  }
+
+  // Evict from `s` until it is under its per-stripe budget (or nothing is evictable:
+  // capacity is a target, not a hard bound — pinned and no-steal-dirty pages stay).
+  // Caller holds s.mu exclusively.
+  Status EvictLocked(Stripe& s);
 
   BlockDevice* const device_;
   const size_t capacity_;
   const bool no_steal_;
-
-  mutable std::mutex mu_;
-  // LRU: most recently used at front.
-  std::list<uint64_t> lru_;
-  struct Entry {
-    PageRef page;
-    std::list<uint64_t>::iterator lru_it;
-  };
-  std::unordered_map<uint64_t, Entry> cache_;
+  const size_t stripe_count_;
+  const size_t stripe_capacity_;
+  const std::unique_ptr<Stripe[]> stripes_;
+  mutable std::atomic<int64_t> dirty_count_{0};
+  // See SharedMutationHold().
+  mutable std::shared_mutex flush_mu_;
 };
 
 }  // namespace hfad

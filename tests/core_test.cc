@@ -1,5 +1,6 @@
 // Tests for the native hFAD API: naming, tagging, access, search cursors, and
 // namespace crash recovery.
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <string>
@@ -9,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/filesystem.h"
+#include "src/core/fsck.h"
 #include "src/storage/block_device.h"
 
 namespace hfad {
@@ -330,6 +332,72 @@ TEST(CorePersistenceTest, NamespaceRecoversAfterCrash) {
 }
 
 // ---------------------------------------------------------------- concurrency
+
+// The lock-striping stress case: N threads tag/untag an OVERLAPPING object set, so tag
+// shards, index-store locks, and reverse-map stripes all see concurrent mixed traffic
+// on the same objects. The schedule is adversarial but the invariant is exact: after
+// the storm, the forward indexes and the reverse map must agree perfectly (Fsck), and
+// every surviving name must be reachable through Lookup.
+TEST(CoreConcurrencyTest, OverlappingTagStormStaysFsckClean) {
+  FileSystemOptions opts;
+  opts.lazy_indexing_threads = 0;
+  auto fs = FileSystem::Create(std::make_shared<MemoryBlockDevice>(kDev), opts);
+  ASSERT_TRUE(fs.ok());
+
+  constexpr int kObjects = 48;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 120;
+  std::vector<ObjectId> oids;
+  oids.reserve(kObjects);
+  for (int i = 0; i < kObjects; i++) {
+    auto oid = (*fs)->Create({{"USER", "owner" + std::to_string(i % 4)}});
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&fs, &oids, t] {
+      for (int i = 0; i < kIters; i++) {
+        // Deterministic per-thread walk that collides with other threads' walks.
+        ObjectId oid = oids[(t * 7 + i * 13) % kObjects];
+        TagValue name{"UDEF", "mark" + std::to_string((t + i) % 6)};
+        Status add = (*fs)->AddTag(oid, name);
+        ASSERT_TRUE(add.ok()) << add.ToString();
+        if (i % 3 != 0) {
+          // Racing removers may hit NotFound when another thread already won; any
+          // other failure is a real bug.
+          Status rm = (*fs)->RemoveTag(oid, name);
+          ASSERT_TRUE(rm.ok() || rm.IsNotFound()) << rm.ToString();
+        }
+        if (i % 16 == 0) {
+          auto hits = (*fs)->Lookup({{"UDEF", "mark" + std::to_string(i % 6)}});
+          ASSERT_TRUE(hits.ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  auto report = CheckFileSystem((*fs).get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean()) << report->ToString();
+
+  // Every name the storm left behind is reachable through the naming interface.
+  for (ObjectId oid : oids) {
+    auto tags = (*fs)->Tags(oid);
+    ASSERT_TRUE(tags.ok());
+    for (const TagValue& name : *tags) {
+      auto hits = (*fs)->Lookup({name});
+      ASSERT_TRUE(hits.ok());
+      EXPECT_TRUE(std::find(hits->begin(), hits->end(), oid) != hits->end())
+          << name.tag << ":" << name.value << " lookup misses object " << oid;
+    }
+  }
+}
 
 TEST(CoreConcurrencyTest, ParallelTaggingOnIndependentObjects) {
   FileSystemOptions opts;

@@ -59,6 +59,7 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }

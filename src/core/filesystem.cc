@@ -15,6 +15,10 @@ constexpr uint8_t kNsAddTag = 1;
 constexpr uint8_t kNsRemoveTag = 2;
 constexpr uint8_t kNsIndexContent = 3;
 constexpr uint8_t kNsUnindexContent = 4;
+// One record framing a whole NamespaceBatch: varint op count, then per op one
+// kNsAddTag/kNsRemoveTag sub-record. The journal's record-level atomicity is what makes
+// the batch recover as a unit.
+constexpr uint8_t kNsBatch = 5;
 
 // Reverse-map btree roots, one named root per shard ("core/reverse-tags/<shard>").
 constexpr char kReverseRootPrefix[] = "core/reverse-tags/";
@@ -143,6 +147,37 @@ Result<std::unique_ptr<FileSystem>> FileSystem::Open(std::shared_ptr<BlockDevice
 
 // ---------------------------------------------------------------- replay
 
+// Replay one add/remove association (shared by single-tag records and batch
+// sub-records). Tolerates NotFound: the original op may have failed after journaling.
+Status FileSystem::ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes,
+                               uint8_t op, ObjectId oid, const TagValue& name) {
+  index::IndexStore* store = indexes->store(name.tag);
+  if (store == nullptr) {
+    return Status::Corruption("tag record for unknown store '" + name.tag + "'");
+  }
+  const std::string root_name = ReverseRootName(TagShardOf(oid));
+  btree::BTree reverse(volume->pager(), volume->allocator(),
+                       volume->GetNamedRoot(root_name).value_or(0));
+  Status s;
+  if (op == kNsAddTag) {
+    s = store->Add(name.value, oid);
+    if (s.ok()) {
+      s = reverse.Put(ReverseKey(oid, name), Slice());
+    }
+  } else {
+    s = store->Remove(name.value, oid);
+    if (s.ok() || s.IsNotFound()) {
+      Status rs = reverse.Delete(ReverseKey(oid, name));
+      s = rs.IsNotFound() ? Status::Ok() : rs;
+    }
+  }
+  if (s.IsNotFound()) {
+    s = Status::Ok();
+  }
+  HFAD_RETURN_IF_ERROR(s);
+  return volume->SetNamedRoot(root_name, reverse.root());
+}
+
 Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
                                         index::IndexCollection* indexes, Slice payload) {
   if (payload.empty()) {
@@ -151,6 +186,31 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
   uint8_t op = static_cast<uint8_t>(payload[0]);
   Slice in = payload;
   in.RemovePrefix(1);
+  if (op == kNsBatch) {
+    uint64_t count = 0;
+    if (!GetVarint64(&in, &count)) {
+      return Status::Corruption("bad batch record count");
+    }
+    for (uint64_t i = 0; i < count; i++) {
+      if (in.empty()) {
+        return Status::Corruption("truncated batch record");
+      }
+      uint8_t sub_op = static_cast<uint8_t>(in[0]);
+      in.RemovePrefix(1);
+      uint64_t oid;
+      Slice tag, value;
+      if (!GetVarint64(&in, &oid) || !GetLengthPrefixed(&in, &tag) ||
+          !GetLengthPrefixed(&in, &value)) {
+        return Status::Corruption("bad batch sub-record");
+      }
+      if (sub_op != kNsAddTag && sub_op != kNsRemoveTag) {
+        return Status::Corruption("unknown batch sub-op " + std::to_string(sub_op));
+      }
+      HFAD_RETURN_IF_ERROR(
+          ReplayTagOp(volume, indexes, sub_op, oid, {tag.ToString(), value.ToString()}));
+    }
+    return Status::Ok();
+  }
   uint64_t oid;
   if (!GetVarint64(&in, &oid)) {
     return Status::Corruption("bad namespace record oid");
@@ -162,32 +222,7 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
       if (!GetLengthPrefixed(&in, &tag) || !GetLengthPrefixed(&in, &value)) {
         return Status::Corruption("bad tag record");
       }
-      index::IndexStore* store = indexes->store(tag.view());
-      if (store == nullptr) {
-        return Status::Corruption("tag record for unknown store '" + tag.ToString() + "'");
-      }
-      const std::string root_name = ReverseRootName(TagShardOf(oid));
-      btree::BTree reverse(volume->pager(), volume->allocator(),
-                           volume->GetNamedRoot(root_name).value_or(0));
-      TagValue name{tag.ToString(), value.ToString()};
-      Status s;
-      if (op == kNsAddTag) {
-        s = store->Add(name.value, oid);
-        if (s.ok()) {
-          s = reverse.Put(ReverseKey(oid, name), Slice());
-        }
-      } else {
-        s = store->Remove(name.value, oid);
-        if (s.ok() || s.IsNotFound()) {
-          Status rs = reverse.Delete(ReverseKey(oid, name));
-          s = rs.IsNotFound() ? Status::Ok() : rs;
-        }
-      }
-      if (s.IsNotFound()) {
-        s = Status::Ok();  // The original op may have failed after journaling; tolerate.
-      }
-      HFAD_RETURN_IF_ERROR(s);
-      return volume->SetNamedRoot(root_name, reverse.root());
+      return ReplayTagOp(volume, indexes, op, oid, {tag.ToString(), value.ToString()});
     }
     case kNsIndexContent: {
       auto size = volume->Size(oid);
@@ -212,22 +247,73 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
 
 // ---------------------------------------------------------------- naming
 
+Result<std::unique_ptr<index::PostingIterator>> FileSystem::OpenQuery(
+    const query::Expr& expr, query::PlanStats* stats) const {
+  return query_engine_->planner().Plan(expr, stats);
+}
+
+Result<query::FindPage> FileSystem::Find(const query::Expr& expr,
+                                         const query::FindOptions& options) const {
+  HFAD_ASSIGN_OR_RETURN(auto it, query_engine_->planner().Plan(expr, options.stats));
+  return query::Paginate(it.get(), options);
+}
+
+Result<query::FindPage> FileSystem::Find(Slice query_text,
+                                         const query::FindOptions& options) const {
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<query::Expr> expr, query::Parse(query_text));
+  return Find(*expr, options);
+}
+
 Result<std::vector<ObjectId>> FileSystem::Lookup(const std::vector<TagValue>& terms) const {
-  return indexes_->Lookup(terms);
+  if (terms.empty()) {
+    return Status::InvalidArgument("naming lookup needs at least one tag/value pair");
+  }
+  HFAD_ASSIGN_OR_RETURN(query::FindPage page, Find(*query::Expr::AndTerms(terms)));
+  return std::move(page.ids);
 }
 
 Result<std::vector<ObjectId>> FileSystem::Query(Slice query_text) const {
-  return query_engine_->Run(query_text);
+  HFAD_ASSIGN_OR_RETURN(query::FindPage page, Find(query_text));
+  return std::move(page.ids);
 }
 
 Result<std::vector<fulltext::SearchHit>> FileSystem::SearchText(
     const std::vector<std::string>& terms, size_t limit) const {
+  if (terms.empty()) {
+    return Status::InvalidArgument("empty search");
+  }
+  // Same normalization contract as the engine's own Search: stopwords and
+  // non-indexable terms are rejected, not silently empty.
+  std::vector<std::string> normalized;
+  normalized.reserve(terms.size());
+  for (const std::string& t : terms) {
+    std::string norm = fulltext::NormalizeTerm(t);
+    if (norm.empty()) {
+      return Status::InvalidArgument("term '" + t + "' has no indexable characters");
+    }
+    if (fulltext::IsStopword(norm)) {
+      return Status::InvalidArgument("term '" + norm + "' is a stopword and never indexed");
+    }
+    normalized.push_back(std::move(norm));
+  }
+  // Candidate generation through the same planner/iterator path as every other naming
+  // entry point; BM25 then scores only the surviving conjunction.
+  std::vector<std::unique_ptr<query::Expr>> children;
+  children.reserve(normalized.size());
+  for (const std::string& norm : normalized) {
+    children.push_back(query::Expr::Term(std::string(index::kTagFulltext), norm));
+  }
+  std::unique_ptr<query::Expr> expr =
+      children.size() == 1 ? std::move(children[0]) : query::Expr::And(std::move(children));
+  HFAD_ASSIGN_OR_RETURN(query::FindPage page, Find(*expr));
   const auto* ft =
       static_cast<const index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
-  return ft->engine()->Search(terms, limit);
+  return ft->engine()->ScoreDocuments(normalized, page.ids, limit);
 }
 
 SearchCursor FileSystem::OpenCursor() const { return SearchCursor(this); }
+
+NamespaceBatch FileSystem::NewBatch() { return NamespaceBatch(this); }
 
 // ---------------------------------------------------------------- lifecycle
 
@@ -241,10 +327,16 @@ Result<ObjectId> FileSystem::Create(const std::vector<TagValue>& names) {
     }
   }
   HFAD_ASSIGN_OR_RETURN(ObjectId oid, osd_->CreateObject());
-  for (const TagValue& name : names) {
-    // Tags validated above and the object is known to exist — skip AddTag's rechecks.
-    HFAD_RETURN_IF_ERROR(AddTagValidated(oid, name));
+  if (names.empty()) {
+    return oid;
   }
+  // All initial names ride one batch: one shard acquisition, one journal record.
+  std::vector<BatchOp> ops;
+  ops.reserve(names.size());
+  for (const TagValue& name : names) {
+    ops.push_back(BatchOp{kNsAddTag, oid, name});
+  }
+  HFAD_RETURN_IF_ERROR(CommitBatch(ops));
   return oid;
 }
 
@@ -333,6 +425,52 @@ Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
     HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsRemoveTag, oid, name)));
   }
   return RemoveTagApply(oid, name);
+}
+
+Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  std::vector<uint64_t> oids;
+  oids.reserve(ops.size());
+  for (const BatchOp& op : ops) {
+    if (!osd_->Exists(op.oid)) {
+      return Status::NotFound("no object " + std::to_string(op.oid));
+    }
+    oids.push_back(op.oid);
+  }
+  // Every involved shard once, ascending (the MultiLock deadlock-freedom rule), instead
+  // of lock/unlock per tag.
+  auto lock = tag_mu_.LockMultiExclusive(oids);
+  // Validate removals against pre-batch state so a journaled batch always corresponds
+  // to applicable ops (same rule as the single-op RemoveTag).
+  for (const BatchOp& op : ops) {
+    if (op.op == kNsRemoveTag &&
+        !reverse_[TagShardOf(op.oid)].tree->Contains(ReverseKey(op.oid, op.name))) {
+      return Status::NotFound("object " + std::to_string(op.oid) + " has no name " +
+                              op.name.tag + ":" + op.name.value);
+    }
+  }
+  if (osd_->journaling_enabled()) {
+    std::string rec;
+    rec.push_back(static_cast<char>(kNsBatch));
+    PutVarint64(&rec, ops.size());
+    for (const BatchOp& op : ops) {
+      rec.push_back(static_cast<char>(op.op));
+      PutVarint64(&rec, op.oid);
+      PutLengthPrefixed(&rec, op.name.tag);
+      PutLengthPrefixed(&rec, op.name.value);
+    }
+    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(rec));
+  }
+  for (const BatchOp& op : ops) {
+    if (op.op == kNsAddTag) {
+      HFAD_RETURN_IF_ERROR(AddTagApply(op.oid, op.name));
+    } else {
+      HFAD_RETURN_IF_ERROR(RemoveTagApply(op.oid, op.name));
+    }
+  }
+  return Status::Ok();
 }
 
 Result<std::vector<TagValue>> FileSystem::Tags(ObjectId oid) const {
@@ -456,54 +594,94 @@ Status FileSystem::Checkpoint() { return osd_->Checkpoint(); }
 // ---------------------------------------------------------------- SearchCursor
 
 Status SearchCursor::Refine(const TagValue& term) {
-  const index::IndexStore* store = fs_->indexes()->store(term.tag);
-  if (store == nullptr) {
+  if (fs_->indexes()->store(term.tag) == nullptr) {
     return Status::NotFound("no index store for tag '" + term.tag + "'");
   }
-  HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, store->Lookup(term.value));
-  if (cached_) {
-    results_ = index::IntersectSorted(results_, ids);
-  } else if (!path_.empty()) {
-    // Shouldn't happen (cache tracks path), but recompute defensively.
-    HFAD_ASSIGN_OR_RETURN(results_, fs_->Lookup(path_));
-    results_ = index::IntersectSorted(results_, ids);
-  } else {
-    results_ = std::move(ids);
-  }
-  cached_ = true;
   path_.push_back(term);
   return Status::Ok();
 }
 
 Status SearchCursor::Up() {
-  if (path_.empty()) {
-    return Status::Ok();
+  if (!path_.empty()) {
+    path_.pop_back();
   }
-  path_.pop_back();
-  cached_ = false;
-  results_.clear();
   return Status::Ok();
 }
 
-Result<std::vector<ObjectId>> SearchCursor::Results() const {
-  if (cached_) {
-    return results_;
-  }
+Result<query::FindPage> SearchCursor::ResultsPage(const query::FindOptions& options) const {
   if (path_.empty()) {
-    // Root: every object on the volume.
-    std::vector<ObjectId> all;
+    // Root: page over every object on the volume in oid order. (The object table has no
+    // seek entry point, so each page rescans up to `after` — refine before paging deep.)
+    query::FindPage page;
+    const ObjectId after = options.after;
     HFAD_RETURN_IF_ERROR(const_cast<FileSystem*>(fs_)->volume()->ScanObjects(
         [&](ObjectId oid, const osd::ObjectMeta&) {
-          all.push_back(oid);
+          if (oid <= after) {
+            return true;
+          }
+          if (options.limit != 0 && page.ids.size() == options.limit) {
+            page.has_more = true;
+            page.next_after = page.ids.back();
+            return false;
+          }
+          page.ids.push_back(oid);
           return true;
         }));
-    results_ = std::move(all);
-    cached_ = true;
-    return results_;
+    return page;
   }
-  HFAD_ASSIGN_OR_RETURN(results_, fs_->Lookup(path_));
-  cached_ = true;
-  return results_;
+  return fs_->Find(*query::Expr::AndTerms(path_), options);
+}
+
+Result<std::vector<ObjectId>> SearchCursor::Results() const {
+  query::FindOptions options;
+  options.limit = kDefaultResultLimit;
+  HFAD_ASSIGN_OR_RETURN(query::FindPage page, ResultsPage(options));
+  return std::move(page.ids);
+}
+
+// ---------------------------------------------------------------- NamespaceBatch
+
+Status NamespaceBatch::AddTag(ObjectId oid, const TagValue& name) {
+  if (!TaggableTag(name.tag)) {
+    return Status::InvalidArgument("tag '" + name.tag +
+                                   "' cannot be assigned manually (use IndexContent for "
+                                   "FULLTEXT; IDs are intrinsic)");
+  }
+  if (fs_->indexes()->store(name.tag) == nullptr) {
+    return Status::NotFound("no index store for tag '" + name.tag + "'");
+  }
+  ops_.push_back(FileSystem::BatchOp{kNsAddTag, oid, name});
+  return Status::Ok();
+}
+
+Status NamespaceBatch::RemoveTag(ObjectId oid, const TagValue& name) {
+  if (fs_->indexes()->store(name.tag) == nullptr) {
+    return Status::NotFound("no index store for tag '" + name.tag + "'");
+  }
+  ops_.push_back(FileSystem::BatchOp{kNsRemoveTag, oid, name});
+  return Status::Ok();
+}
+
+Result<ObjectId> NamespaceBatch::Create(const std::vector<TagValue>& names) {
+  for (const TagValue& name : names) {
+    if (!TaggableTag(name.tag)) {
+      return Status::InvalidArgument("tag '" + name.tag + "' cannot be assigned manually");
+    }
+    if (fs_->indexes()->store(name.tag) == nullptr) {
+      return Status::NotFound("no index store for tag '" + name.tag + "'");
+    }
+  }
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, fs_->volume()->CreateObject());
+  for (const TagValue& name : names) {
+    ops_.push_back(FileSystem::BatchOp{kNsAddTag, oid, name});
+  }
+  return oid;
+}
+
+Status NamespaceBatch::Commit() {
+  HFAD_RETURN_IF_ERROR(fs_->CommitBatch(ops_));
+  ops_.clear();
+  return Status::Ok();
 }
 
 }  // namespace core

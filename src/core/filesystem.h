@@ -54,6 +54,7 @@ struct FileSystemOptions {
 };
 
 class SearchCursor;
+class NamespaceBatch;
 
 class FileSystem {
  public:
@@ -70,19 +71,46 @@ class FileSystem {
   FileSystem& operator=(const FileSystem&) = delete;
 
   // ---- Naming interfaces (§3.1.1) ----
+  //
+  // All naming is ONE search interface (§3.1): every entry point below compiles to a
+  // query::Expr and executes through Find's planner/iterator path. The legacy
+  // signatures are thin adapters kept for incremental migration.
 
-  // Objects matching every tag/value term (ascending oid; possibly many; possibly none).
+  // THE naming entry point: evaluate `expr` through the cost-based planner and pull one
+  // page of matching oids (ascending). FindOptions.limit caps the page;
+  // FindOptions.after resumes a previous page — together they make every naming
+  // consumer streamable instead of materializing complete result sets.
+  Result<query::FindPage> Find(const query::Expr& expr,
+                               const query::FindOptions& options = {}) const;
+
+  // Parse the boolean query syntax, then Find.
+  Result<query::FindPage> Find(Slice query_text,
+                               const query::FindOptions& options = {}) const;
+
+  // The same plan as a pull iterator (unpositioned; SeekTo before use) for consumers
+  // that stream without page boundaries. Borrows this FileSystem and `stats`.
+  Result<std::unique_ptr<index::PostingIterator>> OpenQuery(
+      const query::Expr& expr, query::PlanStats* stats = nullptr) const;
+
+  // Objects matching every tag/value term (ascending oid; possibly many; possibly
+  // none). Adapter: Find over a conjunction of terms, fully drained.
   Result<std::vector<ObjectId>> Lookup(const std::vector<TagValue>& terms) const;
 
   // Boolean query over the same namespace, e.g. "UDEF:beach AND NOT USER:nick".
+  // Adapter: parse + Find, fully drained.
   Result<std::vector<ObjectId>> Query(Slice query_text) const;
 
-  // Ranked conjunctive full-text search (BM25).
+  // Ranked conjunctive full-text search (BM25). Adapter: the candidate set is the
+  // planner's conjunction of FULLTEXT terms; BM25 scores the candidates.
   Result<std::vector<fulltext::SearchHit>> SearchText(const std::vector<std::string>& terms,
                                                       size_t limit = 0) const;
 
   // Iterative search refinement (open question #2).
   SearchCursor OpenCursor() const;
+
+  // Staged namespace mutations applied atomically with one journal record (see
+  // NamespaceBatch below).
+  NamespaceBatch NewBatch();
 
   // ---- Object lifecycle ----
 
@@ -139,12 +167,31 @@ class FileSystem {
   const index::IndexCollection* indexes() const { return indexes_.get(); }
 
  private:
+  friend class NamespaceBatch;
+
   FileSystem(std::unique_ptr<osd::Osd> osd, std::unique_ptr<index::IndexCollection> indexes,
              const FileSystemOptions& options);
+
+  // One staged namespace mutation (NamespaceBatch's unit; also the journal sub-record).
+  struct BatchOp {
+    uint8_t op;  // kNsAddTag or kNsRemoveTag (filesystem.cc record constants).
+    ObjectId oid;
+    TagValue name;
+  };
+
+  // Apply a validated batch atomically: every involved tag shard acquired once (ordered
+  // MultiLock), RemoveTag preconditions checked against pre-batch state, ONE journal
+  // record for the whole batch, then in-order apply. Crash recovery replays the record
+  // as a unit.
+  Status CommitBatch(const std::vector<BatchOp>& ops);
 
   // Apply one foreign journal record (shared by live journaling and crash replay).
   static Status ApplyNamespaceRecord(osd::Osd* volume, index::IndexCollection* indexes,
                                      Slice payload);
+
+  // Replay one add/remove association (single-tag records and batch sub-records).
+  static Status ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes, uint8_t op,
+                            ObjectId oid, const TagValue& name);
 
   // AddTag minus the tag/store/existence validation, for callers (Create) that have
   // already established those invariants.
@@ -184,21 +231,33 @@ class FileSystem {
 };
 
 // Iterative refinement of a search as a "current directory" (§4, open question #2).
-// Each Refine() pushes one tag/value term; results() is the conjunction of all terms.
-// Up() pops the most recent term — the search-namespace analogue of "cd ..".
+// Each Refine() pushes one tag/value term; Results() is the conjunction of all terms,
+// evaluated live through the Find path. Up() pops the most recent term — the
+// search-namespace analogue of "cd ..".
 class SearchCursor {
  public:
+  // Results() returns at most this many ids — an unrefined cursor used to enumerate the
+  // entire volume unbounded; now every materializing read is a capped page (use
+  // ResultsPage to continue past it).
+  static constexpr size_t kDefaultResultLimit = 1024;
+
   explicit SearchCursor(const FileSystem* fs) : fs_(fs) {}
 
-  // Narrow the cursor by one more term. The result set only ever shrinks.
+  // Narrow the cursor by one more term (validated against the registered stores). The
+  // result set only ever shrinks.
   Status Refine(const TagValue& term);
 
   // Drop the most recent refinement. No-op at the root.
   Status Up();
 
-  // Current result set (every object when no refinements are active — callers should
-  // refine before materializing; at the root this enumerates the volume).
+  // First page (kDefaultResultLimit) of the current result set. At the root (no
+  // refinements) this pages over every object on the volume.
   Result<std::vector<ObjectId>> Results() const;
+
+  // Paged results with caller-controlled limit/after — the streaming form. Each call
+  // re-evaluates against the live namespace; FindOptions.after keyset-anchors the page,
+  // so concurrent mutations never duplicate or reorder ids across pages.
+  Result<query::FindPage> ResultsPage(const query::FindOptions& options) const;
 
   // The refinement stack, oldest first — the cursor's "working directory path".
   const std::vector<TagValue>& path() const { return path_; }
@@ -208,9 +267,51 @@ class SearchCursor {
  private:
   const FileSystem* fs_;
   std::vector<TagValue> path_;
-  // Cached results for the current path (kept incrementally on Refine).
-  mutable bool cached_ = false;
-  mutable std::vector<ObjectId> results_;
+};
+
+// Staged namespace mutations applied as one atomic unit — the write-side half of the
+// unified naming API. Stage any mix of AddTag/RemoveTag (and Create for fresh objects
+// whose initial names ride the batch), then Commit():
+//
+//   * every involved tag shard is acquired exactly once, in ascending shard order
+//     (deadlock-free MultiLock), instead of once per tag;
+//   * ONE journal record covers the whole batch (vs. one per tag for the loose calls) —
+//     the API-level answer to journal-append contention on tag-storm workloads;
+//   * crash recovery replays the batch as a unit: after a crash either every staged op
+//     is recovered or none is (the journal's record-level atomicity).
+//
+// RemoveTag preconditions are validated against the pre-batch state under the locks,
+// before journaling: a batch that removes a name it also stages an add for is rejected.
+// Not thread-safe; one thread stages and commits. Commit clears the batch on success so
+// the instance is reusable.
+class NamespaceBatch {
+ public:
+  explicit NamespaceBatch(FileSystem* fs) : fs_(fs) {}
+
+  // Stage one association. Tag validity (taggable, store registered) is checked here;
+  // object existence at Commit.
+  Status AddTag(ObjectId oid, const TagValue& name);
+
+  // Stage one removal. The association must exist when Commit runs.
+  Status RemoveTag(ObjectId oid, const TagValue& name);
+
+  // Create a fresh object now (object allocation is OSD-journaled immediately) and
+  // stage its initial names onto the batch.
+  Result<ObjectId> Create(const std::vector<TagValue>& names = {});
+
+  // Apply every staged op atomically (see class comment). On success the batch clears.
+  Status Commit();
+
+  // Discard staged ops without applying them. Objects from Create() persist (they were
+  // allocated eagerly), just without the staged names.
+  void Clear() { ops_.clear(); }
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  FileSystem* const fs_;
+  std::vector<FileSystem::BatchOp> ops_;
 };
 
 }  // namespace core

@@ -220,6 +220,78 @@ Result<std::vector<uint64_t>> FullTextIndex::Postings(const std::string& term) c
   return out;
 }
 
+Status FullTextIndex::ScanPostingDocs(const std::string& term, uint64_t first_docid,
+                                      const std::function<bool(uint64_t)>& fn) const {
+  std::string norm = NormalizeTerm(term);
+  if (norm.empty()) {
+    return Status::InvalidArgument("term has no indexable characters");
+  }
+  // Keys run "P" term '\0' oid(8B BE); the byte after the range's NUL separator is 0x01.
+  std::string first = PostingKey(norm, first_docid);
+  std::string last = "P" + norm + '\x01';
+  return tree_->Scan(first, last, [&](Slice key, Slice) {
+    return fn(OidFromBytes(Slice(key.data() + key.size() - 8, 8)));
+  });
+}
+
+Result<std::vector<SearchHit>> FullTextIndex::ScoreDocuments(
+    const std::vector<std::string>& terms, const std::vector<uint64_t>& docids,
+    size_t limit) const {
+  if (terms.empty()) {
+    return Status::InvalidArgument("empty search");
+  }
+  HFAD_ASSIGN_OR_RETURN(auto cs, CorpusStats());
+  if (cs.first == 0 || docids.empty()) {
+    return std::vector<SearchHit>{};
+  }
+  const double n_docs = static_cast<double>(cs.first);
+  const double avg_len = cs.second > 0 ? static_cast<double>(cs.second) / n_docs : 1.0;
+
+  std::vector<double> idf(terms.size());
+  for (size_t qi = 0; qi < terms.size(); qi++) {
+    HFAD_ASSIGN_OR_RETURN(uint64_t df, DocumentFrequency(terms[qi]));
+    idf[qi] = std::log((n_docs - static_cast<double>(df) + 0.5) /
+                       (static_cast<double>(df) + 0.5) +
+                       1.0);
+  }
+
+  std::vector<SearchHit> hits;
+  hits.reserve(docids.size());
+  for (uint64_t docid : docids) {
+    uint64_t doc_len = 1;
+    auto raw_len = tree_->Get(DocLenKey(docid));
+    if (raw_len.ok()) {
+      Slice li(*raw_len);
+      GetVarint64(&li, &doc_len);
+    }
+    const double norm_len = static_cast<double>(doc_len) / avg_len;
+    double score = 0.0;
+    for (size_t qi = 0; qi < terms.size(); qi++) {
+      auto raw = tree_->Get(PostingKey(terms[qi], docid));
+      if (raw.status().IsNotFound()) {
+        continue;
+      }
+      HFAD_RETURN_IF_ERROR(raw.status());
+      Slice in(*raw);
+      uint32_t freq = 0;
+      if (!GetVarint32(&in, &freq)) {
+        return Status::Corruption("bad posting for term " + terms[qi]);
+      }
+      const double f = static_cast<double>(freq);
+      score += idf[qi] * f * (params_.k1 + 1.0) /
+               (f + params_.k1 * (1.0 - params_.b + params_.b * norm_len));
+    }
+    hits.push_back(SearchHit{docid, score});
+  }
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    return a.score != b.score ? a.score > b.score : a.docid < b.docid;
+  });
+  if (limit != 0 && hits.size() > limit) {
+    hits.resize(limit);
+  }
+  return hits;
+}
+
 Result<bool> FullTextIndex::ContainsPosting(const std::string& term, uint64_t docid) const {
   std::string norm = NormalizeTerm(term);
   if (norm.empty()) {

@@ -71,6 +71,20 @@ class FullTextIndex {
   // Documents containing `term`, unranked (index-store building block).
   Result<std::vector<uint64_t>> Postings(const std::string& term) const;
 
+  // Visit the docids containing `term`, ascending, starting at the first docid >=
+  // first_docid; stop early by returning false. The seekable-iterator building block:
+  // one bounded btree range scan, no posting materialization.
+  Status ScanPostingDocs(const std::string& term, uint64_t first_docid,
+                         const std::function<bool(uint64_t docid)>& fn) const;
+
+  // BM25-score an externally produced candidate set (the planner's conjunction of the
+  // terms) and return hits sorted by descending score (ties by ascending docid),
+  // truncated to `limit` when non-zero. Terms must be normalized and non-empty;
+  // candidates not containing a term contribute nothing for it.
+  Result<std::vector<SearchHit>> ScoreDocuments(const std::vector<std::string>& terms,
+                                                const std::vector<uint64_t>& docids,
+                                                size_t limit = 0) const;
+
   // Point probe: does `docid` contain `term`? One btree lookup, no posting scan.
   Result<bool> ContainsPosting(const std::string& term, uint64_t docid) const;
 

@@ -441,6 +441,12 @@ Status HierFs::Rename(const std::string& from, const std::string& to) {
 }
 
 Result<std::vector<DirEntry>> HierFs::Readdir(const std::string& path) const {
+  return ReaddirPage(path, 0, "");
+}
+
+Result<std::vector<DirEntry>> HierFs::ReaddirPage(const std::string& path, size_t limit,
+                                                  const std::string& after_name,
+                                                  bool* has_more) const {
   HFAD_ASSIGN_OR_RETURN(Ino ino, ResolvePath(path));
 
   std::shared_mutex* lock = DirLock(ino);
@@ -451,10 +457,22 @@ Result<std::vector<DirEntry>> HierFs::Readdir(const std::string& path) const {
   if (!dir.is_dir()) {
     return Status::InvalidArgument("not a directory: " + path);
   }
+  if (has_more != nullptr) {
+    *has_more = false;
+  }
   btree::BTree entries(pager_.get(), allocator_.get(), dir.data_root);
   std::vector<DirEntry> out;
   Status decode_status;
-  HFAD_RETURN_IF_ERROR(entries.Scan("", "", [&](Slice name, Slice value) {
+  // Keyset pagination: resume at the first name strictly after `after_name` (entry
+  // names never contain NUL, so appending one forms the immediate successor key).
+  std::string start = after_name.empty() ? std::string() : after_name + '\0';
+  HFAD_RETURN_IF_ERROR(entries.Scan(start, "", [&](Slice name, Slice value) {
+    if (limit != 0 && out.size() == limit) {
+      if (has_more != nullptr) {
+        *has_more = true;
+      }
+      return false;
+    }
     Slice in(value);
     uint64_t child = 0;
     if (!GetVarint64(&in, &child)) {

@@ -90,6 +90,15 @@ class HierFs {
   // the hierarchical design's one structural advantage, kept honest here.
   Status Rename(const std::string& from, const std::string& to);
   Result<std::vector<DirEntry>> Readdir(const std::string& path) const;
+
+  // Paged directory enumeration mirroring hFAD's FindOptions shape so the baseline and
+  // the tag namespace can be compared on streaming consumers too: at most `limit`
+  // entries (0 = all) strictly after `after_name` in name order; *has_more (optional)
+  // reports whether entries remain past the page. Pages are keyset-anchored, so
+  // concurrent creates/unlinks never duplicate an entry across pages.
+  Result<std::vector<DirEntry>> ReaddirPage(const std::string& path, size_t limit,
+                                            const std::string& after_name,
+                                            bool* has_more = nullptr) const;
   Result<Inode> Stat(const std::string& path) const;
   Result<Inode> StatIno(Ino ino) const;
 

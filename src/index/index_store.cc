@@ -54,6 +54,17 @@ std::vector<ObjectId> IntersectSorted(const std::vector<ObjectId>& a,
   return out;
 }
 
+// ---------------------------------------------------------------- IndexStore defaults
+
+Result<std::unique_ptr<PostingIterator>> IndexStore::OpenPostings(Slice value,
+                                                                  PlanStats* stats) const {
+  // Plug-in stores fall back to materializing through their own Lookup; the standard
+  // stores override with streaming implementations.
+  std::string v = value.ToString();
+  return std::unique_ptr<PostingIterator>(std::make_unique<LazyPostingIterator>(
+      [this, v]() -> Result<std::vector<ObjectId>> { return Lookup(v); }, stats));
+}
+
 // ---------------------------------------------------------------- KeyValueIndexStore
 
 KeyValueIndexStore::KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root)
@@ -94,11 +105,20 @@ Status KeyValueIndexStore::Add(Slice value, ObjectId oid) {
 Status KeyValueIndexStore::Remove(Slice value, ObjectId oid) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   HFAD_RETURN_IF_ERROR(tree_->Delete(EntryKey(value, oid)));
-  card_cache_.MutateIfPresent(value.ToString(), [](uint64_t& n) {
-    if (n > 0) {
+  // A warm entry at the cap is clamped, not exact — decrementing it would drift the
+  // estimate arbitrarily below the real count (and eventually invert plans), so drop
+  // it and let the next estimate rescan.
+  bool clamped = false;
+  card_cache_.MutateIfPresent(value.ToString(), [&](uint64_t& n) {
+    if (n >= kCardEstimateCap) {
+      clamped = true;
+    } else if (n > 0) {
       n--;
     }
   });
+  if (clamped) {
+    card_cache_.Erase(value.ToString());
+  }
   postings_cache_.Erase(value.ToString());
   return SyncRoot();
 }
@@ -142,7 +162,7 @@ Result<uint64_t> KeyValueIndexStore::EstimateCardinality(Slice value) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   HFAD_RETURN_IF_ERROR(tree_->ScanPrefix(ValuePrefix(value), [&](Slice, Slice) {
     n++;
-    return n < 1024;  // Exact up to a cap; beyond that "large" is all the optimizer needs.
+    return n < kCardEstimateCap;  // Exact up to the cap; beyond that "large" suffices.
   }));
   // Fill while mu_ is still held shared (same ordering as the postings cache): a racing
   // Add/Remove adjusts warm entries under mu_ exclusive, so it cannot slip between our
@@ -164,6 +184,112 @@ Status KeyValueIndexStore::ScanValues(
     Slice oid_bytes(key.data() + key.size() - 8, 8);
     return fn(value, OidFromBytes(oid_bytes));
   });
+}
+
+// Batched streaming iterator over one value's postings: each refill takes mu_ shared,
+// scans at most kBatch entries from the current position, and releases the lock — so a
+// paginated consumer holds no lock between pulls and never materializes the full list.
+// When the very first refill (from oid 0) covers the whole posting list, it doubles as
+// a Lookup and fills the postings cache while mu_ is still held shared (same ordering
+// argument as Lookup's fill).
+class KeyValueIndexStore::ScanIterator : public PostingIterator {
+ public:
+  static constexpr size_t kBatch = 1024;
+
+  ScanIterator(const KeyValueIndexStore* store, std::string value, PlanStats* stats)
+      : store_(store),
+        value_(std::move(value)),
+        prefix_(ValuePrefix(value_)),
+        end_key_(value_ + '\x01'),  // First key after the "value \0 ..." range.
+        stats_(stats) {}
+
+  bool Valid() const override { return positioned_ && idx_ < buf_.size(); }
+  ObjectId Value() const override { return buf_[idx_]; }
+
+  Status Next() override {
+    if (!Valid()) {
+      return Status::Ok();
+    }
+    idx_++;
+    if (idx_ >= buf_.size() && !exhausted_) {
+      return Refill(next_start_);
+    }
+    return Status::Ok();
+  }
+
+  Status SeekTo(ObjectId lower_bound) override {
+    if (Valid() && buf_[idx_] >= lower_bound) {
+      return Status::Ok();
+    }
+    if (positioned_) {
+      idx_ = std::lower_bound(buf_.begin() + static_cast<ptrdiff_t>(idx_), buf_.end(),
+                              lower_bound) -
+             buf_.begin();
+      if (idx_ < buf_.size() || exhausted_) {
+        return Status::Ok();
+      }
+    }
+    positioned_ = true;
+    return Refill(std::max(lower_bound, next_start_));
+  }
+
+ private:
+  Status Refill(ObjectId from) {
+    buf_.clear();
+    idx_ = 0;
+    positioned_ = true;
+    bool more = false;
+    std::string start = prefix_ + OidBytes(from);
+    {
+      std::shared_lock<std::shared_mutex> lock(store_->mu_);
+      HFAD_RETURN_IF_ERROR(store_->tree_->Scan(start, end_key_, [&](Slice key, Slice) {
+        if (buf_.size() == kBatch) {
+          more = true;
+          return false;
+        }
+        buf_.push_back(OidFromBytes(Slice(key.data() + key.size() - 8, 8)));
+        return true;
+      }));
+      if (first_fetch_ && from == 0 && !more) {
+        store_->postings_cache_.PutWithEvict(
+            value_, std::make_shared<const std::vector<ObjectId>>(buf_),
+            kPostingsCacheMaxEntries / decltype(store_->postings_cache_)::kNumStripes);
+      }
+    }
+    if (stats_ != nullptr) {
+      if (first_fetch_) {
+        stats_->index_lookups++;
+      }
+      stats_->rows_scanned += buf_.size();
+    }
+    first_fetch_ = false;
+    exhausted_ = !more;
+    next_start_ = buf_.empty() ? from : buf_.back() + 1;
+    return Status::Ok();
+  }
+
+  const KeyValueIndexStore* const store_;
+  const std::string value_;
+  const std::string prefix_;
+  const std::string end_key_;
+  PlanStats* const stats_;
+  std::vector<ObjectId> buf_;
+  size_t idx_ = 0;
+  ObjectId next_start_ = 0;
+  bool positioned_ = false;
+  bool exhausted_ = false;
+  bool first_fetch_ = true;
+};
+
+Result<std::unique_ptr<PostingIterator>> KeyValueIndexStore::OpenPostings(
+    Slice value, PlanStats* stats) const {
+  PostingsRef cached;
+  if (postings_cache_.Get(value.ToString(), &cached)) {
+    return std::unique_ptr<PostingIterator>(
+        std::make_unique<VectorPostingIterator>(std::move(cached), stats));
+  }
+  return std::unique_ptr<PostingIterator>(
+      std::make_unique<ScanIterator>(this, value.ToString(), stats));
 }
 
 // ---------------------------------------------------------------- FullTextIndexStore
@@ -213,6 +339,96 @@ Result<bool> FullTextIndexStore::Contains(Slice term, ObjectId oid) const {
 Result<uint64_t> FullTextIndexStore::EstimateCardinality(Slice term) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return engine_->DocumentFrequency(term.ToString());
+}
+
+// Streams one term's posting range from the inverted index ("P" term '\0' oid keys) in
+// batches, store lock held shared only during each refill.
+class FullTextIndexStore::ScanIterator : public PostingIterator {
+ public:
+  static constexpr size_t kBatch = 1024;
+
+  ScanIterator(const FullTextIndexStore* store, std::string term, PlanStats* stats)
+      : store_(store), term_(std::move(term)), stats_(stats) {}
+
+  bool Valid() const override { return positioned_ && idx_ < buf_.size(); }
+  ObjectId Value() const override { return buf_[idx_]; }
+
+  Status Next() override {
+    if (!Valid()) {
+      return Status::Ok();
+    }
+    idx_++;
+    if (idx_ >= buf_.size() && !exhausted_) {
+      return Refill(next_start_);
+    }
+    return Status::Ok();
+  }
+
+  Status SeekTo(ObjectId lower_bound) override {
+    if (Valid() && buf_[idx_] >= lower_bound) {
+      return Status::Ok();
+    }
+    if (positioned_) {
+      idx_ = std::lower_bound(buf_.begin() + static_cast<ptrdiff_t>(idx_), buf_.end(),
+                              lower_bound) -
+             buf_.begin();
+      if (idx_ < buf_.size() || exhausted_) {
+        return Status::Ok();
+      }
+    }
+    positioned_ = true;
+    return Refill(std::max(lower_bound, next_start_));
+  }
+
+ private:
+  Status Refill(ObjectId from) {
+    buf_.clear();
+    idx_ = 0;
+    positioned_ = true;
+    bool more = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(store_->mu_);
+      HFAD_RETURN_IF_ERROR(
+          store_->engine_->ScanPostingDocs(term_, from, [&](uint64_t docid) {
+            if (buf_.size() == kBatch) {
+              more = true;
+              return false;
+            }
+            buf_.push_back(docid);
+            return true;
+          }));
+    }
+    if (stats_ != nullptr) {
+      if (first_fetch_) {
+        stats_->index_lookups++;
+      }
+      stats_->rows_scanned += buf_.size();
+    }
+    first_fetch_ = false;
+    exhausted_ = !more;
+    next_start_ = buf_.empty() ? from : buf_.back() + 1;
+    return Status::Ok();
+  }
+
+  const FullTextIndexStore* const store_;
+  const std::string term_;  // Already normalized.
+  PlanStats* const stats_;
+  std::vector<ObjectId> buf_;
+  size_t idx_ = 0;
+  ObjectId next_start_ = 0;
+  bool positioned_ = false;
+  bool exhausted_ = false;
+  bool first_fetch_ = true;
+};
+
+Result<std::unique_ptr<PostingIterator>> FullTextIndexStore::OpenPostings(
+    Slice term, PlanStats* stats) const {
+  std::string norm = fulltext::NormalizeTerm(term);
+  if (norm.empty()) {
+    return Status::InvalidArgument("term has no indexable characters");
+  }
+  return std::unique_ptr<PostingIterator>(
+      std::make_unique<ScanIterator>(this, std::move(norm), stats));
 }
 
 // ---------------------------------------------------------------- IdIndexStore
@@ -277,67 +493,37 @@ std::vector<std::string> IndexCollection::tags() const {
   return out;
 }
 
-Result<std::vector<ObjectId>> IndexCollection::Lookup(
-    const std::vector<TagValue>& terms) const {
+Result<std::unique_ptr<PostingIterator>> IndexCollection::OpenLookupIterator(
+    const std::vector<TagValue>& terms, PlanStats* stats) const {
   if (terms.empty()) {
     return Status::InvalidArgument("naming lookup needs at least one tag/value pair");
   }
-  struct Conjunct {
-    const IndexStore* store;
-    const TagValue* term;
-    uint64_t estimate;
-  };
-  constexpr uint64_t kUnknown = std::numeric_limits<uint64_t>::max() / 4;
-  std::vector<Conjunct> plan;
-  plan.reserve(terms.size());
+  std::vector<Conjunct> conjuncts;
+  conjuncts.reserve(terms.size());
   for (const TagValue& term : terms) {
     const IndexStore* s = store(term.tag);
     if (s == nullptr) {
       return Status::NotFound("no index store for tag '" + term.tag + "'");
     }
-    uint64_t estimate = kUnknown;
+    Conjunct c;
+    c.store = s;
+    c.value = term.value;
+    c.estimate = kUnknownCardinality;
     if (terms.size() > 1) {
       auto est = s->EstimateCardinality(term.value);
       if (est.ok()) {
-        estimate = *est;
+        c.estimate = *est;
       }
     }
-    plan.push_back({s, &term, estimate});
+    conjuncts.push_back(std::move(c));
   }
-  // Cheapest conjunct first: the smallest postings list bounds every intersection that
-  // follows (and an empty one ends the lookup before the expensive terms run at all).
-  std::stable_sort(plan.begin(), plan.end(),
-                   [](const Conjunct& a, const Conjunct& b) {
-                     return a.estimate < b.estimate;
-                   });
-  std::vector<ObjectId> result;
-  bool first = true;
-  for (const Conjunct& c : plan) {
-    if (first) {
-      HFAD_ASSIGN_OR_RETURN(result, c.store->Lookup(c.term->value));
-      first = false;
-    } else if (result.size() * 8 < c.estimate) {
-      // The running intersection is small relative to this conjunct: probe membership
-      // per candidate instead of materializing the postings (the query engine's plan
-      // for AND nodes; the 8x factor matches a probe's descent cost vs. a scan step).
-      std::vector<ObjectId> kept;
-      kept.reserve(result.size());
-      for (ObjectId oid : result) {
-        HFAD_ASSIGN_OR_RETURN(bool has, c.store->Contains(c.term->value, oid));
-        if (has) {
-          kept.push_back(oid);
-        }
-      }
-      result = std::move(kept);
-    } else {
-      HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, c.store->Lookup(c.term->value));
-      result = IntersectSorted(result, ids);
-    }
-    if (result.empty()) {
-      break;  // Conjunction already empty.
-    }
-  }
-  return result;
+  return BuildConjunction(std::move(conjuncts), /*optimize=*/true, stats);
+}
+
+Result<std::vector<ObjectId>> IndexCollection::Lookup(
+    const std::vector<TagValue>& terms) const {
+  HFAD_ASSIGN_OR_RETURN(auto it, OpenLookupIterator(terms));
+  return DrainPostings(it.get());
 }
 
 }  // namespace index

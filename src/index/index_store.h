@@ -32,6 +32,7 @@
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/fulltext/fulltext.h"
+#include "src/index/posting_iterator.h"
 #include "src/osd/osd.h"
 
 namespace hfad {
@@ -85,6 +86,14 @@ class IndexStore {
   // conjuncts. Exact sizes are not required — relative order is what matters.
   virtual Result<uint64_t> EstimateCardinality(Slice value) const = 0;
 
+  // Seekable pull iterator over Lookup(value)'s postings (ascending oid) — the primitive
+  // the unified planner/iterator path executes on. The default materializes through
+  // Lookup (correct for any plug-in store); the standard stores stream in batches so
+  // paginated consumers never pay for the full posting list. The iterator must not
+  // outlive the store and observes concurrent mutations with per-batch consistency.
+  virtual Result<std::unique_ptr<PostingIterator>> OpenPostings(
+      Slice value, PlanStats* stats = nullptr) const;
+
   // Enumerate (value, oid) pairs whose value starts with prefix, in value order. Stores
   // that cannot enumerate (e.g. the ID fastpath) return NotSupported.
   virtual Status ScanValues(
@@ -95,6 +104,11 @@ class IndexStore {
 // many objects and an object can carry many values — naming decoupled from access (§2.2).
 class KeyValueIndexStore : public IndexStore {
  public:
+  // Estimates are exact up to this cap; beyond it "large" is all the planner needs. A
+  // cached entry at the cap is clamped, so Remove invalidates rather than decrements it
+  // (decrementing a clamped value would drift it arbitrarily below the real count).
+  static constexpr uint64_t kCardEstimateCap = 1024;
+
   // Opens (creating on first use) the backing btree registered on `volume` under the
   // named root "index/<tag>". The store keeps the registration current as its root moves.
   static Result<std::unique_ptr<KeyValueIndexStore>> Mount(osd::Osd* volume,
@@ -108,6 +122,10 @@ class KeyValueIndexStore : public IndexStore {
   Result<uint64_t> EstimateCardinality(Slice value) const override;
   Status ScanValues(
       Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const override;
+  // Postings-cache hits return a zero-copy materialized iterator; misses stream the
+  // btree range in batches (and fill the cache when one batch covers the whole list).
+  Result<std::unique_ptr<PostingIterator>> OpenPostings(Slice value,
+                                                        PlanStats* stats) const override;
 
   // Number of (value, oid) associations (test support).
   uint64_t entry_count() const {
@@ -116,6 +134,8 @@ class KeyValueIndexStore : public IndexStore {
   }
 
  private:
+  class ScanIterator;  // Batched streaming iterator over one value's postings.
+
   KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root);
 
   // Persist the btree root under the named root when it has moved. Callers hold mu_
@@ -168,11 +188,16 @@ class FullTextIndexStore : public IndexStore {
   Status ScanValues(Slice, const std::function<bool(Slice, ObjectId)>&) const override {
     return Status::NotSupported("full-text store cannot enumerate values");
   }
+  // Streams the term's posting range from the inverted index in batches.
+  Result<std::unique_ptr<PostingIterator>> OpenPostings(Slice term,
+                                                        PlanStats* stats) const override;
 
   fulltext::FullTextIndex* engine() { return engine_.get(); }
   const fulltext::FullTextIndex* engine() const { return engine_.get(); }
 
  private:
+  class ScanIterator;
+
   FullTextIndexStore(osd::Osd* volume, uint64_t root);
 
   // Callers hold mu_ exclusively.
@@ -237,12 +262,17 @@ class IndexCollection {
 
   // Naming lookup (§3.1.1): the conjunction of per-term lookups, ascending oid order.
   // Multiple results are expected; "no query need uniquely define a data item".
-  //
-  // Conjuncts are evaluated cheapest-first (EstimateCardinality order), and once the
-  // running intersection is small relative to a conjunct's postings, membership is
-  // probed per candidate instead of materializing the postings — the same plan the
-  // query engine uses for AND nodes.
+  // Materializes OpenLookupIterator — the two share one plan and one executor.
   Result<std::vector<ObjectId>> Lookup(const std::vector<TagValue>& terms) const;
+
+  // The same conjunction as a pull iterator (the planner/iterator path every naming
+  // entry point executes on): conjuncts ordered cheapest-first (EstimateCardinality,
+  // which the stores answer from their cardinality caches), the smallest posting list
+  // driving a leapfrog intersection, and conjuncts that dwarf the driver degraded to
+  // per-candidate membership probes instead of being opened at all. The iterator starts
+  // unpositioned (SeekTo first) and must not outlive this collection.
+  Result<std::unique_ptr<PostingIterator>> OpenLookupIterator(
+      const std::vector<TagValue>& terms, PlanStats* stats = nullptr) const;
 
  private:
   IndexCollection() = default;

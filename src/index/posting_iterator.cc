@@ -1,0 +1,329 @@
+#include "src/index/posting_iterator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/index/index_store.h"
+
+namespace hfad {
+namespace index {
+
+// ---------------------------------------------------------------- VectorPostingIterator
+
+VectorPostingIterator::VectorPostingIterator(std::vector<ObjectId> ids, PlanStats* stats)
+    : owned_(std::move(ids)), ids_(&owned_), stats_(stats) {}
+
+VectorPostingIterator::VectorPostingIterator(
+    std::shared_ptr<const std::vector<ObjectId>> ids, PlanStats* stats)
+    : shared_(std::move(ids)), ids_(shared_.get()), stats_(stats) {}
+
+void VectorPostingIterator::CountOnce() {
+  if (!positioned_) {
+    positioned_ = true;
+    if (stats_ != nullptr) {
+      stats_->index_lookups++;
+      stats_->rows_scanned += ids_->size();
+    }
+  }
+}
+
+bool VectorPostingIterator::Valid() const { return positioned_ && idx_ < ids_->size(); }
+
+ObjectId VectorPostingIterator::Value() const { return (*ids_)[idx_]; }
+
+Status VectorPostingIterator::Next() {
+  if (Valid()) {
+    idx_++;
+  }
+  return Status::Ok();
+}
+
+Status VectorPostingIterator::SeekTo(ObjectId lower_bound) {
+  CountOnce();
+  if (idx_ < ids_->size() && (*ids_)[idx_] >= lower_bound) {
+    return Status::Ok();
+  }
+  idx_ = std::lower_bound(ids_->begin() + static_cast<ptrdiff_t>(idx_), ids_->end(),
+                          lower_bound) -
+         ids_->begin();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- LazyPostingIterator
+
+LazyPostingIterator::LazyPostingIterator(FillFn fill, PlanStats* stats)
+    : fill_(std::move(fill)), stats_(stats) {}
+
+Status LazyPostingIterator::Materialize() {
+  if (materialized_) {
+    return Status::Ok();
+  }
+  materialized_ = true;
+  HFAD_ASSIGN_OR_RETURN(ids_, fill_());
+  fill_ = nullptr;
+  if (stats_ != nullptr) {
+    stats_->index_lookups++;
+    stats_->rows_scanned += ids_.size();
+  }
+  return Status::Ok();
+}
+
+bool LazyPostingIterator::Valid() const { return positioned_ && idx_ < ids_.size(); }
+
+ObjectId LazyPostingIterator::Value() const { return ids_[idx_]; }
+
+Status LazyPostingIterator::Next() {
+  if (Valid()) {
+    idx_++;
+  }
+  return Status::Ok();
+}
+
+Status LazyPostingIterator::SeekTo(ObjectId lower_bound) {
+  HFAD_RETURN_IF_ERROR(Materialize());
+  positioned_ = true;
+  if (idx_ < ids_.size() && ids_[idx_] >= lower_bound) {
+    return Status::Ok();
+  }
+  idx_ = std::lower_bound(ids_.begin() + static_cast<ptrdiff_t>(idx_), ids_.end(),
+                          lower_bound) -
+         ids_.begin();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- AndPostingIterator
+
+AndPostingIterator::AndPostingIterator(
+    std::vector<std::unique_ptr<PostingIterator>> positives, std::vector<Probe> probes,
+    std::vector<std::unique_ptr<PostingIterator>> negatives, PlanStats* stats)
+    : positives_(std::move(positives)),
+      probes_(std::move(probes)),
+      negatives_(std::move(negatives)),
+      stats_(stats) {}
+
+Status AndPostingIterator::FindMatch() {
+  PostingIterator* driver = positives_[0].get();
+  for (;;) {
+    if (!driver->Valid()) {
+      valid_ = false;
+      done_ = true;
+      return Status::Ok();
+    }
+    ObjectId candidate = driver->Value();
+    // Leapfrog over the seekable conjuncts: a mismatch names the next possible
+    // candidate, so the driver jumps instead of stepping.
+    bool advanced = false;
+    for (size_t i = 1; i < positives_.size(); i++) {
+      HFAD_RETURN_IF_ERROR(positives_[i]->SeekTo(candidate));
+      if (!positives_[i]->Valid()) {
+        valid_ = false;  // A positive conjunct is exhausted: nothing further matches.
+        done_ = true;
+        return Status::Ok();
+      }
+      if (positives_[i]->Value() != candidate) {
+        HFAD_RETURN_IF_ERROR(driver->SeekTo(positives_[i]->Value()));
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) {
+      continue;
+    }
+    bool pass = true;
+    for (const Probe& p : probes_) {
+      HFAD_ASSIGN_OR_RETURN(bool has, p.store->Contains(p.value, candidate));
+      if (stats_ != nullptr) {
+        stats_->membership_probes++;
+      }
+      if (has == p.negated) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      for (const auto& n : negatives_) {
+        HFAD_RETURN_IF_ERROR(n->SeekTo(candidate));
+        if (n->Valid() && n->Value() == candidate) {
+          pass = false;
+          break;
+        }
+      }
+    }
+    if (!pass) {
+      HFAD_RETURN_IF_ERROR(driver->Next());
+      continue;
+    }
+    valid_ = true;
+    value_ = candidate;
+    if (stats_ != nullptr) {
+      stats_->intermediate_rows++;
+    }
+    return Status::Ok();
+  }
+}
+
+Status AndPostingIterator::SeekTo(ObjectId lower_bound) {
+  if (done_) {
+    valid_ = false;
+    return Status::Ok();
+  }
+  if (valid_ && value_ >= lower_bound) {
+    return Status::Ok();
+  }
+  HFAD_RETURN_IF_ERROR(positives_[0]->SeekTo(lower_bound));
+  if (!positioned_) {
+    positioned_ = true;
+    if (!positives_[0]->Valid() && stats_ != nullptr &&
+        (positives_.size() > 1 || !probes_.empty())) {
+      stats_->early_exit = true;  // Driver empty: the other conjuncts never open.
+    }
+  }
+  return FindMatch();
+}
+
+Status AndPostingIterator::Next() {
+  if (done_ || !valid_) {
+    valid_ = false;
+    return Status::Ok();
+  }
+  HFAD_RETURN_IF_ERROR(positives_[0]->Next());
+  return FindMatch();
+}
+
+// ---------------------------------------------------------------- OrPostingIterator
+
+OrPostingIterator::OrPostingIterator(std::vector<std::unique_ptr<PostingIterator>> children,
+                                     PlanStats* stats)
+    : children_(std::move(children)), stats_(stats) {}
+
+void OrPostingIterator::Reposition() {
+  bool any = false;
+  ObjectId best = 0;
+  for (const auto& c : children_) {
+    if (c->Valid() && (!any || c->Value() < best)) {
+      best = c->Value();
+      any = true;
+    }
+  }
+  valid_ = any;
+  value_ = best;
+  if (any && stats_ != nullptr) {
+    stats_->intermediate_rows++;
+  }
+}
+
+Status OrPostingIterator::SeekTo(ObjectId lower_bound) {
+  if (valid_ && value_ >= lower_bound) {
+    return Status::Ok();
+  }
+  for (const auto& c : children_) {
+    HFAD_RETURN_IF_ERROR(c->SeekTo(lower_bound));
+  }
+  Reposition();
+  return Status::Ok();
+}
+
+Status OrPostingIterator::Next() {
+  if (!valid_) {
+    return Status::Ok();
+  }
+  for (const auto& c : children_) {
+    if (c->Valid() && c->Value() == value_) {
+      HFAD_RETURN_IF_ERROR(c->Next());
+    }
+  }
+  Reposition();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- BuildConjunction
+
+Result<std::unique_ptr<PostingIterator>> BuildConjunction(std::vector<Conjunct> conjuncts,
+                                                          bool optimize, PlanStats* stats) {
+  std::vector<Conjunct*> positives;
+  std::vector<Conjunct*> negatives;
+  for (Conjunct& c : conjuncts) {
+    (c.negated ? negatives : positives).push_back(&c);
+  }
+  if (positives.empty()) {
+    return Status::InvalidArgument(
+        "a conjunction needs at least one non-negated term (NOT alone names the "
+        "unbounded complement)");
+  }
+  // The planner's whole job (ablated in bench_query_plan): cheapest conjunct first, so
+  // the smallest posting list drives the leapfrog intersection.
+  if (optimize) {
+    std::stable_sort(positives.begin(), positives.end(), [](const Conjunct* a,
+                                                            const Conjunct* b) {
+      return a->estimate < b->estimate;
+    });
+  }
+  const uint64_t driver_estimate = positives[0]->estimate;
+  auto open = [stats](Conjunct* c) -> Result<std::unique_ptr<PostingIterator>> {
+    if (c->iter != nullptr) {
+      return std::move(c->iter);
+    }
+    return c->store->OpenPostings(c->value, stats);
+  };
+  std::vector<std::unique_ptr<PostingIterator>> pos_iters;
+  std::vector<AndPostingIterator::Probe> probes;
+  std::vector<std::unique_ptr<PostingIterator>> neg_iters;
+  HFAD_ASSIGN_OR_RETURN(auto driver, open(positives[0]));
+  pos_iters.push_back(std::move(driver));
+  for (size_t i = 1; i < positives.size(); i++) {
+    Conjunct* c = positives[i];
+    if (c->iter == nullptr && optimize && ShouldProbe(driver_estimate, c->estimate)) {
+      // This conjunct's postings dwarf the driver: probe membership per candidate
+      // instead of opening the postings at all.
+      probes.push_back({c->store, std::move(c->value), /*negated=*/false});
+      continue;
+    }
+    HFAD_ASSIGN_OR_RETURN(auto it, open(c));
+    pos_iters.push_back(std::move(it));
+  }
+  for (Conjunct* c : negatives) {
+    // Same cost rule inverted: probe only when the negative's postings dwarf the
+    // driver; a small negative streams as a seek-filter instead.
+    if (c->iter == nullptr && optimize && ShouldProbe(driver_estimate, c->estimate)) {
+      probes.push_back({c->store, std::move(c->value), /*negated=*/true});
+      continue;
+    }
+    HFAD_ASSIGN_OR_RETURN(auto it, open(c));
+    neg_iters.push_back(std::move(it));
+  }
+  if (pos_iters.size() == 1 && probes.empty() && neg_iters.empty()) {
+    return std::move(pos_iters[0]);
+  }
+  return std::unique_ptr<PostingIterator>(std::make_unique<AndPostingIterator>(
+      std::move(pos_iters), std::move(probes), std::move(neg_iters), stats));
+}
+
+// ---------------------------------------------------------------- helpers
+
+std::unique_ptr<PostingIterator> MakePrefixIterator(const IndexStore* store,
+                                                    std::string prefix, PlanStats* stats) {
+  auto fill = [store, prefix = std::move(prefix)]() -> Result<std::vector<ObjectId>> {
+    std::vector<ObjectId> ids;
+    HFAD_RETURN_IF_ERROR(store->ScanValues(prefix, [&](Slice, ObjectId oid) {
+      ids.push_back(oid);
+      return true;
+    }));
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  return std::make_unique<LazyPostingIterator>(std::move(fill), stats);
+}
+
+Result<std::vector<ObjectId>> DrainPostings(PostingIterator* it) {
+  std::vector<ObjectId> out;
+  HFAD_RETURN_IF_ERROR(it->SeekTo(0));
+  while (it->Valid()) {
+    out.push_back(it->Value());
+    HFAD_RETURN_IF_ERROR(it->Next());
+  }
+  return out;
+}
+
+}  // namespace index
+}  // namespace hfad

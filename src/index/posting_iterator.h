@@ -1,0 +1,225 @@
+// Seekable posting iterators and the set algebra the unified naming path runs on.
+//
+// Every naming entry point — tag lookup, boolean query, ranked search candidates, POSIX
+// directory enumeration — executes as a tree of PostingIterators pulled lazily in
+// ascending-oid order. Nothing materializes a complete result set unless a caller drains
+// the iterator; `Find`-style pagination (limit/after) is just SeekTo + a bounded pull.
+//
+// The building blocks:
+//
+//   * PostingIterator      — the pull interface: Valid/Value/Next/SeekTo. Iterators start
+//                            unpositioned; SeekTo(0) positions at the first posting.
+//                            Seeks are forward-only (a lower bound at or before the
+//                            current position is a no-op), which is what makes leapfrog
+//                            intersection and `after`-pagination O(seeks), not O(rows).
+//   * VectorPostingIterator / LazyPostingIterator — materialized postings (cache hits,
+//                            the ID fastpath, prefix scans) behind the same interface.
+//   * AndPostingIterator   — leapfrog intersection: the cheapest conjunct drives, the
+//                            rest are seeked to each candidate. Conjuncts whose postings
+//                            dwarf the driver degrade to per-candidate membership probes
+//                            (IndexStore::Contains) instead of opening postings at all.
+//                            Negations are probes/seeks that must miss.
+//   * OrPostingIterator    — ascending merge with duplicate collapse.
+//
+// PlanStats lives here (re-exported as query::PlanStats) so the iterators themselves can
+// account for the work they do; the counters keep their historical meanings.
+#ifndef HFAD_SRC_INDEX_POSTING_ITERATOR_H_
+#define HFAD_SRC_INDEX_POSTING_ITERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/osd/osd.h"
+
+namespace hfad {
+namespace index {
+
+using osd::ObjectId;
+
+class IndexStore;
+
+// Work counters filled by iterator execution (bench/ablation support).
+struct PlanStats {
+  uint64_t index_lookups = 0;      // Posting streams opened (first fetch counts once).
+  uint64_t rows_scanned = 0;       // Total ids pulled out of index storage.
+  uint64_t intermediate_rows = 0;  // Rows emitted by intersection/union nodes.
+  uint64_t membership_probes = 0;  // Point Contains() probes in place of full lookups.
+  bool early_exit = false;         // A conjunction's driver was empty before the other
+                                   // conjuncts were ever opened.
+};
+
+// The pull interface every posting source implements. Not thread-safe; an iterator must
+// not outlive the store (or collection) that produced it, and observes concurrent
+// mutations with per-batch consistency only (each fetch sees some consistent tree state).
+class PostingIterator {
+ public:
+  virtual ~PostingIterator() = default;
+
+  // True when positioned on a posting. False before the first SeekTo and at the end.
+  virtual bool Valid() const = 0;
+
+  // Current posting. Only meaningful while Valid().
+  virtual ObjectId Value() const = 0;
+
+  // Advance past the current posting.
+  virtual Status Next() = 0;
+
+  // Position at the first posting >= lower_bound. Forward-only: a bound at or before
+  // the current position leaves the iterator where it is.
+  virtual Status SeekTo(ObjectId lower_bound) = 0;
+};
+
+// Materialized postings (must be sorted ascending, deduplicated). Counts one
+// index_lookup plus the full row count into `stats` on first use.
+class VectorPostingIterator : public PostingIterator {
+ public:
+  explicit VectorPostingIterator(std::vector<ObjectId> ids, PlanStats* stats = nullptr);
+  explicit VectorPostingIterator(std::shared_ptr<const std::vector<ObjectId>> ids,
+                                 PlanStats* stats = nullptr);
+
+  bool Valid() const override;
+  ObjectId Value() const override;
+  Status Next() override;
+  Status SeekTo(ObjectId lower_bound) override;
+
+ private:
+  void CountOnce();
+
+  std::vector<ObjectId> owned_;
+  std::shared_ptr<const std::vector<ObjectId>> shared_;
+  const std::vector<ObjectId>* ids_;
+  size_t idx_ = 0;
+  bool positioned_ = false;
+  PlanStats* const stats_;
+};
+
+// Postings produced on first use by `fill` (sorted ascending, deduplicated). Keeps
+// construction free so a conjunction driver that comes up empty never pays for the
+// other conjuncts (the early-exit the optimizer is counted on to deliver).
+class LazyPostingIterator : public PostingIterator {
+ public:
+  using FillFn = std::function<Result<std::vector<ObjectId>>()>;
+  explicit LazyPostingIterator(FillFn fill, PlanStats* stats = nullptr);
+
+  bool Valid() const override;
+  ObjectId Value() const override;
+  Status Next() override;
+  Status SeekTo(ObjectId lower_bound) override;
+
+ private:
+  Status Materialize();
+
+  FillFn fill_;
+  std::vector<ObjectId> ids_;
+  size_t idx_ = 0;
+  bool materialized_ = false;
+  bool positioned_ = false;
+  PlanStats* const stats_;
+};
+
+// Leapfrog intersection. positives[0] drives (callers order by ascending cardinality
+// estimate); positives[1..] are seeked to each candidate; probes are point membership
+// filters (negated probes must miss); negatives are sub-iterators that must miss.
+class AndPostingIterator : public PostingIterator {
+ public:
+  struct Probe {
+    const IndexStore* store;
+    std::string value;
+    bool negated = false;
+  };
+
+  AndPostingIterator(std::vector<std::unique_ptr<PostingIterator>> positives,
+                     std::vector<Probe> probes,
+                     std::vector<std::unique_ptr<PostingIterator>> negatives,
+                     PlanStats* stats = nullptr);
+
+  bool Valid() const override { return valid_; }
+  ObjectId Value() const override { return value_; }
+  Status Next() override;
+  Status SeekTo(ObjectId lower_bound) override;
+
+ private:
+  // Advance from the driver's current position to the next candidate passing every
+  // filter (or exhaust).
+  Status FindMatch();
+
+  std::vector<std::unique_ptr<PostingIterator>> positives_;
+  std::vector<Probe> probes_;
+  std::vector<std::unique_ptr<PostingIterator>> negatives_;
+  PlanStats* const stats_;
+  bool positioned_ = false;
+  bool done_ = false;
+  bool valid_ = false;
+  ObjectId value_ = 0;
+};
+
+// Ascending merge with duplicate collapse.
+class OrPostingIterator : public PostingIterator {
+ public:
+  OrPostingIterator(std::vector<std::unique_ptr<PostingIterator>> children,
+                    PlanStats* stats = nullptr);
+
+  bool Valid() const override { return valid_; }
+  ObjectId Value() const override { return value_; }
+  Status Next() override;
+  Status SeekTo(ObjectId lower_bound) override;
+
+ private:
+  void Reposition();
+
+  std::vector<std::unique_ptr<PostingIterator>> children_;
+  PlanStats* const stats_;
+  bool valid_ = false;
+  ObjectId value_ = 0;
+};
+
+// The shared planning rule for conjunctions: when the driver's estimated cardinality is
+// small relative to a conjunct's, probing membership per candidate beats opening the
+// conjunct's postings (the 8x factor matches a probe's descent cost vs. a scan step).
+inline bool ShouldProbe(uint64_t driver_estimate, uint64_t conjunct_estimate) {
+  return conjunct_estimate / 8 > driver_estimate;
+}
+
+// Estimate used when a store cannot answer (complements, prefixes, failed estimates):
+// large enough to never drive, small enough that sums of several stay ordered.
+inline constexpr uint64_t kUnknownCardinality = uint64_t{1} << 62;
+
+// One conjunct feeding BuildConjunction: a term backed by a store (probe-eligible,
+// postings opened on demand) or a pre-planned sub-iterator (`iter` set).
+struct Conjunct {
+  const IndexStore* store = nullptr;  // Term conjuncts; caller has validated non-null.
+  std::string value;
+  std::unique_ptr<PostingIterator> iter;  // Non-term conjuncts.
+  uint64_t estimate = 0;
+  bool negated = false;
+};
+
+// THE conjunction planner, shared by IndexCollection::OpenLookupIterator (tag/value
+// terms) and query::QueryPlanner (AND nodes): with optimize, positives sort by
+// ascending estimate so the cheapest drives the leapfrog, and term conjuncts (positive
+// or negated) whose postings dwarf the driver degrade to membership probes
+// (ShouldProbe) instead of opening postings at all. Without optimize, textual order and
+// no probes (the ablation baseline). At least one non-negated conjunct is required.
+Result<std::unique_ptr<PostingIterator>> BuildConjunction(std::vector<Conjunct> conjuncts,
+                                                          bool optimize,
+                                                          PlanStats* stats = nullptr);
+
+// All objects whose `store` value starts with `prefix` (ascending oid, deduplicated),
+// materialized lazily from IndexStore::ScanValues. Backs Expr prefix terms and POSIX
+// directory enumeration.
+std::unique_ptr<PostingIterator> MakePrefixIterator(const IndexStore* store,
+                                                    std::string prefix,
+                                                    PlanStats* stats = nullptr);
+
+// Position at the start and pull every posting (the legacy materializing entry points).
+Result<std::vector<ObjectId>> DrainPostings(PostingIterator* it);
+
+}  // namespace index
+}  // namespace hfad
+
+#endif  // HFAD_SRC_INDEX_POSTING_ITERATOR_H_

@@ -547,6 +547,10 @@ uint64_t Osd::object_count() const {
   return object_table_->Count();
 }
 
+uint64_t Osd::journal_records_appended() const {
+  return journal_->next_sequence() - 1;  // Journal sequencing is internally locked.
+}
+
 Status Osd::ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   Status decode_status;

@@ -182,6 +182,11 @@ class Osd {
   // Volume heap statistics (bench support).
   uint64_t heap_allocated_bytes() const { return allocator_->allocated_bytes(); }
 
+  // Total journal records ever appended on this volume (monotonic across checkpoints;
+  // sequence numbering continues over journal resets). bench_query uses deltas to
+  // compare batched vs. per-tag mutation on records written.
+  uint64_t journal_records_appended() const;
+
   // Structural self-check of one object: its extent tree's invariants hold and the
   // recorded size matches the tree. Expensive; used by fsck.
   Status CheckObject(ObjectId oid) const;

@@ -318,8 +318,15 @@ Status PosixFs::Rmdir(const std::string& path) {
   if (!is_dir) {
     return Status::InvalidArgument("not a directory: " + norm);
   }
-  HFAD_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, Readdir(norm));
-  if (!entries.empty()) {
+  // Emptiness is an existence probe, not an enumeration: stop at the first descendant.
+  // (A prefix Expr through Find would materialize the whole descendant set first.)
+  bool has_descendant = false;
+  HFAD_RETURN_IF_ERROR(
+      PosixStore(fs_)->ScanValues(norm + "/", [&](Slice, ObjectId) {
+        has_descendant = true;
+        return false;
+      }));
+  if (has_descendant) {
     return Status::Busy("directory not empty: " + norm);
   }
   return fs_->Remove(oid);
@@ -408,23 +415,36 @@ Result<std::vector<DirEntry>> PosixFs::Readdir(const std::string& path) const {
   if (!is_dir) {
     return Status::InvalidArgument("not a directory: " + norm);
   }
-  // readdir = prefix range scan over the POSIX index: children are paths that extend
-  // this one by exactly one component.
+  // readdir = a prefix query on the POSIX index through the unified Find path, then
+  // each entry's direct-child names reconstructed from its own tags (an object
+  // hard-linked twice into this directory lists twice, as before). One plan, one
+  // execution: re-planning per page would re-materialize the prefix scan each time.
   std::string prefix = norm == "/" ? "/" : norm + "/";
+  auto expr = query::Expr::Prefix(std::string(index::kTagPosix), prefix);
   std::vector<DirEntry> entries;
-  HFAD_RETURN_IF_ERROR(PosixStore(fs_)->ScanValues(prefix, [&](Slice value, ObjectId oid) {
-    Slice rest(value.data() + prefix.size(), value.size() - prefix.size());
-    if (rest.empty()) {
-      return true;  // The directory itself (only for "/").
-    }
-    for (size_t i = 0; i < rest.size(); i++) {
-      if (rest[i] == '/') {
-        return true;  // Deeper descendant, not a direct child.
+  HFAD_ASSIGN_OR_RETURN(query::FindPage page, fs_->Find(*expr));
+  for (ObjectId oid : page.ids) {
+    HFAD_ASSIGN_OR_RETURN(std::vector<core::TagValue> tags, fs_->Tags(oid));
+    for (const core::TagValue& tv : tags) {
+      if (tv.tag != index::kTagPosix || tv.value.size() <= prefix.size() ||
+          tv.value.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      Slice rest(tv.value.data() + prefix.size(), tv.value.size() - prefix.size());
+      bool direct_child = true;
+      for (size_t i = 0; i < rest.size(); i++) {
+        if (rest[i] == '/') {
+          direct_child = false;  // Deeper descendant.
+          break;
+        }
+      }
+      if (direct_child) {
+        entries.push_back(DirEntry{rest.ToString(), oid, false});
       }
     }
-    entries.push_back(DirEntry{rest.ToString(), oid, false});
-    return true;
-  }));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
   for (DirEntry& e : entries) {
     HFAD_ASSIGN_OR_RETURN(e.is_dir, IsDirOid(e.oid));
   }

@@ -19,6 +19,14 @@ std::unique_ptr<Expr> Expr::Term(std::string tag, std::string value) {
   return e;
 }
 
+std::unique_ptr<Expr> Expr::Prefix(std::string tag, std::string value_prefix) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kPrefix;
+  e->tag = std::move(tag);
+  e->value = std::move(value_prefix);
+  return e;
+}
+
 std::unique_ptr<Expr> Expr::And(std::vector<std::unique_ptr<Expr>> children) {
   auto e = std::make_unique<Expr>();
   e->kind = Kind::kAnd;
@@ -40,16 +48,35 @@ std::unique_ptr<Expr> Expr::Not(std::unique_ptr<Expr> child) {
   return e;
 }
 
+std::unique_ptr<Expr> Expr::AndTerms(const std::vector<index::TagValue>& terms) {
+  std::vector<std::unique_ptr<Expr>> children;
+  children.reserve(terms.size());
+  for (const index::TagValue& term : terms) {
+    children.push_back(Term(term.tag, term.value));
+  }
+  if (children.size() == 1) {
+    return std::move(children[0]);
+  }
+  return And(std::move(children));
+}
+
 // ---------------------------------------------------------------- parser
 
 namespace {
+
+// Nesting bound: recursive descent must not be crashable by adversarial input.
+constexpr int kMaxParseDepth = 64;
 
 enum class TokKind { kWord, kColon, kLParen, kRParen, kQuoted, kEnd };
 
 struct Token {
   TokKind kind;
   std::string text;
+  size_t pos = 0;  // 0-based byte offset of the token's first character.
 };
+
+// 1-based position for error messages.
+std::string AtPos(size_t pos) { return " at position " + std::to_string(pos + 1); }
 
 class Lexer {
  public:
@@ -59,21 +86,22 @@ class Lexer {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       pos_++;
     }
+    size_t start = pos_;
     if (pos_ >= text_.size()) {
-      return Token{TokKind::kEnd, ""};
+      return Token{TokKind::kEnd, "", start};
     }
     char c = text_[pos_];
     if (c == ':') {
       pos_++;
-      return Token{TokKind::kColon, ":"};
+      return Token{TokKind::kColon, ":", start};
     }
     if (c == '(') {
       pos_++;
-      return Token{TokKind::kLParen, "("};
+      return Token{TokKind::kLParen, "(", start};
     }
     if (c == ')') {
       pos_++;
-      return Token{TokKind::kRParen, ")"};
+      return Token{TokKind::kRParen, ")", start};
     }
     if (c == '"') {
       pos_++;
@@ -82,10 +110,10 @@ class Lexer {
         out.push_back(text_[pos_++]);
       }
       if (pos_ >= text_.size()) {
-        return Status::InvalidArgument("unterminated quoted value");
+        return Status::InvalidArgument("unterminated quoted value" + AtPos(start));
       }
       pos_++;  // Closing quote.
-      return Token{TokKind::kQuoted, out};
+      return Token{TokKind::kQuoted, out, start};
     }
     std::string out;
     while (pos_ < text_.size()) {
@@ -97,7 +125,7 @@ class Lexer {
       out.push_back(w);
       pos_++;
     }
-    return Token{TokKind::kWord, out};
+    return Token{TokKind::kWord, out, start};
   }
 
  private:
@@ -123,9 +151,13 @@ class Parser {
 
   Result<std::unique_ptr<Expr>> Parse() {
     HFAD_RETURN_IF_ERROR(Advance());
+    if (cur_.kind == TokKind::kEnd) {
+      return Status::InvalidArgument("empty query");
+    }
     HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseOr());
     if (cur_.kind != TokKind::kEnd) {
-      return Status::InvalidArgument("trailing input after query: '" + cur_.text + "'");
+      return Status::InvalidArgument("trailing input after query" + AtPos(cur_.pos) +
+                                     ": '" + cur_.text + "'");
     }
     return e;
   }
@@ -137,6 +169,16 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseOr() {
+    if (++depth_ > kMaxParseDepth) {
+      return Status::InvalidArgument("query nesting exceeds depth " +
+                                     std::to_string(kMaxParseDepth) + AtPos(cur_.pos));
+    }
+    auto result = ParseOrInner();
+    depth_--;
+    return result;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOrInner() {
     HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> first, ParseAnd());
     std::vector<std::unique_ptr<Expr>> children;
     children.push_back(std::move(first));
@@ -173,8 +215,23 @@ class Parser {
   }
 
   Result<std::unique_ptr<Expr>> ParseUnary() {
+    // Chained NOTs recurse here without passing through ParseOr, so they need their own
+    // depth charge — "NOT NOT NOT ..." must hit the bound, not the process stack.
+    if (++depth_ > kMaxParseDepth) {
+      return Status::InvalidArgument("query nesting exceeds depth " +
+                                     std::to_string(kMaxParseDepth) + AtPos(cur_.pos));
+    }
+    auto result = ParseUnaryInner();
+    depth_--;
+    return result;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnaryInner() {
     if (IsKeyword(cur_, "NOT")) {
       HFAD_RETURN_IF_ERROR(Advance());
+      if (cur_.kind == TokKind::kEnd) {
+        return Status::InvalidArgument("dangling NOT with no operand" + AtPos(cur_.pos));
+      }
       HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> child, ParseUnary());
       return Expr::Not(std::move(child));
     }
@@ -183,25 +240,41 @@ class Parser {
 
   Result<std::unique_ptr<Expr>> ParsePrimary() {
     if (cur_.kind == TokKind::kLParen) {
+      size_t open_pos = cur_.pos;
       HFAD_RETURN_IF_ERROR(Advance());
+      if (cur_.kind == TokKind::kRParen) {
+        return Status::InvalidArgument("empty parentheses" + AtPos(open_pos));
+      }
       HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
       if (cur_.kind != TokKind::kRParen) {
-        return Status::InvalidArgument("expected ')'");
+        return Status::InvalidArgument("unclosed '(' opened" + AtPos(open_pos));
       }
       HFAD_RETURN_IF_ERROR(Advance());
       return inner;
     }
+    if (cur_.kind == TokKind::kEnd) {
+      return Status::InvalidArgument("unexpected end of query (expected a tag:value term)" +
+                                     AtPos(cur_.pos));
+    }
     if (cur_.kind != TokKind::kWord) {
-      return Status::InvalidArgument("expected tag:value term, got '" + cur_.text + "'");
+      return Status::InvalidArgument("expected tag:value term, got '" + cur_.text + "'" +
+                                     AtPos(cur_.pos));
     }
     std::string tag = cur_.text;
     HFAD_RETURN_IF_ERROR(Advance());
     if (cur_.kind != TokKind::kColon) {
-      return Status::InvalidArgument("expected ':' after tag '" + tag + "'");
+      return Status::InvalidArgument("expected ':' after tag '" + tag + "'" +
+                                     AtPos(cur_.pos));
     }
+    size_t value_pos = cur_.pos + 1;
     HFAD_RETURN_IF_ERROR(Advance());
     if (cur_.kind != TokKind::kWord && cur_.kind != TokKind::kQuoted) {
-      return Status::InvalidArgument("expected value after '" + tag + ":'");
+      return Status::InvalidArgument("expected value after '" + tag + ":'" +
+                                     AtPos(value_pos));
+    }
+    if (cur_.kind == TokKind::kQuoted && cur_.text.empty()) {
+      return Status::InvalidArgument("empty value for tag '" + tag + "'" +
+                                     AtPos(cur_.pos));
     }
     std::string value = cur_.text;
     bool quoted = cur_.kind == TokKind::kQuoted;
@@ -218,28 +291,19 @@ class Parser {
         break;
       }
     }
+    // An unquoted value ending in '*' is a prefix term (quote the value to keep a
+    // literal star).
+    if (!quoted && !value.empty() && value.back() == '*') {
+      value.pop_back();
+      return Expr::Prefix(std::move(tag), std::move(value));
+    }
     return Expr::Term(std::move(tag), std::move(value));
   }
 
   Lexer lexer_;
-  Token cur_{TokKind::kEnd, ""};
+  Token cur_{TokKind::kEnd, "", 0};
+  int depth_ = 0;
 };
-
-std::vector<ObjectId> UnionSorted(const std::vector<ObjectId>& a,
-                                  const std::vector<ObjectId>& b) {
-  std::vector<ObjectId> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  return out;
-}
-
-std::vector<ObjectId> DifferenceSorted(const std::vector<ObjectId>& a,
-                                       const std::vector<ObjectId>& b) {
-  std::vector<ObjectId> out;
-  out.reserve(a.size());
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  return out;
-}
 
 }  // namespace
 
@@ -249,6 +313,8 @@ std::string ToString(const Expr& expr) {
   switch (expr.kind) {
     case Expr::Kind::kTerm:
       return expr.tag + ":\"" + expr.value + "\"";
+    case Expr::Kind::kPrefix:
+      return expr.tag + ":" + expr.value + "*";
     case Expr::Kind::kNot:
       return "NOT " + ToString(*expr.children[0]);
     case Expr::Kind::kAnd:
@@ -267,9 +333,9 @@ std::string ToString(const Expr& expr) {
   return "?";
 }
 
-// ---------------------------------------------------------------- evaluation
+// ---------------------------------------------------------------- planner
 
-uint64_t QueryEngine::Estimate(const Expr& expr) const {
+uint64_t QueryPlanner::Estimate(const Expr& expr) const {
   constexpr uint64_t kUnknown = std::numeric_limits<uint64_t>::max() / 4;
   switch (expr.kind) {
     case Expr::Kind::kTerm: {
@@ -280,6 +346,8 @@ uint64_t QueryEngine::Estimate(const Expr& expr) const {
       auto est = s->EstimateCardinality(expr.value);
       return est.ok() ? *est : kUnknown;
     }
+    case Expr::Kind::kPrefix:
+      return kUnknown;  // Stores estimate exact values only.
     case Expr::Kind::kAnd: {
       uint64_t best = kUnknown;
       for (const auto& child : expr.children) {
@@ -302,122 +370,65 @@ uint64_t QueryEngine::Estimate(const Expr& expr) const {
   return kUnknown;
 }
 
-Result<std::vector<ObjectId>> QueryEngine::EvalAnd(const Expr& expr,
-                                                   PlanStats* stats) const {
-  std::vector<const Expr*> positives;
-  std::vector<const Expr*> negatives;
+Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::PlanAnd(
+    const Expr& expr, PlanStats* stats) const {
+  // Map each child onto an index::Conjunct — terms stay store+value (probe-eligible,
+  // opened on demand), everything else is pre-planned into a sub-iterator — and let the
+  // shared conjunction planner (index::BuildConjunction, also behind
+  // IndexCollection::OpenLookupIterator) do the ordering and probe degradation.
+  std::vector<index::Conjunct> conjuncts;
+  conjuncts.reserve(expr.children.size());
   for (const auto& child : expr.children) {
-    if (child->kind == Expr::Kind::kNot) {
-      negatives.push_back(child->children[0].get());
-    } else {
-      positives.push_back(child.get());
+    const Expr* node = child.get();
+    index::Conjunct c;
+    if (node->kind == Expr::Kind::kNot) {
+      c.negated = true;
+      node = node->children[0].get();
     }
-  }
-  if (positives.empty()) {
-    return Status::InvalidArgument(
-        "a conjunction needs at least one non-negated term (NOT alone names the "
-        "unbounded complement)");
-  }
-  // The optimizer's whole job (ablated in bench_query_plan): cheapest conjunct first.
-  if (optimize_) {
-    std::vector<std::pair<uint64_t, const Expr*>> ranked;
-    ranked.reserve(positives.size());
-    for (const Expr* p : positives) {
-      ranked.emplace_back(Estimate(*p), p);
-    }
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const auto& a, const auto& b) { return a.first < b.first; });
-    positives.clear();
-    for (const auto& [est, p] : ranked) {
-      positives.push_back(p);
-    }
-  }
-
-  std::vector<ObjectId> result;
-  bool first = true;
-  for (const Expr* p : positives) {
-    if (!first && result.empty()) {
-      if (stats != nullptr) {
-        stats->early_exit = true;
-      }
-      return result;  // Empty intersection: skip the remaining (larger) lookups.
-    }
-    // When the running intersection is already small relative to this conjunct,
-    // probing membership per candidate beats materializing the conjunct's postings.
-    if (!first && p->kind == Expr::Kind::kTerm && optimize_ &&
-        result.size() * 8 < Estimate(*p)) {
-      const index::IndexStore* s = indexes_->store(p->tag);
+    c.estimate = optimize_ ? Estimate(*node) : 0;
+    if (node->kind == Expr::Kind::kTerm) {
+      const index::IndexStore* s = indexes_->store(node->tag);
       if (s == nullptr) {
-        return Status::NotFound("no index store for tag '" + p->tag + "'");
+        return Status::NotFound("no index store for tag '" + node->tag + "'");
       }
-      std::vector<ObjectId> kept;
-      kept.reserve(result.size());
-      for (ObjectId oid : result) {
-        HFAD_ASSIGN_OR_RETURN(bool has, s->Contains(p->value, oid));
-        if (stats != nullptr) {
-          stats->membership_probes++;
-        }
-        if (has) {
-          kept.push_back(oid);
-        }
-      }
-      result = std::move(kept);
-      if (stats != nullptr) {
-        stats->intermediate_rows += result.size();
-      }
-      continue;
-    }
-    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, EvalNode(*p, stats));
-    if (first) {
-      result = std::move(ids);
-      first = false;
+      c.store = s;
+      c.value = node->value;
     } else {
-      result = index::IntersectSorted(result, ids);
+      HFAD_ASSIGN_OR_RETURN(c.iter, Plan(*node, stats));
     }
-    if (stats != nullptr) {
-      stats->intermediate_rows += result.size();
-    }
+    conjuncts.push_back(std::move(c));
   }
-  for (const Expr* n : negatives) {
-    if (result.empty()) {
-      break;
-    }
-    HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, EvalNode(*n, stats));
-    result = DifferenceSorted(result, ids);
-    if (stats != nullptr) {
-      stats->intermediate_rows += result.size();
-    }
-  }
-  return result;
+  return index::BuildConjunction(std::move(conjuncts), optimize_, stats);
 }
 
-Result<std::vector<ObjectId>> QueryEngine::EvalNode(const Expr& expr,
-                                                    PlanStats* stats) const {
+Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::Plan(
+    const Expr& expr, PlanStats* stats) const {
   switch (expr.kind) {
     case Expr::Kind::kTerm: {
       const index::IndexStore* s = indexes_->store(expr.tag);
       if (s == nullptr) {
         return Status::NotFound("no index store for tag '" + expr.tag + "'");
       }
-      HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, s->Lookup(expr.value));
-      if (stats != nullptr) {
-        stats->index_lookups++;
-        stats->rows_scanned += ids.size();
+      return s->OpenPostings(expr.value, stats);
+    }
+    case Expr::Kind::kPrefix: {
+      const index::IndexStore* s = indexes_->store(expr.tag);
+      if (s == nullptr) {
+        return Status::NotFound("no index store for tag '" + expr.tag + "'");
       }
-      return ids;
+      return index::MakePrefixIterator(s, expr.value, stats);
     }
     case Expr::Kind::kAnd:
-      return EvalAnd(expr, stats);
+      return PlanAnd(expr, stats);
     case Expr::Kind::kOr: {
-      std::vector<ObjectId> result;
+      std::vector<std::unique_ptr<index::PostingIterator>> children;
+      children.reserve(expr.children.size());
       for (const auto& child : expr.children) {
-        HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids, EvalNode(*child, stats));
-        result = UnionSorted(result, ids);
-        if (stats != nullptr) {
-          stats->intermediate_rows += result.size();
-        }
+        HFAD_ASSIGN_OR_RETURN(auto it, Plan(*child, stats));
+        children.push_back(std::move(it));
       }
-      return result;
+      return std::unique_ptr<index::PostingIterator>(
+          std::make_unique<index::OrPostingIterator>(std::move(children), stats));
     }
     case Expr::Kind::kNot:
       return Status::InvalidArgument(
@@ -426,9 +437,30 @@ Result<std::vector<ObjectId>> QueryEngine::EvalNode(const Expr& expr,
   return Status::Internal("unreachable expression kind");
 }
 
+// ---------------------------------------------------------------- execution
+
+Result<FindPage> Paginate(index::PostingIterator* it, const FindOptions& options) {
+  FindPage page;
+  if (options.after == std::numeric_limits<ObjectId>::max()) {
+    return page;  // Nothing can follow the maximal oid.
+  }
+  HFAD_RETURN_IF_ERROR(it->SeekTo(options.after == 0 ? 0 : options.after + 1));
+  while (it->Valid()) {
+    if (options.limit != 0 && page.ids.size() == options.limit) {
+      page.has_more = true;
+      page.next_after = page.ids.back();
+      break;
+    }
+    page.ids.push_back(it->Value());
+    HFAD_RETURN_IF_ERROR(it->Next());
+  }
+  return page;
+}
+
 Result<std::vector<ObjectId>> QueryEngine::Evaluate(const Expr& expr,
                                                     PlanStats* stats) const {
-  return EvalNode(expr, stats);
+  HFAD_ASSIGN_OR_RETURN(auto it, planner_.Plan(expr, stats));
+  return index::DrainPostings(it.get());
 }
 
 Result<std::vector<ObjectId>> QueryEngine::Run(Slice text, PlanStats* stats) const {

@@ -137,6 +137,38 @@ TEST_F(HierFsTest, ReaddirSorted) {
   EXPECT_EQ((*entries)[2].name, "zeta");
 }
 
+TEST_F(HierFsTest, ReaddirPageStreamsInNameOrder) {
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  std::vector<std::string> names;
+  for (int i = 0; i < 25; i++) {
+    char name[16];
+    snprintf(name, sizeof(name), "f%02d", i);
+    names.push_back(name);
+    ASSERT_TRUE(fs_->CreateFile(std::string("/big/") + name).ok());
+  }
+  std::vector<std::string> collected;
+  std::string after;
+  for (;;) {
+    bool has_more = false;
+    auto page = fs_->ReaddirPage("/big", 7, after, &has_more);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    ASSERT_LE(page->size(), 7u);
+    for (const DirEntry& e : *page) {
+      collected.push_back(e.name);
+    }
+    if (!has_more) {
+      break;
+    }
+    after = page->back().name;
+  }
+  EXPECT_EQ(collected, names);
+
+  // Unpaged Readdir is the limit-0 page.
+  auto all = fs_->Readdir("/big");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), names.size());
+}
+
 TEST_F(HierFsTest, TruncateAndInsertViaRewrite) {
   auto ino = fs_->CreateFile("/f");
   ASSERT_TRUE(ino.ok());

@@ -179,6 +179,26 @@ TEST_F(IndexTest, CardinalityEstimates) {
   EXPECT_EQ(*udef->EstimateCardinality("absent"), 0u);
 }
 
+TEST_F(IndexTest, CappedCardinalityEstimateRecoversAfterRemovals) {
+  // Estimates clamp at kCardEstimateCap; removing postings from a clamped value must
+  // not decrement the cached clamp (that drifts the estimate arbitrarily below the
+  // real count and eventually inverts conjunction plans) — it must re-count.
+  IndexStore* udef = collection_->store(kTagUdef);
+  const uint64_t cap = KeyValueIndexStore::kCardEstimateCap;
+  std::vector<ObjectId> oids;
+  for (uint64_t i = 0; i < cap + 6; i++) {
+    oids.push_back(NewObject());
+    ASSERT_TRUE(udef->Add("huge", oids.back()).ok());
+  }
+  EXPECT_EQ(*udef->EstimateCardinality("huge"), cap);  // Clamped, now cached.
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(udef->Remove("huge", oids[i]).ok());
+  }
+  // True count is cap + 2, still above the cap: the estimate must stay at the clamp,
+  // not drift to cap - 4.
+  EXPECT_EQ(*udef->EstimateCardinality("huge"), cap);
+}
+
 TEST_F(IndexTest, UnknownTagInLookupFails) {
   EXPECT_FALSE(collection_->Lookup({{"IMAGE", "sunset"}}).ok());
   EXPECT_FALSE(collection_->Lookup({}).ok());

@@ -85,6 +85,83 @@ TEST(QueryParseTest, MalformedQueriesRejected) {
                                               // keyword, not a term.
 }
 
+// Every malformed input is InvalidArgument (never a crash, never a misleading code) and
+// names the 1-based position of the problem.
+TEST(QueryParseTest, ErrorsCarryPositionInfo) {
+  struct Case {
+    const char* input;
+    const char* expect;  // Substring of the error message.
+  };
+  const Case cases[] = {
+      {"", "empty query"},
+      {"   ", "empty query"},
+      {"UDEF:a AND", "position 11"},              // Dangling AND: term expected at end.
+      {"UDEF:a OR", "position 10"},               // Dangling OR.
+      {"NOT", "dangling NOT"},                    // Dangling NOT.
+      {"UDEF:a AND NOT", "dangling NOT"},
+      {"(UDEF:a", "unclosed '(' opened at position 1"},
+      {"UDEF:x AND (UDEF:a OR UDEF:b", "unclosed '(' opened at position 12"},
+      {"UDEF:a)", "position 7"},                  // Trailing input.
+      {"()", "empty parentheses at position 1"},
+      {"UDEF:", "expected value after 'UDEF:' at position 6"},
+      {"UDEF:\"\"", "empty value for tag 'UDEF'"},
+      {"UDEF:\"unterminated", "unterminated quoted value at position 6"},
+      {":value", "position 1"},                   // Term starting with a colon.
+  };
+  for (const Case& c : cases) {
+    auto r = Parse(c.input);
+    ASSERT_FALSE(r.ok()) << "'" << c.input << "' unexpectedly parsed";
+    EXPECT_TRUE(r.status().IsInvalidArgument())
+        << "'" << c.input << "': " << r.status().ToString();
+    EXPECT_NE(r.status().ToString().find(c.expect), std::string::npos)
+        << "'" << c.input << "' error was: " << r.status().ToString();
+  }
+}
+
+TEST(QueryParseTest, DeepNestingRejectedNotCrashed) {
+  // Adversarial nesting must hit the depth bound, not the process stack.
+  std::string deep(5000, '(');
+  deep += "UDEF:a";
+  deep += std::string(5000, ')');
+  auto r = Parse(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().ToString().find("nesting"), std::string::npos);
+
+  // Chained NOTs recurse without passing through the paren/or path: same bound applies.
+  std::string nots;
+  for (int i = 0; i < 200000; i++) {
+    nots += "NOT ";
+  }
+  nots += "UDEF:a";
+  auto rn = Parse(nots);
+  ASSERT_FALSE(rn.ok());
+  EXPECT_TRUE(rn.status().IsInvalidArgument());
+  EXPECT_NE(rn.status().ToString().find("nesting"), std::string::npos);
+
+  // Nesting under the bound still parses.
+  std::string shallow(10, '(');
+  shallow += "UDEF:a";
+  shallow += std::string(10, ')');
+  EXPECT_TRUE(Parse(shallow).ok());
+  EXPECT_TRUE(Parse("NOT NOT NOT UDEF:a OR UDEF:b").ok());
+}
+
+TEST(QueryParseTest, UnquotedTrailingStarIsAPrefixTerm) {
+  auto e = Parse("POSIX:/home/margo/*");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind, Expr::Kind::kPrefix);
+  EXPECT_EQ((*e)->tag, "POSIX");
+  EXPECT_EQ((*e)->value, "/home/margo/");
+  EXPECT_EQ(ToString(**e), "POSIX:/home/margo/*");
+
+  // Quoted values keep the star literal.
+  auto literal = Parse("UDEF:\"a*\"");
+  ASSERT_TRUE(literal.ok());
+  EXPECT_EQ((*literal)->kind, Expr::Kind::kTerm);
+  EXPECT_EQ((*literal)->value, "a*");
+}
+
 // ---------------------------------------------------------------- evaluation fixture
 
 class QueryEvalTest : public ::testing::Test {

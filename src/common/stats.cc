@@ -35,6 +35,14 @@ std::string_view CounterName(Counter c) {
       return "journal_records";
     case Counter::kJournalBytes:
       return "journal_bytes";
+    case Counter::kJournalCommits:
+      return "journal_commits";
+    case Counter::kDeviceWriteBatches:
+      return "device_write_batches";
+    case Counter::kDeviceBatchRuns:
+      return "device_batch_runs";
+    case Counter::kOsdCloseErrors:
+      return "osd_close_errors";
     case Counter::kFulltextDocsIndexed:
       return "fulltext_docs_indexed";
     case Counter::kFulltextTermsPosted:

@@ -31,6 +31,10 @@ enum class Counter : int {
   kExtentsFreed,
   kJournalRecords,
   kJournalBytes,
+  kJournalCommits,       // Group-commit batches made durable (one Write+Sync each).
+  kDeviceWriteBatches,   // WriteBatch calls served.
+  kDeviceBatchRuns,      // Coalesced device writes those batches decomposed into.
+  kOsdCloseErrors,       // Osd destructors whose final checkpoint failed.
   kFulltextDocsIndexed,
   kFulltextTermsPosted,
   kNumCounters,  // Sentinel.

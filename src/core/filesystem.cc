@@ -1,6 +1,7 @@
 #include "src/core/filesystem.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "src/common/coding.h"
@@ -610,15 +611,15 @@ Status SearchCursor::Up() {
 
 Result<query::FindPage> SearchCursor::ResultsPage(const query::FindOptions& options) const {
   if (path_.empty()) {
-    // Root: page over every object on the volume in oid order. (The object table has no
-    // seek entry point, so each page rescans up to `after` — refine before paging deep.)
+    // Root: page over every object on the volume in oid order, seeking straight to the
+    // keyset anchor — no page ever rescans the table head up to `after`.
     query::FindPage page;
     const ObjectId after = options.after;
+    if (after == std::numeric_limits<ObjectId>::max()) {
+      return page;  // Nothing can follow the maximal oid.
+    }
     HFAD_RETURN_IF_ERROR(const_cast<FileSystem*>(fs_)->volume()->ScanObjects(
-        [&](ObjectId oid, const osd::ObjectMeta&) {
-          if (oid <= after) {
-            return true;
-          }
+        after + 1, [&](ObjectId oid, const osd::ObjectMeta&) {
           if (options.limit != 0 && page.ids.size() == options.limit) {
             page.has_more = true;
             page.next_after = page.ids.back();

@@ -44,6 +44,20 @@ std::string ValuePrefix(Slice value) {
   return p;
 }
 
+// Smallest key strictly greater than every key starting with `prefix` ("" = open end,
+// for an all-0xff prefix).
+std::string PrefixEnd(Slice prefix) {
+  std::string end = prefix.ToString();
+  while (!end.empty()) {
+    if (static_cast<uint8_t>(end.back()) != 0xff) {
+      end.back() = static_cast<char>(static_cast<uint8_t>(end.back()) + 1);
+      return end;
+    }
+    end.pop_back();
+  }
+  return end;
+}
+
 }  // namespace
 
 std::vector<ObjectId> IntersectSorted(const std::vector<ObjectId>& a,
@@ -63,6 +77,12 @@ Result<std::unique_ptr<PostingIterator>> IndexStore::OpenPostings(Slice value,
   std::string v = value.ToString();
   return std::unique_ptr<PostingIterator>(std::make_unique<LazyPostingIterator>(
       [this, v]() -> Result<std::vector<ObjectId>> { return Lookup(v); }, stats));
+}
+
+Result<std::unique_ptr<PostingIterator>> IndexStore::OpenPrefixPostings(
+    Slice prefix, PlanStats* stats) const {
+  // Materializing fallback for plug-in stores (one ScanValues pass + sort at first use).
+  return MakePrefixIterator(this, prefix.ToString(), stats);
 }
 
 // ---------------------------------------------------------------- KeyValueIndexStore
@@ -290,6 +310,193 @@ Result<std::unique_ptr<PostingIterator>> KeyValueIndexStore::OpenPostings(
   }
   return std::unique_ptr<PostingIterator>(
       std::make_unique<ScanIterator>(this, value.ToString(), stats));
+}
+
+// Streaming `prefix*` execution. First use runs a skip-seek DISCOVERY pass: one bounded
+// btree scan segment at a time (store lock held per segment only). Values with only a
+// few postings are absorbed as they are scanned into one sorted side buffer — a
+// directory-style prefix (many values, a posting or two each) therefore costs exactly
+// one range scan, no per-value descents. A value that shows a long posting run is
+// instead PROMOTED to a lazy batched stream (the same ScanIterator the exact-match path
+// uses) and discovery seeks straight past its remaining postings without reading them.
+// Emission merges the side buffer and the streams through a min-heap keyed on each
+// source's current oid, with duplicate collapse — so a page over a prefix dominated by
+// huge posting lists costs O(page) batch refills, never a full materialization.
+class KeyValueIndexStore::PrefixMergeIterator : public PostingIterator {
+ public:
+  // Postings of one value scanned (and side-buffered) before discovery promotes the
+  // value to a stream and jumps over the rest.
+  static constexpr int kSkipRunLength = 8;
+  // Entries per discovery scan segment (lock released between segments).
+  static constexpr size_t kDiscoverBatch = 1024;
+
+  PrefixMergeIterator(const KeyValueIndexStore* store, std::string prefix,
+                      PlanStats* stats)
+      : store_(store), prefix_(std::move(prefix)), stats_(stats) {}
+
+  bool Valid() const override { return valid_; }
+  ObjectId Value() const override { return value_; }
+
+  Status SeekTo(ObjectId lower_bound) override {
+    if (!positioned_) {
+      HFAD_RETURN_IF_ERROR(Discover());
+      positioned_ = true;
+      if (stats_ != nullptr) {
+        stats_->index_lookups++;
+      }
+      for (const auto& stream : streams_) {
+        HFAD_RETURN_IF_ERROR(stream->SeekTo(lower_bound));
+        if (stream->Valid()) {
+          heap_.push_back(stream.get());
+        }
+      }
+      std::make_heap(heap_.begin(), heap_.end(), HeapGreater);
+      Reposition();
+      return Status::Ok();
+    }
+    if (valid_ && value_ >= lower_bound) {
+      return Status::Ok();
+    }
+    while (!heap_.empty() && heap_.front()->Value() < lower_bound) {
+      PostingIterator* stream = PopTop();
+      HFAD_RETURN_IF_ERROR(stream->SeekTo(lower_bound));
+      PushIfValid(stream);
+    }
+    Reposition();
+    return Status::Ok();
+  }
+
+  Status Next() override {
+    if (!valid_) {
+      return Status::Ok();
+    }
+    // Advance every stream sitting on the current oid — that is the duplicate collapse.
+    while (!heap_.empty() && heap_.front()->Value() == value_) {
+      PostingIterator* stream = PopTop();
+      HFAD_RETURN_IF_ERROR(stream->Next());
+      PushIfValid(stream);
+    }
+    Reposition();
+    return Status::Ok();
+  }
+
+ private:
+  static bool HeapGreater(const PostingIterator* a, const PostingIterator* b) {
+    return a->Value() > b->Value();  // std:: heap functions build a max-heap; invert.
+  }
+
+  PostingIterator* PopTop() {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapGreater);
+    PostingIterator* top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  void PushIfValid(PostingIterator* stream) {
+    if (stream->Valid()) {
+      heap_.push_back(stream);
+      std::push_heap(heap_.begin(), heap_.end(), HeapGreater);
+    }
+  }
+
+  void Reposition() {
+    valid_ = !heap_.empty();
+    if (valid_) {
+      value_ = heap_.front()->Value();
+      if (stats_ != nullptr) {
+        stats_->intermediate_rows++;
+      }
+    }
+  }
+
+  Status Discover() {
+    std::string start = prefix_;
+    const std::string end = PrefixEnd(prefix_);
+    std::string cur;                 // Value currently being scanned.
+    std::vector<ObjectId> cur_oids;  // Its postings seen so far (scan = ascending oid).
+    bool have_cur = false;
+    std::vector<ObjectId> buffered;     // Absorbed postings of small values.
+    std::vector<std::string> promoted;  // Values handed to lazy streams.
+    auto flush_cur = [&] {
+      buffered.insert(buffered.end(), cur_oids.begin(), cur_oids.end());
+      cur_oids.clear();
+    };
+    for (;;) {
+      std::string resume;
+      size_t scanned = 0;
+      std::string last_key;
+      {
+        std::shared_lock<std::shared_mutex> lock(store_->mu_);
+        HFAD_RETURN_IF_ERROR(store_->tree_->Scan(start, end, [&](Slice key, Slice) {
+          scanned++;
+          last_key.assign(key.data(), key.size());
+          if (key.size() < 9) {
+            return scanned < kDiscoverBatch;  // Malformed entry; skip defensively.
+          }
+          Slice value(key.data(), key.size() - 9);
+          ObjectId oid = OidFromBytes(Slice(key.data() + key.size() - 8, 8));
+          if (!have_cur || value != Slice(cur)) {
+            flush_cur();
+            cur.assign(value.data(), value.size());
+            have_cur = true;
+            cur_oids.push_back(oid);
+            return scanned < kDiscoverBatch;
+          }
+          cur_oids.push_back(oid);
+          if (cur_oids.size() >= kSkipRunLength) {
+            // A real posting run: let a lazy stream own the whole value (dropping what
+            // was buffered so far — the stream re-reads it in 1024-entry batches) and
+            // seek discovery straight past its remaining postings.
+            cur_oids.clear();
+            promoted.push_back(cur);
+            resume = cur + '\x01';
+            return false;
+          }
+          return scanned < kDiscoverBatch;
+        }));
+      }
+      if (!resume.empty()) {
+        start = std::move(resume);  // Skip-seek past the promoted value's postings.
+        have_cur = false;           // cur was promoted; never absorb it again.
+        continue;
+      }
+      if (scanned >= kDiscoverBatch) {
+        start = last_key + '\0';  // Segment boundary: resume at the key successor.
+        continue;
+      }
+      break;  // Scan ran off the prefix range: discovery complete.
+    }
+    flush_cur();
+    if (stats_ != nullptr) {
+      stats_->rows_scanned += buffered.size();
+    }
+    std::sort(buffered.begin(), buffered.end());
+    buffered.erase(std::unique(buffered.begin(), buffered.end()), buffered.end());
+    if (!buffered.empty()) {
+      // Stats already counted above, so the vector iterator gets none.
+      streams_.push_back(
+          std::make_unique<VectorPostingIterator>(std::move(buffered), nullptr));
+    }
+    for (const std::string& value : promoted) {
+      streams_.push_back(std::make_unique<ScanIterator>(store_, value, stats_));
+    }
+    return Status::Ok();
+  }
+
+  const KeyValueIndexStore* const store_;
+  const std::string prefix_;
+  PlanStats* const stats_;
+  std::vector<std::unique_ptr<PostingIterator>> streams_;
+  std::vector<PostingIterator*> heap_;
+  bool positioned_ = false;
+  bool valid_ = false;
+  ObjectId value_ = 0;
+};
+
+Result<std::unique_ptr<PostingIterator>> KeyValueIndexStore::OpenPrefixPostings(
+    Slice prefix, PlanStats* stats) const {
+  return std::unique_ptr<PostingIterator>(
+      std::make_unique<PrefixMergeIterator>(this, prefix.ToString(), stats));
 }
 
 // ---------------------------------------------------------------- FullTextIndexStore

@@ -98,6 +98,17 @@ class IndexStore {
   // that cannot enumerate (e.g. the ID fastpath) return NotSupported.
   virtual Status ScanValues(
       Slice prefix, const std::function<bool(Slice value, ObjectId oid)>& fn) const = 0;
+
+  // All objects carrying ANY value that starts with `prefix` (ascending oid,
+  // deduplicated) behind the same pull interface — the executor for `tag:prefix*` terms
+  // and POSIX directory enumeration. The default materializes through ScanValues
+  // (correct for any plug-in store); KeyValueIndexStore overrides it with a streaming
+  // merge so a page over a huge prefix never materializes the full posting set.
+  // Prefix enumeration is defined only over values WITHOUT embedded NUL bytes: the
+  // standard key encoding uses NUL as the value/oid delimiter (see index_store.cc),
+  // so values containing NUL support exact-match naming only.
+  virtual Result<std::unique_ptr<PostingIterator>> OpenPrefixPostings(
+      Slice prefix, PlanStats* stats = nullptr) const;
 };
 
 // Btree-backed exact-match store: one entry per (value, oid) pair, so a value can name
@@ -126,6 +137,12 @@ class KeyValueIndexStore : public IndexStore {
   // btree range in batches (and fill the cache when one batch covers the whole list).
   Result<std::unique_ptr<PostingIterator>> OpenPostings(Slice value,
                                                         PlanStats* stats) const override;
+  // Streaming `value*` execution: a lazy skip-seek pass discovers the distinct values
+  // under the prefix (postings are jumped over, not read), then a min-heap merges the
+  // per-value batched posting streams in ascending-oid order. Each pull costs
+  // O(log V + an occasional 1024-entry batch refill); nothing materializes the full set.
+  Result<std::unique_ptr<PostingIterator>> OpenPrefixPostings(
+      Slice prefix, PlanStats* stats) const override;
 
   // Number of (value, oid) associations (test support).
   uint64_t entry_count() const {
@@ -134,7 +151,8 @@ class KeyValueIndexStore : public IndexStore {
   }
 
  private:
-  class ScanIterator;  // Batched streaming iterator over one value's postings.
+  class ScanIterator;         // Batched streaming iterator over one value's postings.
+  class PrefixMergeIterator;  // Heap merge of per-value streams for OpenPrefixPostings.
 
   KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root);
 

@@ -1,5 +1,8 @@
 #include "src/journal/journal.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/coding.h"
 #include "src/common/crc32.h"
 #include "src/common/stats.h"
@@ -25,13 +28,17 @@ Journal::Journal(BlockDevice* device, uint64_t region_offset, uint64_t region_si
     : device_(device),
       region_offset_(region_offset),
       region_size_(region_size),
-      next_seq_(first_sequence) {}
+      next_seq_(first_sequence),
+      committed_seq_(first_sequence - 1) {}
 
 Result<uint64_t> Journal::Append(Slice payload) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t need = kRecordHeaderSize + payload.size();
   // Keep one trailing header's worth of zeroes so recovery always sees a terminator.
-  if (write_pos_ + pending_.size() + need + kRecordHeaderSize > region_size_) {
+  // The in-flight batch still occupies [write_pos_, +inflight_bytes_) until its leader
+  // either advances write_pos_ or returns the records to pending_.
+  if (write_pos_ + inflight_bytes_ + pending_.size() + need + kRecordHeaderSize >
+      region_size_) {
     return Status::NoSpace("journal region full (" + std::to_string(region_size_) +
                            " bytes); checkpoint required");
   }
@@ -47,37 +54,108 @@ Result<uint64_t> Journal::Append(Slice payload) {
   return seq;
 }
 
-Status Journal::Commit() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (pending_.empty()) {
-    return Status::Ok();
-  }
-  HFAD_RETURN_IF_ERROR(device_->Write(region_offset_ + write_pos_, Slice(pending_)));
-  HFAD_RETURN_IF_ERROR(device_->Sync());
-  stats::Add(stats::Counter::kJournalRecords, pending_count_);
-  stats::Add(stats::Counter::kJournalBytes, pending_.size());
-  write_pos_ += pending_.size();
-  pending_.clear();
+Status Journal::LeadCommit(std::unique_lock<std::mutex>& lock) {
+  // Drain the pending buffer: the batch covers (committed_seq_, batch_last].
+  std::string batch;
+  batch.swap(pending_);
+  const size_t batch_count = pending_count_;
   pending_count_ = 0;
-  return Status::Ok();
+  const uint64_t batch_last = next_seq_ - 1;
+  const uint64_t pos = write_pos_;
+  inflight_bytes_ = batch.size();
+  inflight_count_ = batch_count;
+
+  lock.unlock();  // Appenders (and new followers) proceed during the Write+Sync.
+  Status s = device_->Write(region_offset_ + pos, Slice(batch));
+  if (s.ok()) {
+    s = device_->Sync();
+  }
+  lock.lock();
+
+  inflight_bytes_ = 0;
+  inflight_count_ = 0;
+  if (s.ok()) {
+    write_pos_ += batch.size();
+    committed_seq_ = batch_last;
+    stats::Add(stats::Counter::kJournalCommits);
+    stats::Add(stats::Counter::kJournalRecords, batch_count);
+    stats::Add(stats::Counter::kJournalBytes, batch.size());
+  } else {
+    // Failed batches stay pending (prepended: records must remain in sequence order
+    // ahead of anything appended during the failed IO).
+    batch.append(pending_);
+    pending_.swap(batch);
+    pending_count_ += batch_count;
+  }
+  commit_in_progress_ = false;
+  commit_cv_.notify_all();
+  return s;
+}
+
+Status Journal::CommitThrough(uint64_t sequence) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Clamp to what has actually been appended: sequences from before a Reset() are
+  // durable by checkpoint, and asking beyond next_seq_-1 is a caller bug we degrade
+  // to "everything appended so far".
+  uint64_t target = std::min(sequence, next_seq_ - 1);
+  for (;;) {
+    if (committed_seq_ >= target) {
+      return Status::Ok();
+    }
+    if (!commit_in_progress_) {
+      break;
+    }
+    commit_cv_.wait(lock);
+  }
+  if (pending_.empty()) {
+    return Status::Ok();  // Nothing to write (e.g. Reset raced ahead of us).
+  }
+  commit_in_progress_ = true;
+  return LeadCommit(lock);
+}
+
+Status Journal::Commit() {
+  // The target is re-read under the lock inside CommitThrough; max() simply means
+  // "everything appended before the call".
+  return CommitThrough(~uint64_t{0});
 }
 
 size_t Journal::pending_records() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return pending_count_;
+  return pending_count_ + inflight_count_;
+}
+
+uint64_t Journal::committed_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_seq_;
 }
 
 uint64_t Journal::SpaceRemaining() const {
   std::lock_guard<std::mutex> lock(mu_);
-  uint64_t used = write_pos_ + pending_.size() + kRecordHeaderSize;  // Incl. terminator.
+  uint64_t used =
+      write_pos_ + inflight_bytes_ + pending_.size() + kRecordHeaderSize;  // + terminator.
   return used >= region_size_ ? 0 : region_size_ - used;
 }
 
-Status Journal::Reset() {
+double Journal::Occupancy() const {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t used = write_pos_ + inflight_bytes_ + pending_.size() + kRecordHeaderSize;
+  if (region_size_ == 0) {
+    return 1.0;
+  }
+  return used >= region_size_ ? 1.0
+                              : static_cast<double>(used) / static_cast<double>(region_size_);
+}
+
+Status Journal::Reset() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // An in-flight leader still owns [write_pos_, +inflight_bytes_); wait it out so the
+  // head zeroes below cannot be overwritten by its batch.
+  commit_cv_.wait(lock, [&] { return !commit_in_progress_; });
   pending_.clear();
   pending_count_ = 0;
   write_pos_ = 0;
+  committed_seq_ = next_seq_ - 1;  // Everything before the reset is checkpoint-durable.
   // Zero one header so a recovery scan terminates immediately.
   std::string zeroes(kRecordHeaderSize, '\0');
   HFAD_RETURN_IF_ERROR(device_->Write(region_offset_, Slice(zeroes)));
@@ -86,7 +164,8 @@ Status Journal::Reset() {
 
 Result<uint64_t> Journal::Recover(
     const std::function<void(uint64_t sequence, Slice payload)>& fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  commit_cv_.wait(lock, [&] { return !commit_in_progress_; });
   pending_.clear();
   pending_count_ = 0;
   uint64_t pos = 0;
@@ -125,6 +204,7 @@ Result<uint64_t> Journal::Recover(
   if (have_prev_seq) {
     next_seq_ = prev_seq + 1;
   }
+  committed_seq_ = next_seq_ - 1;  // Everything on the device is durable by definition.
   return recovered;
 }
 

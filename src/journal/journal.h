@@ -10,6 +10,14 @@
 // The CRC covers (length, sequence, payload), is masked as in crc32.h, and a record of all
 // zeroes marks the end of the log. Sequences increase by exactly one per record.
 //
+// Commit runs a leader/follower protocol (see docs/CONCURRENCY.md): every Commit() caller
+// targets the highest sequence appended so far; whoever finds no commit in flight becomes
+// the leader, drains the pending buffer, and performs the Write+Sync with the journal lock
+// RELEASED — so Append() never waits out an in-flight fsync — then advances the
+// committed_seq_ watermark and wakes the followers. A follower whose target is already
+// covered returns without touching the device: one fsync amortizes across every thread
+// that committed inside its window.
+//
 // The log is linear, not a ring: when the region fills, Append returns NoSpace and the
 // caller must Checkpoint() — i.e. durably flush the state the journal protects, then reset
 // the log. Combined with a no-steal pager this gives the classic no-steal/force-on-
@@ -24,6 +32,7 @@
 #ifndef HFAD_SRC_JOURNAL_JOURNAL_H_
 #define HFAD_SRC_JOURNAL_JOURNAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -51,22 +60,41 @@ class Journal {
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  // Buffer one record. It is durable only after the next Commit(). Returns the record's
-  // sequence number, or NoSpace when the region cannot hold it (checkpoint, then retry).
+  // Buffer one record. It is durable only after a Commit() covers its sequence. Returns
+  // the record's sequence number, or NoSpace when the region cannot hold it (checkpoint,
+  // then retry). Holds the journal lock only to reserve + copy: an in-flight commit's
+  // device Write/Sync never blocks an append.
   Result<uint64_t> Append(Slice payload);
 
-  // Durably write every buffered record: one device write, one Sync. No-op when nothing
-  // is pending. On IO failure the buffered records remain pending.
+  // Make every record appended before this call durable. Leader/follower group commit:
+  // returns as soon as the committed watermark covers the caller's target — possibly
+  // without any device IO of its own. On IO failure the batch's records are returned to
+  // the pending buffer (a follower of a failed leader retries as leader and reports its
+  // own outcome).
   Status Commit();
 
-  // Number of records appended but not yet committed.
+  // Block until the watermark covers `sequence` (committing as leader when needed).
+  // Sequences from a previous log generation (at or below the last Reset) count as
+  // covered. Commit() is CommitThrough(<highest appended>).
+  Status CommitThrough(uint64_t sequence);
+
+  // Number of records appended but not yet durable (pending buffer + in-flight batch).
   size_t pending_records() const;
 
-  // Bytes of region left for new records (committed + pending already accounted).
+  // Highest sequence number known durable (the group-commit watermark).
+  uint64_t committed_sequence() const;
+
+  // Bytes of region left for new records (committed + in-flight + pending accounted).
   uint64_t SpaceRemaining() const;
 
+  // Fraction of the region consumed (same accounting as SpaceRemaining): the OSD kicks
+  // its threshold checkpoint off this.
+  double Occupancy() const;
+
   // Logically empty the log after the protected state has been durably checkpointed.
-  // Sequence numbering continues; the head of the region is zeroed so recovery stops there.
+  // Sequence numbering continues; the head of the region is zeroed so recovery stops
+  // there. Waits out any in-flight commit; pending records are discarded (the checkpoint
+  // made them durable by other means).
   Status Reset();
 
   // Scan the region from the start, calling fn(sequence, payload) for each intact record,
@@ -81,15 +109,28 @@ class Journal {
   uint64_t committed_bytes() const;
 
  private:
+  // Leader body: drain pending_, Write+Sync with `lock` released, advance the watermark
+  // (or restore the batch on failure), wake followers. Caller holds `lock` and has
+  // already set commit_in_progress_.
+  Status LeadCommit(std::unique_lock<std::mutex>& lock);
+
   BlockDevice* const device_;
   const uint64_t region_offset_;
   const uint64_t region_size_;
 
   mutable std::mutex mu_;
+  // Signalled when a commit finishes (watermark advanced or leader failed) so followers
+  // re-check their target, and when commit_in_progress_ clears.
+  std::condition_variable commit_cv_;
+  bool commit_in_progress_ = false;
+
   uint64_t next_seq_;
+  uint64_t committed_seq_;       // Highest durable sequence (== next_seq_-1 when clean).
   uint64_t write_pos_ = 0;       // Byte offset within the region of the next commit.
-  std::string pending_;          // Encoded records awaiting Commit().
+  uint64_t inflight_bytes_ = 0;  // Bytes drained by the in-flight leader (space-reserved).
+  std::string pending_;          // Encoded records awaiting a commit batch.
   size_t pending_count_ = 0;
+  size_t inflight_count_ = 0;    // Records in the in-flight batch.
 };
 
 }  // namespace journal

@@ -151,6 +151,7 @@ Result<std::unique_ptr<Osd>> Osd::Create(std::shared_ptr<BlockDevice> device,
   osd->InitStructures();
   HFAD_RETURN_IF_ERROR(osd->journal_->Reset());
   HFAD_RETURN_IF_ERROR(osd->CheckpointLocked());
+  osd->StartCheckpointThread();
   return osd;
 }
 
@@ -175,8 +176,10 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
     HFAD_RETURN_IF_ERROR(osd->allocator_->Deserialize(snap));
   }
 
-  // Scan the journal. A complete checkpoint epilogue (ending in a commit record) is
-  // redone physically; otherwise the logical records are replayed onto checkpoint state.
+  // Scan the journal. The LAST complete checkpoint epilogue (ending in a commit
+  // record) is redone physically; logical records after it are replayed on top.
+  // Epilogue records with no commit record behind them — a checkpoint torn mid-commit —
+  // are skipped entirely: the logical records preceding them describe the same state.
   std::vector<std::pair<uint64_t, std::string>> records;
   HFAD_RETURN_IF_ERROR(osd->journal_
                            ->Recover([&](uint64_t seq, Slice payload) {
@@ -184,15 +187,19 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
                            })
                            .status());
 
-  bool checkpoint_epilogue =
-      !records.empty() && !records.back().second.empty() &&
-      static_cast<uint8_t>(records.back().second[0]) == kRtCheckpointCommit;
+  size_t replay_from = 0;  // First record index NOT covered by a redone checkpoint.
+  for (size_t i = 0; i < records.size(); i++) {
+    if (!records[i].second.empty() &&
+        static_cast<uint8_t>(records[i].second[0]) == kRtCheckpointCommit) {
+      replay_from = i + 1;
+    }
+  }
 
-  if (checkpoint_epilogue) {
+  if (replay_from > 0) {
     // Redo: write every journaled page image in place, restore the allocator snapshot,
     // then adopt the committed roots. All of it is idempotent.
-    for (const auto& [seq, payload] : records) {
-      Slice in(payload);
+    for (size_t i = 0; i < replay_from; i++) {
+      Slice in(records[i].second);
       uint8_t type = static_cast<uint8_t>(in[0]);
       in.RemovePrefix(1);
       if (type == kRtPageImage) {
@@ -215,43 +222,157 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
         osd->sb_.index_dir_root = named_root;
         osd->sb_.next_oid = next_oid;
       }
-      // Logical records that precede the epilogue are already contained in the images.
+      // Logical records covered by the epilogue are already contained in the images.
     }
     HFAD_RETURN_IF_ERROR(osd->device_->Write(0, osd->sb_.Encode()));
     HFAD_RETURN_IF_ERROR(osd->device_->Sync());
-    HFAD_RETURN_IF_ERROR(osd->journal_->Reset());
-    osd->InitStructures();  // Re-open btrees on the committed roots, drop stale cache.
-  } else {
-    // Replay logical records onto the checkpoint state.
-    osd->in_recovery_ = true;
-    for (const auto& [seq, payload] : records) {
-      Status s = osd->ReplayRecord(Slice(payload), replay_foreign);
-      if (!s.ok()) {
-        osd->in_recovery_ = false;
-        return Status::Corruption("journal replay failed at seq " + std::to_string(seq) +
-                                  ": " + s.ToString());
+    // Re-open the btrees on the committed roots. The journal is deliberately NOT reset
+    // yet: until the final checkpoint below lands, a crash during the remaining
+    // recovery must still find every record. (The page cache is untouched so far —
+    // recovery IO above went straight to the device — so no stale pages to drop.)
+    osd->object_table_ = std::make_unique<btree::BTree>(
+        osd->pager_.get(), osd->allocator_.get(), osd->sb_.object_table_root);
+    osd->named_roots_ = std::make_unique<btree::BTree>(
+        osd->pager_.get(), osd->allocator_.get(), osd->sb_.index_dir_root);
+    osd->next_oid_.store(osd->sb_.next_oid);
+  }
+
+  // Replay logical records past the last complete checkpoint, skipping any epilogue
+  // prefix a torn later checkpoint attempt left behind (its page images are redundant
+  // with the logical records already replayed).
+  osd->in_recovery_ = true;
+  for (size_t i = replay_from; i < records.size(); i++) {
+    const auto& [seq, payload] = records[i];
+    if (!payload.empty()) {
+      uint8_t type = static_cast<uint8_t>(payload[0]);
+      if (type == kRtPageImage || type == kRtAllocSnapshot) {
+        continue;
       }
     }
-    osd->in_recovery_ = false;
-    // Make the replayed state the new checkpoint so the journal can be emptied.
-    HFAD_RETURN_IF_ERROR(osd->CheckpointLocked());
+    Status s = osd->ReplayRecord(Slice(payload), replay_foreign);
+    if (!s.ok()) {
+      osd->in_recovery_ = false;
+      return Status::Corruption("journal replay failed at seq " + std::to_string(seq) +
+                                ": " + s.ToString());
+    }
   }
+  osd->in_recovery_ = false;
+  // Make the recovered state the new checkpoint; only its success empties the journal,
+  // so a crash inside it still finds every record next time. One pathological escape:
+  // if the surviving journal content leaves no room for this checkpoint's epilogue,
+  // empty the journal first — the physical redo above is already durable, so only ops
+  // replayed from the logical suffix would be exposed to a crash inside the retry.
+  Status ck = osd->CheckpointLocked();
+  if (ck.IsNoSpace()) {
+    HFAD_RETURN_IF_ERROR(osd->journal_->Reset());
+    ck = osd->CheckpointLocked();
+  }
+  HFAD_RETURN_IF_ERROR(ck);
+  osd->StartCheckpointThread();
   return osd;
 }
 
 Osd::~Osd() {
-  // Best effort: make acknowledged state durable on clean shutdown.
-  (void)Checkpoint();
+  // Best effort: make acknowledged state durable on clean shutdown. Close() retains the
+  // outcome in last_close_status() and counts failures into stats — a destructor cannot
+  // return the error, but it must not vanish either.
+  (void)Close();
+}
+
+Status Osd::Close() {
+  {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    if (closed_) {
+      return last_close_status_;
+    }
+    closed_ = true;
+  }
+  StopCheckpointThread();
+  Status s = Checkpoint();
+  {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    last_close_status_ = s;
+  }
+  if (!s.ok()) {
+    stats::Add(stats::Counter::kOsdCloseErrors);
+  }
+  return s;
+}
+
+Status Osd::last_close_status() const {
+  std::lock_guard<std::mutex> lock(close_mu_);
+  return last_close_status_;
+}
+
+// ------------------------------------------------------- background checkpointer
+
+void Osd::StartCheckpointThread() {
+  if (!options_.journaling || options_.checkpoint_kick_occupancy <= 0 ||
+      options_.checkpoint_kick_occupancy >= 1) {
+    return;
+  }
+  checkpoint_thread_ = std::thread([this] { CheckpointThreadMain(); });
+}
+
+void Osd::StopCheckpointThread() {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_shutdown_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (checkpoint_thread_.joinable()) {
+    checkpoint_thread_.join();
+  }
+}
+
+void Osd::MaybeKickCheckpoint() {
+  if (!checkpoint_thread_.joinable() ||
+      journal_->Occupancy() < options_.checkpoint_kick_occupancy) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (ckpt_requested_ || ckpt_shutdown_) {
+      return;  // Already kicked (or shutting down); the thread will re-check occupancy.
+    }
+    ckpt_requested_ = true;
+  }
+  ckpt_cv_.notify_one();
+}
+
+void Osd::CheckpointThreadMain() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(ckpt_mu_);
+      ckpt_cv_.wait(lock, [&] { return ckpt_requested_ || ckpt_shutdown_; });
+      if (ckpt_shutdown_) {
+        return;
+      }
+      ckpt_requested_ = false;
+    }
+    // An IO error here is not fatal to ops: the journal simply keeps filling and the
+    // synchronous NoSpace backstop in EnsureJournalSpace reports it on the op path.
+    (void)Checkpoint();
+  }
 }
 
 // ---------------------------------------------------------------- journaling core
 
 Status Osd::JournalRecord(Slice payload, uint64_t reserved, bool force_sync) {
-  std::lock_guard<std::mutex> lock(journal_mu_);
-  logical_reserved_ -= std::min(logical_reserved_, reserved);
-  HFAD_RETURN_IF_ERROR(journal_->Append(payload).status());
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(journal_mu_);
+    logical_reserved_ -= std::min(logical_reserved_, reserved);
+    auto seq_or = journal_->Append(payload);
+    if (!seq_or.ok()) {
+      return seq_or.status();
+    }
+    seq = *seq_or;
+  }
   if (force_sync || !options_.group_commit) {
-    return journal_->Commit();
+    // Outside journal_mu_: the journal's leader/follower protocol does the fsync, and
+    // concurrent appenders must be able to ride (or simply ignore) it.
+    return journal_->CommitThrough(seq);
   }
   return Status::Ok();
 }
@@ -291,17 +412,23 @@ Result<bool> Osd::EnsureJournalSpace(uint64_t record_bytes, uint64_t* reserved) 
     *reserved = logical_need;
     return true;
   };
-  // The structural check above guarantees an op this size fits an empty journal, so a
-  // failed reservation is transient pressure from concurrent reservers. Checkpoint and
-  // re-reserve *while still holding the volume lock*: re-checking only on the next loop
-  // iteration would let rival threads refill the reservation budget first and starve
-  // this op (observed as spurious NoSpace under an 8-thread tag storm once the tag path
-  // got fast enough). The retry bound covers reservations that slip in between our
+  // Fast path: the reservation fits. Kick the background checkpointer when occupancy
+  // crosses the threshold so the journal is usually emptied long before any op has to
+  // fall into the synchronous backstop below — a tag storm then never stalls an op
+  // behind a full checkpoint on its own path.
+  if (try_reserve()) {
+    MaybeKickCheckpoint();
+    return true;
+  }
+  // Backstop. The structural check above guarantees an op this size fits an empty
+  // journal, so a failed reservation is transient pressure from concurrent reservers
+  // (or a background checkpoint that has not finished yet). Checkpoint and re-reserve
+  // *while still holding the volume lock*: re-checking only on the next loop iteration
+  // would let rival threads refill the reservation budget first and starve this op
+  // (observed as spurious NoSpace under an 8-thread tag storm once the tag path got
+  // fast enough). The retry bound covers reservations that slip in between our
   // checkpoint and re-check.
   for (int attempt = 0; attempt < 8; attempt++) {
-    if (try_reserve()) {
-      return true;
-    }
     std::unique_lock<std::shared_mutex> vlock(volume_mu_);
     HFAD_RETURN_IF_ERROR(CheckpointLocked());
     if (try_reserve()) {
@@ -378,8 +505,9 @@ Status Osd::Sync() {
   if (!options_.journaling) {
     return Checkpoint();
   }
+  // No journal_mu_: Commit is the journal's leader/follower protocol, and holding the
+  // append lock across an fsync is exactly what group commit exists to avoid.
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
-  std::lock_guard<std::mutex> lock(journal_mu_);
   return journal_->Commit();
 }
 
@@ -552,16 +680,23 @@ uint64_t Osd::journal_records_appended() const {
 }
 
 Status Osd::ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {
+  return ScanObjects(0, fn);
+}
+
+Status Osd::ScanObjects(ObjectId start,
+                        const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   Status decode_status;
-  Status s = object_table_->Scan("", "", [&](Slice key, Slice value) {
-    auto rec = DecodeRecord(value);
-    if (!rec.ok()) {
-      decode_status = rec.status();
-      return false;
-    }
-    return fn(OidFromKey(key), rec->meta);
-  });
+  // Big-endian OID keys make the numeric lower bound a plain key lower bound.
+  Status s = object_table_->Scan(start == 0 ? std::string() : OidKey(start), "",
+                                 [&](Slice key, Slice value) {
+                                   auto rec = DecodeRecord(value);
+                                   if (!rec.ok()) {
+                                     decode_status = rec.status();
+                                     return false;
+                                   }
+                                   return fn(OidFromKey(key), rec->meta);
+                                 });
   HFAD_RETURN_IF_ERROR(decode_status);
   return s;
 }

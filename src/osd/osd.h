@@ -32,12 +32,14 @@
 #define HFAD_SRC_OSD_OSD_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 
 #include "src/btree/btree.h"
 #include "src/common/sharded_lock.h"
@@ -78,6 +80,10 @@ struct OsdOptions {
   uint64_t journal_size = 0;
   // Maintain atime on reads (off by default, like mounting noatime).
   bool update_atime = false;
+  // Journal occupancy at which the reservation path kicks the background checkpointer,
+  // so a checkpoint is usually already done (or in flight) before any op ever sees
+  // NoSpace and has to checkpoint synchronously. <= 0 or >= 1 disables the kick.
+  double checkpoint_kick_occupancy = 0.7;
 };
 
 class Osd {
@@ -123,6 +129,12 @@ class Osd {
   // Visit every object in OID order. Stop early by returning false.
   Status ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const;
 
+  // Seekable form: visit objects with oid >= start, in OID order. Paginated consumers
+  // (SearchCursor root enumeration) resume from `after + 1` instead of rescanning the
+  // table head on every page.
+  Status ScanObjects(ObjectId start,
+                     const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const;
+
   // ---- Metadata ----
 
   Result<ObjectMeta> Stat(ObjectId oid) const;
@@ -157,6 +169,15 @@ class Osd {
   // Full checkpoint: journal dirty page images + commit record, write everything in
   // place, persist allocator snapshot and superblock, reset the journal.
   Status Checkpoint();
+
+  // Quiesce the volume: stop the background checkpointer and take a final checkpoint.
+  // Idempotent; the destructor calls it when the caller has not. The outcome is kept in
+  // last_close_status() and a failure counts into stats (kOsdCloseErrors), so shutdown
+  // errors are never silently dropped.
+  Status Close();
+
+  // Outcome of the last Close() (Ok before any close).
+  Status last_close_status() const;
 
   // ---- Support for the index layer ----
   //
@@ -196,6 +217,13 @@ class Osd {
 
   // Second-phase construction shared by Create/Open.
   void InitStructures();
+
+  // Background checkpointer (see OsdOptions::checkpoint_kick_occupancy). Started once
+  // construction is complete; MaybeKickCheckpoint() wakes it from the reservation path.
+  void StartCheckpointThread();
+  void StopCheckpointThread();
+  void MaybeKickCheckpoint();
+  void CheckpointThreadMain();
 
   // Journal one OSD redo record and release the caller's space reservation. Called with
   // the relevant object lock held, *before* the op is applied (write-ahead). force_sync
@@ -254,6 +282,18 @@ class Osd {
 
   std::atomic<uint64_t> next_oid_{1};
   bool in_recovery_ = false;
+
+  // Background checkpointer state (StartCheckpointThread).
+  std::thread checkpoint_thread_;
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_requested_ = false;
+  bool ckpt_shutdown_ = false;
+
+  // Close() bookkeeping.
+  mutable std::mutex close_mu_;
+  bool closed_ = false;
+  Status last_close_status_;
 };
 
 }  // namespace osd

@@ -416,7 +416,9 @@ Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::Plan(
       if (s == nullptr) {
         return Status::NotFound("no index store for tag '" + expr.tag + "'");
       }
-      return index::MakePrefixIterator(s, expr.value, stats);
+      // Streaming on the standard stores (value discovery + heap merge); plug-in stores
+      // fall back to the materializing MakePrefixIterator default.
+      return s->OpenPrefixPostings(expr.value, stats);
     }
     case Expr::Kind::kAnd:
       return PlanAnd(expr, stats);

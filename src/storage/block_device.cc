@@ -1,10 +1,19 @@
 #include "src/storage/block_device.h"
 
 #include <fcntl.h>
+#include <limits.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#ifndef IOV_MAX
+#define IOV_MAX 1024
+#endif
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "src/common/stats.h"
 
 namespace hfad {
 
@@ -21,6 +30,53 @@ Status RangeCheck(uint64_t offset, size_t size, uint64_t capacity) {
 
 }  // namespace
 
+namespace blockdev_internal {
+
+std::vector<WriteRun> CoalesceExtents(std::vector<WriteExtent>* extents) {
+  std::sort(extents->begin(), extents->end(),
+            [](const WriteExtent& a, const WriteExtent& b) { return a.offset < b.offset; });
+  std::vector<WriteRun> runs;
+  for (const WriteExtent& e : *extents) {
+    if (e.data.empty()) {
+      continue;
+    }
+    if (!runs.empty() && runs.back().offset + runs.back().size == e.offset) {
+      runs.back().parts.push_back(e.data);
+      runs.back().size += e.data.size();
+      continue;
+    }
+    WriteRun run;
+    run.offset = e.offset;
+    run.size = e.data.size();
+    run.parts.push_back(e.data);
+    runs.push_back(std::move(run));
+  }
+  stats::Add(stats::Counter::kDeviceWriteBatches);
+  stats::Add(stats::Counter::kDeviceBatchRuns, runs.size());
+  return runs;
+}
+
+}  // namespace blockdev_internal
+
+Status BlockDevice::WriteBatch(std::vector<WriteExtent> extents) {
+  std::vector<blockdev_internal::WriteRun> runs =
+      blockdev_internal::CoalesceExtents(&extents);
+  std::string scratch;
+  for (const auto& run : runs) {
+    if (run.parts.size() == 1) {
+      HFAD_RETURN_IF_ERROR(Write(run.offset, run.parts[0]));
+      continue;
+    }
+    scratch.clear();
+    scratch.reserve(run.size);
+    for (const Slice& part : run.parts) {
+      scratch.append(part.data(), part.size());
+    }
+    HFAD_RETURN_IF_ERROR(Write(run.offset, Slice(scratch)));
+  }
+  return Status::Ok();
+}
+
 MemoryBlockDevice::MemoryBlockDevice(uint64_t size_bytes) : data_(size_bytes, 0) {}
 
 Status MemoryBlockDevice::Read(uint64_t offset, size_t size, std::string* out) const {
@@ -32,6 +88,20 @@ Status MemoryBlockDevice::Read(uint64_t offset, size_t size, std::string* out) c
 Status MemoryBlockDevice::Write(uint64_t offset, Slice data) {
   HFAD_RETURN_IF_ERROR(RangeCheck(offset, data.size(), data_.size()));
   memcpy(data_.data() + offset, data.data(), data.size());
+  return Status::Ok();
+}
+
+Status MemoryBlockDevice::WriteBatch(std::vector<WriteExtent> extents) {
+  std::vector<blockdev_internal::WriteRun> runs =
+      blockdev_internal::CoalesceExtents(&extents);
+  for (const auto& run : runs) {
+    HFAD_RETURN_IF_ERROR(RangeCheck(run.offset, run.size, data_.size()));
+    uint64_t pos = run.offset;
+    for (const Slice& part : run.parts) {
+      memcpy(data_.data() + pos, part.data(), part.size());
+      pos += part.size();
+    }
+  }
   return Status::Ok();
 }
 
@@ -94,6 +164,55 @@ Status FileBlockDevice::Write(uint64_t offset, Slice data) {
   return Status::Ok();
 }
 
+Status FileBlockDevice::WriteBatch(std::vector<WriteExtent> extents) {
+  std::vector<blockdev_internal::WriteRun> runs =
+      blockdev_internal::CoalesceExtents(&extents);
+  std::vector<struct iovec> iov;
+  for (const auto& run : runs) {
+    HFAD_RETURN_IF_ERROR(RangeCheck(run.offset, run.size, size_));
+    // One pwritev per IOV_MAX-bounded window of the run's parts; `pos` tracks the
+    // device offset of the next unwritten byte across windows and short writes.
+    uint64_t pos = run.offset;
+    size_t part = 0;
+    while (part < run.parts.size()) {
+      iov.clear();
+      uint64_t window_bytes = 0;
+      size_t window_end = std::min(run.parts.size(), part + static_cast<size_t>(IOV_MAX));
+      for (size_t i = part; i < window_end; i++) {
+        iov.push_back({const_cast<char*>(run.parts[i].data()), run.parts[i].size()});
+        window_bytes += run.parts[i].size();
+      }
+      while (window_bytes > 0) {
+        ssize_t n = ::pwritev(fd_, iov.data(), static_cast<int>(iov.size()),
+                              static_cast<off_t>(pos));
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          return Status::IoError(std::string("pwritev: ") + strerror(errno));
+        }
+        pos += static_cast<uint64_t>(n);
+        window_bytes -= static_cast<uint64_t>(n);
+        if (window_bytes > 0) {
+          // Short write: drop fully-written iovecs, trim the partially-written head.
+          uint64_t skip = static_cast<uint64_t>(n);
+          size_t drop = 0;
+          for (; drop < iov.size() && skip >= iov[drop].iov_len; drop++) {
+            skip -= iov[drop].iov_len;
+          }
+          iov.erase(iov.begin(), iov.begin() + static_cast<ptrdiff_t>(drop));
+          if (!iov.empty() && skip > 0) {
+            iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + skip;
+            iov[0].iov_len -= skip;
+          }
+        }
+      }
+      part = window_end;
+    }
+  }
+  return Status::Ok();
+}
+
 Status FileBlockDevice::Sync() {
   if (::fdatasync(fd_) != 0) {
     return Status::IoError(std::string("fdatasync: ") + strerror(errno));
@@ -101,9 +220,8 @@ Status FileBlockDevice::Sync() {
   return Status::Ok();
 }
 
-Status FaultyBlockDevice::Write(uint64_t offset, Slice data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  writes_attempted_++;
+Status FaultyBlockDevice::WriteLocked(uint64_t offset, Slice data) {
+  writes_attempted_.fetch_add(1, std::memory_order_relaxed);
   if (write_budget_ < 0) {
     return base_->Write(offset, data);
   }
@@ -122,7 +240,39 @@ Status FaultyBlockDevice::Write(uint64_t offset, Slice data) {
   return base_->Write(offset, data);
 }
 
+Status FaultyBlockDevice::Write(uint64_t offset, Slice data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteLocked(offset, data);
+}
+
+Status FaultyBlockDevice::WriteBatch(std::vector<WriteExtent> extents) {
+  std::vector<blockdev_internal::WriteRun> runs =
+      blockdev_internal::CoalesceExtents(&extents);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string scratch;
+  for (const auto& run : runs) {
+    // Each coalesced run consumes one unit of write budget, so a batch can crash between
+    // runs (earlier runs durable, later ones lost) or tear inside one (torn_writes).
+    scratch.clear();
+    scratch.reserve(run.size);
+    for (const Slice& part : run.parts) {
+      scratch.append(part.data(), part.size());
+    }
+    HFAD_RETURN_IF_ERROR(WriteLocked(run.offset, Slice(scratch)));
+  }
+  return Status::Ok();
+}
+
 Status FaultyBlockDevice::Sync() {
+  syncs_attempted_.fetch_add(1, std::memory_order_relaxed);
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = sync_hook_;
+  }
+  if (hook) {
+    hook();  // Outside mu_: a parked sync must not block injected writes.
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (write_budget_ == 0) {
     return Status::IoError("sync after injected crash");
@@ -133,6 +283,11 @@ Status FaultyBlockDevice::Sync() {
 void FaultyBlockDevice::SetWriteBudget(int64_t budget) {
   std::lock_guard<std::mutex> lock(mu_);
   write_budget_ = budget;
+}
+
+void FaultyBlockDevice::SetSyncHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_hook_ = std::move(hook);
 }
 
 }  // namespace hfad

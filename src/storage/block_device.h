@@ -4,12 +4,21 @@
 // implementations:
 //   * MemoryBlockDevice — RAM-backed, for tests and benchmarks.
 //   * FileBlockDevice   — a single backing file, for persistence across process restarts.
-//   * FaultyBlockDevice — wraps another device and injects failures (write caps, torn writes)
-//                         for crash-recovery testing of the journal.
+//   * FaultyBlockDevice — wraps another device and injects failures (write caps, torn
+//                         writes, batch tears, slow syncs) for crash-recovery testing of
+//                         the journal and checkpoint paths.
+//
+// Besides single-range Write, every device takes a vectored WriteBatch: the ranges are
+// sorted by offset and adjacent ranges coalesce into single device writes, so a checkpoint
+// flushing hundreds of scattered-but-clustered dirty pages issues a handful of large
+// sequential writes instead of one small write per page (the BlueStore/DAOS write-path
+// idiom). Ranges in one batch must be disjoint.
 #ifndef HFAD_SRC_STORAGE_BLOCK_DEVICE_H_
 #define HFAD_SRC_STORAGE_BLOCK_DEVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +28,12 @@
 #include "src/common/status.h"
 
 namespace hfad {
+
+// One range of a vectored write. `data` must stay valid for the duration of the call.
+struct WriteExtent {
+  uint64_t offset = 0;
+  Slice data;
+};
 
 class BlockDevice {
  public:
@@ -30,12 +45,35 @@ class BlockDevice {
   // Write data at offset. Writes beyond Size() fail (devices have fixed capacity).
   virtual Status Write(uint64_t offset, Slice data) = 0;
 
+  // Write every extent, equivalent to per-extent Write(). Extents are sorted by offset
+  // and adjacent extents are coalesced into single device writes; extents must not
+  // overlap. Failure may leave any subset of the batch written (a crash mid-batch is a
+  // torn batch — journal recovery semantics deal with it). The base implementation
+  // sorts, coalesces into scratch buffers, and issues one Write per run; devices with a
+  // native vectored path override it.
+  virtual Status WriteBatch(std::vector<WriteExtent> extents);
+
   // Force all completed writes to stable storage.
   virtual Status Sync() = 0;
 
   // Device capacity in bytes.
   virtual uint64_t Size() const = 0;
 };
+
+namespace blockdev_internal {
+
+// One coalesced run: parts are offset-adjacent in order, covering [offset, offset+size).
+struct WriteRun {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  std::vector<Slice> parts;
+};
+
+// Sort extents by offset, drop empties, and merge adjacent ranges into runs. Counts the
+// batch into hfad::stats (kDeviceWriteBatches / kDeviceBatchRuns).
+std::vector<WriteRun> CoalesceExtents(std::vector<WriteExtent>* extents);
+
+}  // namespace blockdev_internal
 
 // RAM-backed device. Thread-safe for non-overlapping concurrent access.
 class MemoryBlockDevice : public BlockDevice {
@@ -44,6 +82,9 @@ class MemoryBlockDevice : public BlockDevice {
 
   Status Read(uint64_t offset, size_t size, std::string* out) const override;
   Status Write(uint64_t offset, Slice data) override;
+  // Same sort/coalesce accounting as the base, but each extent lands by direct memcpy —
+  // no scratch-buffer assembly for multi-part runs.
+  Status WriteBatch(std::vector<WriteExtent> extents) override;
   Status Sync() override { return Status::Ok(); }
   uint64_t Size() const override { return data_.size(); }
 
@@ -61,6 +102,9 @@ class FileBlockDevice : public BlockDevice {
 
   Status Read(uint64_t offset, size_t size, std::string* out) const override;
   Status Write(uint64_t offset, Slice data) override;
+  // One pwritev per coalesced run: the kernel assembles the run from the extents'
+  // buffers directly (no copy), and each run is a single contiguous device write.
+  Status WriteBatch(std::vector<WriteExtent> extents) override;
   Status Sync() override;
   uint64_t Size() const override { return size_; }
 
@@ -73,7 +117,10 @@ class FileBlockDevice : public BlockDevice {
 
 // Failure-injection wrapper. After SetWriteBudget(n), the n+1-th write (and all later ones)
 // fail with IoError; if torn_writes is enabled the failing write persists only a prefix,
-// simulating a crash mid-sector. Used by journal recovery tests.
+// simulating a crash mid-sector. A WriteBatch counts one write per coalesced run, so the
+// budget can exhaust mid-batch: earlier runs persist, the failing run tears, later runs are
+// lost — exactly the torn-batch crash the journal watermark must survive. Used by journal
+// and checkpoint recovery tests.
 class FaultyBlockDevice : public BlockDevice {
  public:
   explicit FaultyBlockDevice(std::shared_ptr<BlockDevice> base) : base_(std::move(base)) {}
@@ -82,6 +129,7 @@ class FaultyBlockDevice : public BlockDevice {
     return base_->Read(offset, size, out);
   }
   Status Write(uint64_t offset, Slice data) override;
+  Status WriteBatch(std::vector<WriteExtent> extents) override;
   Status Sync() override;
   uint64_t Size() const override { return base_->Size(); }
 
@@ -89,15 +137,29 @@ class FaultyBlockDevice : public BlockDevice {
   void SetWriteBudget(int64_t budget);
   // When the budget is exhausted, persist a random-length prefix of the failing write.
   void EnableTornWrites(bool enabled) { torn_writes_ = enabled; }
-  // Count of writes attempted since construction.
-  uint64_t writes_attempted() const { return writes_attempted_; }
+  // Called at the top of every Sync(), before it is applied — park the caller here to
+  // model a slow device flush (group-commit tests prove appends proceed meanwhile).
+  void SetSyncHook(std::function<void()> hook);
+  // Count of writes attempted since construction (each coalesced batch run counts once).
+  uint64_t writes_attempted() const {
+    return writes_attempted_.load(std::memory_order_relaxed);
+  }
+  // Count of Syncs attempted since construction.
+  uint64_t syncs_attempted() const {
+    return syncs_attempted_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Write's body with mu_ already held.
+  Status WriteLocked(uint64_t offset, Slice data);
+
   std::shared_ptr<BlockDevice> base_;
   mutable std::mutex mu_;
   int64_t write_budget_ = -1;
   bool torn_writes_ = false;
-  uint64_t writes_attempted_ = 0;
+  std::atomic<uint64_t> writes_attempted_{0};
+  std::atomic<uint64_t> syncs_attempted_{0};
+  std::function<void()> sync_hook_;
 };
 
 }  // namespace hfad

@@ -41,22 +41,29 @@ Result<PageRef> Pager::Get(uint64_t offset) {
       return it->second;
     }
   }
-  std::unique_lock<std::shared_mutex> lock(s.mu);
-  auto it = s.map.find(offset);
-  if (it != s.map.end()) {
-    // Raced with another miss on the same page.
-    stats::Add(stats::Counter::kPagerHits);
-    it->second->Touch();
-    return it->second;
-  }
+  // Miss: read the device BEFORE taking the stripe exclusively — no device IO under
+  // stripe locks. A racing miss on the same offset wins harmlessly (we drop our copy).
   stats::Add(stats::Counter::kPageReads);
-  auto page = std::make_shared<Page>(offset, &dirty_count_);
   std::string buf;
   HFAD_RETURN_IF_ERROR(device_->Read(offset, kPageSize, &buf));
-  memcpy(page->data(), buf.data(), kPageSize);
-  HFAD_RETURN_IF_ERROR(EvictLocked(s));
-  s.map.emplace(offset, page);
-  s.ring.push_back(offset);
+  std::vector<Writeback> writeback;
+  PageRef page;
+  {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(offset);
+    if (it != s.map.end()) {
+      // Raced with another miss on the same page.
+      stats::Add(stats::Counter::kPagerHits);
+      it->second->Touch();
+      return it->second;
+    }
+    page = std::make_shared<Page>(offset, &dirty_count_);
+    memcpy(page->data(), buf.data(), kPageSize);
+    EvictLocked(s, &writeback);
+    s.map.emplace(offset, page);
+    s.ring.push_back(offset);
+  }
+  HFAD_RETURN_IF_ERROR(FlushWriteback(s, &writeback));
   return page;
 }
 
@@ -65,32 +72,41 @@ Result<PageRef> Pager::GetZeroed(uint64_t offset) {
     return Status::InvalidArgument("unaligned page offset " + std::to_string(offset));
   }
   Stripe& s = StripeFor(offset);
-  std::unique_lock<std::shared_mutex> lock(s.mu);
-  auto it = s.map.find(offset);
-  if (it != s.map.end()) {
-    // Reuse the cached buffer but reset the contents.
-    memset(it->second->data(), 0, kPageSize);
-    it->second->MarkDirty();
-    it->second->Touch();
-    return it->second;
+  std::vector<Writeback> writeback;
+  PageRef page;
+  {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(offset);
+    if (it != s.map.end()) {
+      // Reuse the cached buffer but reset the contents.
+      memset(it->second->data(), 0, kPageSize);
+      it->second->MarkDirty();
+      it->second->Touch();
+      return it->second;
+    }
+    page = std::make_shared<Page>(offset, &dirty_count_);
+    page->MarkDirty();
+    EvictLocked(s, &writeback);
+    s.map.emplace(offset, page);
+    s.ring.push_back(offset);
   }
-  auto page = std::make_shared<Page>(offset, &dirty_count_);
-  page->MarkDirty();
-  HFAD_RETURN_IF_ERROR(EvictLocked(s));
-  s.map.emplace(offset, page);
-  s.ring.push_back(offset);
+  HFAD_RETURN_IF_ERROR(FlushWriteback(s, &writeback));
   return page;
 }
 
-Status Pager::EvictLocked(Stripe& s) {
+void Pager::EvictLocked(Stripe& s, std::vector<Writeback>* writeback) {
   if (s.map.size() < stripe_capacity_) {
-    return Status::Ok();
+    return;
   }
-  // Second-chance sweep. A page still referenced outside the cache (use_count > 1) must
-  // not be evicted: the holder may mutate it after eviction and those mutations would be
-  // lost. If everything is pinned/recently-used/no-steal-dirty, the sweep budget runs
-  // out and the stripe temporarily overflows, which is safe — capacity is a target, not
-  // a hard bound.
+  // Second-chance sweep, clean victims first. A page still referenced outside the cache
+  // (use_count > 1) must not be evicted: the holder may mutate it after eviction and
+  // those mutations would be lost. Dirty victims are not written here — device IO never
+  // happens under a stripe lock. Instead their images are snapshotted for the caller's
+  // batched write-back (FlushWriteback) and the pages stay resident; parking them on a
+  // side list keeps this sweep from re-snapshotting the same page. If everything is
+  // pinned/recently-used/no-steal-dirty, the sweep budget runs out and the stripe
+  // temporarily overflows, which is safe — capacity is a target, not a hard bound.
+  std::vector<uint64_t> parked;
   size_t budget = 2 * s.ring.size() + 4;
   while (s.map.size() >= stripe_capacity_ && budget-- > 0 && !s.ring.empty()) {
     uint64_t victim = s.ring.front();
@@ -110,32 +126,87 @@ Status Pager::EvictLocked(Stripe& s) {
       continue;
     }
     if (page->dirty()) {
-      if (no_steal_) {
-        s.ring.push_back(victim);  // Must not reach the device before the checkpoint.
-        continue;
+      if (!no_steal_ && writeback != nullptr) {
+        // Epoch + image snapshot under the lock (use_count == 1, so nobody is mutating
+        // the buffer right now); the write itself happens after the lock drops. The
+        // held PageRef pins the victim against rival sweeps until FlushWriteback runs.
+        writeback->push_back(
+            Writeback{page, page->epoch(), std::string(page->cdata(), kPageSize)});
       }
-      stats::Add(stats::Counter::kPageWrites);
-      HFAD_RETURN_IF_ERROR(device_->Write(victim, Slice(page->cdata(), kPageSize)));
-      page->ClearDirty();
+      parked.push_back(victim);  // No-steal: must not reach the device before checkpoint.
+      continue;
     }
     s.map.erase(it);
   }
+  for (uint64_t offset : parked) {
+    s.ring.push_back(offset);
+  }
+}
+
+Status Pager::FlushWriteback(Stripe& s, std::vector<Writeback>* writeback) {
+  if (writeback->empty()) {
+    return Status::Ok();
+  }
+  // Exclude a concurrent Flush/CollectDirty snapshot without blocking: if one is
+  // running (or our own caller already holds the mutation lock and a writer is
+  // queued), skip the device IO entirely — the snapshot persists these pages itself,
+  // or a later sweep simply retries. Blocking here could deadlock against a caller's
+  // own SharedMutationHold, so try_to_lock is load-bearing.
+  std::shared_lock<std::shared_mutex> snapshot_guard(flush_mu_, std::try_to_lock);
+  if (snapshot_guard.owns_lock()) {
+    std::vector<WriteExtent> extents;
+    extents.reserve(writeback->size());
+    for (const Writeback& w : *writeback) {
+      extents.push_back(WriteExtent{w.page->offset(), Slice(w.image)});
+    }
+    stats::Add(stats::Counter::kPageWrites, writeback->size());
+    HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    for (const Writeback& w : *writeback) {
+      auto it = s.map.find(w.page->offset());
+      if (it == s.map.end() || it->second != w.page) {
+        continue;  // Invalidated (and possibly replaced) mid-IO; nothing to clean.
+      }
+      // use_count == 2 is exactly {map, this Writeback}: nobody else can have mutated
+      // the buffer after the epoch check below.
+      if (w.page.use_count() > 2 || w.page->epoch() != w.epoch) {
+        continue;  // Pinned or re-dirtied since the snapshot: stays dirty, written later.
+      }
+      w.page->ClearDirty();
+      if (s.map.size() >= stripe_capacity_ && !w.page->referenced()) {
+        s.map.erase(it);  // The ring entry goes stale; the sweep skips it.
+      }
+    }
+  }
+  writeback->clear();  // Drop the pins.
   return Status::Ok();
 }
 
 Status Pager::Flush() {
   // Exclude in-flight multi-page structure mutations (see SharedMutationHold) so the
-  // write-back is a consistent snapshot.
+  // write-back is a consistent snapshot. Content stability while we write without the
+  // stripe locks comes from the same exclusion (plus volume_mu_ at the OSD layer).
   std::unique_lock<std::shared_mutex> mutation_barrier(flush_mu_);
+  std::vector<PageRef> dirty;
   for (size_t i = 0; i < stripe_count_; i++) {
     Stripe& s = stripes_[i];
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    std::shared_lock<std::shared_mutex> lock(s.mu);
     for (auto& [offset, page] : s.map) {
       if (page->dirty()) {
-        stats::Add(stats::Counter::kPageWrites);
-        HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(page->cdata(), kPageSize)));
-        page->ClearDirty();
+        dirty.push_back(page);
       }
+    }
+  }
+  if (!dirty.empty()) {
+    std::vector<WriteExtent> extents;
+    extents.reserve(dirty.size());
+    for (const PageRef& page : dirty) {
+      extents.push_back(WriteExtent{page->offset(), Slice(page->cdata(), kPageSize)});
+    }
+    stats::Add(stats::Counter::kPageWrites, dirty.size());
+    HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
+    for (const PageRef& page : dirty) {
+      page->ClearDirty();
     }
   }
   return device_->Sync();
@@ -143,14 +214,21 @@ Status Pager::Flush() {
 
 void Pager::CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const {
   std::unique_lock<std::shared_mutex> mutation_barrier(flush_mu_);
+  std::vector<PageRef> dirty;
   for (size_t i = 0; i < stripe_count_; i++) {
     const Stripe& s = stripes_[i];
     std::shared_lock<std::shared_mutex> lock(s.mu);
     for (const auto& [offset, page] : s.map) {
       if (page->dirty()) {
-        out->emplace_back(offset, std::string(page->cdata(), kPageSize));
+        dirty.push_back(page);
       }
     }
+  }
+  // The 4-KiB image copies happen outside the stripe locks; the mutation barrier (and
+  // volume_mu_ at the OSD layer) keeps the buffers stable meanwhile.
+  out->reserve(out->size() + dirty.size());
+  for (const PageRef& page : dirty) {
+    out->emplace_back(page->offset(), std::string(page->cdata(), kPageSize));
   }
 }
 
@@ -172,15 +250,30 @@ void Pager::Invalidate(uint64_t offset) {
 
 Status Pager::DropCacheForTesting() {
   std::unique_lock<std::shared_mutex> mutation_barrier(flush_mu_);
+  std::vector<PageRef> dirty;
+  for (size_t i = 0; i < stripe_count_; i++) {
+    Stripe& s = stripes_[i];
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    for (auto& [offset, page] : s.map) {
+      if (page->dirty()) {
+        dirty.push_back(page);
+      }
+    }
+  }
+  if (!dirty.empty()) {
+    std::vector<WriteExtent> extents;
+    extents.reserve(dirty.size());
+    for (const PageRef& page : dirty) {
+      extents.push_back(WriteExtent{page->offset(), Slice(page->cdata(), kPageSize)});
+    }
+    HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
+    for (const PageRef& page : dirty) {
+      page->ClearDirty();
+    }
+  }
   for (size_t i = 0; i < stripe_count_; i++) {
     Stripe& s = stripes_[i];
     std::unique_lock<std::shared_mutex> lock(s.mu);
-    for (auto& [offset, page] : s.map) {
-      if (page->dirty()) {
-        HFAD_RETURN_IF_ERROR(device_->Write(offset, Slice(page->cdata(), kPageSize)));
-        page->ClearDirty();
-      }
-    }
     s.map.clear();
     s.ring.clear();
   }

@@ -11,6 +11,13 @@
 // path. The stripe count adapts to capacity (one stripe per 64 pages, at most 16) so
 // small caches keep strict global capacity behavior.
 //
+// No device IO ever happens under a stripe lock. Flush and CollectDirty snapshot the
+// dirty set per stripe, drop the lock, and issue ONE sorted WriteBatch (adjacent pages
+// coalesce into single device writes). Eviction prefers clean victims; when only dirty
+// victims remain it leaves them resident, write-backs them in a batch after the stripe
+// lock is released, and clears their dirty bits only if the page's mutation epoch is
+// unchanged — a page re-dirtied mid-IO simply stays dirty and is written again later.
+//
 // Hits/misses/write-backs are counted in hfad::stats so benchmarks can report IO
 // amplification. Page *content* synchronization remains the responsibility of the
 // owning structure (each btree holds its own lock), matching the paper's argument that
@@ -52,6 +59,9 @@ class Page {
   const char* cdata() const { return buf_.data(); }
 
   void MarkDirty() {
+    // The epoch lets eviction validate a lock-free write-back: it bumps on EVERY mark,
+    // so "epoch unchanged" means "no mutation since the write-back snapshot".
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
     if (!dirty_.exchange(true, std::memory_order_acq_rel) && dirty_counter_ != nullptr) {
       dirty_counter_->fetch_add(1, std::memory_order_relaxed);
     }
@@ -63,6 +73,9 @@ class Page {
     }
   }
 
+  // Mutation epoch (see MarkDirty).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   // Second-chance (CLOCK) reference bit, settable under a shared stripe lock.
   void Touch() { referenced_.store(true, std::memory_order_relaxed); }
   bool referenced() const { return referenced_.load(std::memory_order_relaxed); }
@@ -73,6 +86,7 @@ class Page {
   std::string buf_;
   std::atomic<bool> dirty_{false};
   std::atomic<bool> referenced_{false};
+  std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t>* const dirty_counter_;
 };
 
@@ -94,12 +108,15 @@ class Pager {
   // Return a zeroed page at offset without reading the device (for freshly allocated pages).
   Result<PageRef> GetZeroed(uint64_t offset);
 
-  // Write back every dirty page and Sync the device.
+  // Write back every dirty page (one sorted, coalesced WriteBatch) and Sync the device.
+  // Caller must exclude page-content mutators for the duration (the OSD holds volume_mu_
+  // exclusive; FileSystem-layer tree writers are excluded via the mutation hold below).
   Status Flush();
 
   // Copy (offset, image) of every dirty page, without writing anything back. The OSD
   // journals these images ahead of a checkpoint so the checkpoint's in-place writes are
-  // redo-able after a crash.
+  // redo-able after a crash. Same exclusion requirements as Flush; the images are copied
+  // outside the stripe locks.
   void CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const;
 
   // Number of dirty pages currently cached. O(1): journal-space accounting calls this
@@ -145,14 +162,32 @@ class Pager {
     std::deque<uint64_t> ring;
   };
 
+  // One dirty victim picked for batched write-back: its image and epoch were snapshotted
+  // under the stripe lock; the page itself stays resident until the write succeeds and
+  // the epoch still matches. Holding the PageRef pins the page (use_count > 1), so a
+  // concurrent sweep in the same stripe can never snapshot the same victim twice, and
+  // the post-IO pass can verify identity (not just offset) before clearing the dirty bit.
+  struct Writeback {
+    PageRef page;
+    uint64_t epoch;
+    std::string image;
+  };
+
   Stripe& StripeFor(uint64_t offset) const {
     return stripes_[(offset / kPageSize) % stripe_count_];
   }
 
   // Evict from `s` until it is under its per-stripe budget (or nothing is evictable:
   // capacity is a target, not a hard bound — pinned and no-steal-dirty pages stay).
-  // Caller holds s.mu exclusively.
-  Status EvictLocked(Stripe& s);
+  // Clean victims are evicted in place; dirty victims (non-no-steal) are snapshotted
+  // into *writeback and stay resident — the caller issues the batch IO after releasing
+  // s.mu and then calls FinishWriteback. Caller holds s.mu exclusively.
+  void EvictLocked(Stripe& s, std::vector<Writeback>* writeback);
+
+  // Issue one sorted WriteBatch for `writeback` (no locks held), then, under s.mu, clear
+  // the dirty bit of every page whose epoch is unchanged and evict it if the stripe is
+  // still over budget. No-op on an empty list.
+  Status FlushWriteback(Stripe& s, std::vector<Writeback>* writeback);
 
   BlockDevice* const device_;
   const size_t capacity_;

@@ -5,46 +5,46 @@
 
 namespace hfad {
 
-std::string Superblock::Encode() const {
+namespace {
+
+// Serialize one CRC-protected slot of kSlotSize bytes.
+std::string EncodeSlot(const Superblock& sb) {
   std::string out;
-  out.reserve(kSuperblockSize);
-  PutFixed32(&out, kMagic);
-  PutFixed32(&out, kVersion);
-  PutFixed64(&out, device_size);
-  PutFixed64(&out, alloc_area_offset);
-  PutFixed64(&out, alloc_area_size);
-  PutFixed64(&out, alloc_snapshot_size);
-  PutFixed64(&out, journal_offset);
-  PutFixed64(&out, journal_size);
-  PutFixed64(&out, heap_offset);
-  PutFixed64(&out, heap_size);
-  PutFixed64(&out, object_table_root);
-  PutFixed64(&out, index_dir_root);
-  PutFixed64(&out, next_oid);
-  PutFixed64(&out, journal_sequence);
-  out.resize(kSuperblockSize - 4, 0);
+  out.reserve(Superblock::kSlotSize);
+  PutFixed32(&out, Superblock::kMagic);
+  PutFixed32(&out, Superblock::kVersion);
+  PutFixed64(&out, sb.device_size);
+  PutFixed64(&out, sb.alloc_area_offset);
+  PutFixed64(&out, sb.alloc_area_size);
+  PutFixed64(&out, sb.alloc_snapshot_size);
+  PutFixed64(&out, sb.journal_offset);
+  PutFixed64(&out, sb.journal_size);
+  PutFixed64(&out, sb.heap_offset);
+  PutFixed64(&out, sb.heap_size);
+  PutFixed64(&out, sb.object_table_root);
+  PutFixed64(&out, sb.index_dir_root);
+  PutFixed64(&out, sb.next_oid);
+  PutFixed64(&out, sb.journal_sequence);
+  out.resize(Superblock::kSlotSize - 4, 0);
   uint32_t crc = MaskCrc(Crc32c(Slice(out)));
   PutFixed32(&out, crc);
   return out;
 }
 
-Result<Superblock> Superblock::Decode(const std::string& buf) {
-  if (buf.size() != kSuperblockSize) {
-    return Status::Corruption("superblock: wrong size " + std::to_string(buf.size()));
-  }
+Result<Superblock> DecodeSlot(const char* data) {
   uint32_t stored_crc = DecodeFixed32(
-      reinterpret_cast<const uint8_t*>(buf.data() + kSuperblockSize - 4));
-  uint32_t actual = Crc32c(Slice(buf.data(), kSuperblockSize - 4));
+      reinterpret_cast<const uint8_t*>(data + Superblock::kSlotSize - 4));
+  uint32_t actual = Crc32c(Slice(data, Superblock::kSlotSize - 4));
   if (UnmaskCrc(stored_crc) != actual) {
     return Status::Corruption("superblock: CRC mismatch");
   }
-  Slice in(buf);
+  Slice in(data, Superblock::kSlotSize);
   Superblock sb;
   uint32_t magic, version;
-  if (!GetFixed32(&in, &magic) || magic != kMagic) {
+  if (!GetFixed32(&in, &magic) || magic != Superblock::kMagic) {
     return Status::Corruption("superblock: bad magic");
   }
-  if (!GetFixed32(&in, &version) || version != kVersion) {
+  if (!GetFixed32(&in, &version) || version != Superblock::kVersion) {
     return Status::Corruption("superblock: unsupported version");
   }
   bool ok = GetFixed64(&in, &sb.device_size) && GetFixed64(&in, &sb.alloc_area_offset) &&
@@ -57,6 +57,72 @@ Result<Superblock> Superblock::Decode(const std::string& buf) {
     return Status::Corruption("superblock: truncated");
   }
   return sb;
+}
+
+}  // namespace
+
+std::string Superblock::Encode() const {
+  // Two identical slots. A torn superblock write persists a prefix: whatever the tear
+  // position, at least one slot is either fully new or fully old, and either one
+  // describes a volume the journal can recover.
+  std::string slot = EncodeSlot(*this);
+  std::string out = slot;
+  out += slot;
+  return out;
+}
+
+namespace {
+
+// Read-compatibility with the v1 layout: one whole-page image, same field order,
+// CRC in the page's last 4 bytes. A v1 volume opens normally and is rewritten as v2
+// dual-slot by its next checkpoint.
+Result<Superblock> DecodeV1(const std::string& buf) {
+  uint32_t stored_crc = DecodeFixed32(
+      reinterpret_cast<const uint8_t*>(buf.data() + Superblock::kSuperblockSize - 4));
+  uint32_t actual = Crc32c(Slice(buf.data(), Superblock::kSuperblockSize - 4));
+  if (UnmaskCrc(stored_crc) != actual) {
+    return Status::Corruption("superblock: CRC mismatch");
+  }
+  Slice in(buf);
+  Superblock sb;
+  uint32_t magic, version;
+  if (!GetFixed32(&in, &magic) || magic != Superblock::kMagic) {
+    return Status::Corruption("superblock: bad magic");
+  }
+  if (!GetFixed32(&in, &version) || version != 1) {
+    return Status::Corruption("superblock: unsupported version");
+  }
+  bool ok = GetFixed64(&in, &sb.device_size) && GetFixed64(&in, &sb.alloc_area_offset) &&
+            GetFixed64(&in, &sb.alloc_area_size) && GetFixed64(&in, &sb.alloc_snapshot_size) &&
+            GetFixed64(&in, &sb.journal_offset) && GetFixed64(&in, &sb.journal_size) &&
+            GetFixed64(&in, &sb.heap_offset) && GetFixed64(&in, &sb.heap_size) &&
+            GetFixed64(&in, &sb.object_table_root) && GetFixed64(&in, &sb.index_dir_root) &&
+            GetFixed64(&in, &sb.next_oid) && GetFixed64(&in, &sb.journal_sequence);
+  if (!ok) {
+    return Status::Corruption("superblock: truncated");
+  }
+  return sb;
+}
+
+}  // namespace
+
+Result<Superblock> Superblock::Decode(const std::string& buf) {
+  if (buf.size() != kSuperblockSize) {
+    return Status::Corruption("superblock: wrong size " + std::to_string(buf.size()));
+  }
+  auto primary = DecodeSlot(buf.data());
+  if (primary.ok()) {
+    return primary;
+  }
+  auto replica = DecodeSlot(buf.data() + kSlotSize);
+  if (replica.ok()) {
+    return replica;
+  }
+  auto v1 = DecodeV1(buf);
+  if (v1.ok()) {
+    return v1;
+  }
+  return primary.status();  // Report the primary slot's failure.
 }
 
 }  // namespace hfad

@@ -9,6 +9,9 @@
 //
 // The superblock stores the geometry plus the root pointers of the volume's top-level
 // structures (object table, index directory). It is the single source of truth on open.
+// The 4 KiB region holds TWO identical CRC-protected 2 KiB slots: a crash can tear the
+// superblock write anywhere and still leave one slot intact (fully new or fully old —
+// either is recoverable, because the journal's checkpoint epilogue carries the roots).
 #ifndef HFAD_SRC_STORAGE_SUPERBLOCK_H_
 #define HFAD_SRC_STORAGE_SUPERBLOCK_H_
 
@@ -21,8 +24,9 @@ namespace hfad {
 
 struct Superblock {
   static constexpr uint32_t kMagic = 0x68464144;  // "hFAD"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;         // v2: dual-slot layout.
   static constexpr uint64_t kSuperblockSize = 4096;
+  static constexpr uint64_t kSlotSize = kSuperblockSize / 2;
 
   uint64_t device_size = 0;
   uint64_t alloc_area_offset = 0;  // Where the allocator snapshot lives.

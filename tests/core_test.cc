@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/stats.h"
 #include "src/core/filesystem.h"
 #include "src/core/fsck.h"
 #include "src/storage/block_device.h"
@@ -216,6 +217,33 @@ TEST_F(CoreTest, CursorUpIsCdDotDot) {
   ASSERT_TRUE(root.ok());
   EXPECT_EQ(root->size(), 2u);  // Volume root: everything.
   ASSERT_TRUE(cursor.Up().ok());  // Up at root is a no-op.
+}
+
+TEST_F(CoreTest, CursorRootPagingSeeksInsteadOfRescanning) {
+  std::vector<ObjectId> all;
+  for (int i = 0; i < 10; i++) {
+    auto oid = fs_->Create({{"UDEF", "bulk"}});
+    ASSERT_TRUE(oid.ok());
+    all.push_back(*oid);
+  }
+  SearchCursor cursor = fs_->OpenCursor();  // Root: the whole volume.
+  query::FindOptions options;
+  options.limit = 3;
+  std::vector<ObjectId> paged;
+  stats::ResetAll();
+  for (;;) {
+    auto page = cursor.ResultsPage(options);
+    ASSERT_TRUE(page.ok());
+    paged.insert(paged.end(), page->ids.begin(), page->ids.end());
+    if (!page->has_more) {
+      break;
+    }
+    options.after = page->next_after;
+  }
+  EXPECT_EQ(paged, all);
+  // Seekable ScanObjects: the 4 pages together touch each object-table entry once (one
+  // extra probe per page boundary), instead of page k rescanning the first 3k entries.
+  EXPECT_LE(stats::Get(stats::Counter::kIndexTraversals), all.size() + 8);
 }
 
 TEST_F(CoreTest, CursorTracksLiveChanges) {

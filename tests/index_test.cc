@@ -291,6 +291,88 @@ TEST_F(IndexTest, PluginStoreIntegratesWithLookup) {
   EXPECT_EQ(*r, (std::vector<ObjectId>{red_photo}));
 }
 
+// ---- Streaming prefix postings (OpenPrefixPostings) ----
+
+TEST_F(IndexTest, PrefixPostingsStreamDeduplicatedAscendingOids) {
+  IndexStore* udef = collection_->store("UDEF");
+  // Mixed values under "p/": oid 3 carries two matching names (must dedup), oid 7 only
+  // a non-matching one.
+  ASSERT_TRUE(udef->Add("p/alpha", 5).ok());
+  ASSERT_TRUE(udef->Add("p/alpha", 3).ok());
+  ASSERT_TRUE(udef->Add("p/beta", 3).ok());
+  ASSERT_TRUE(udef->Add("p/beta", 1).ok());
+  ASSERT_TRUE(udef->Add("p/gamma", 9).ok());
+  ASSERT_TRUE(udef->Add("q/other", 7).ok());
+  auto it = udef->OpenPrefixPostings("p/");
+  ASSERT_TRUE(it.ok());
+  auto drained = DrainPostings(it->get());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(*drained, (std::vector<ObjectId>{1, 3, 5, 9}));
+
+  // Seek semantics: forward-only lower bounds, like every other posting iterator.
+  auto it2 = udef->OpenPrefixPostings("p/");
+  ASSERT_TRUE(it2.ok());
+  ASSERT_TRUE((*it2)->SeekTo(4).ok());
+  ASSERT_TRUE((*it2)->Valid());
+  EXPECT_EQ((*it2)->Value(), 5u);
+  ASSERT_TRUE((*it2)->Next().ok());
+  ASSERT_TRUE((*it2)->Valid());
+  EXPECT_EQ((*it2)->Value(), 9u);
+  ASSERT_TRUE((*it2)->Next().ok());
+  EXPECT_FALSE((*it2)->Valid());
+
+  // Empty result set stays invalid.
+  auto it3 = udef->OpenPrefixPostings("zzz/");
+  ASSERT_TRUE(it3.ok());
+  ASSERT_TRUE((*it3)->SeekTo(0).ok());
+  EXPECT_FALSE((*it3)->Valid());
+}
+
+TEST_F(IndexTest, PrefixPostingsSkipLargeValuesDuringDiscovery) {
+  IndexStore* udef = collection_->store("UDEF");
+  // One huge value (2000 postings) plus a handful of small ones under the same prefix.
+  for (ObjectId oid = 1; oid <= 2000; oid++) {
+    ASSERT_TRUE(udef->Add("big/hot", oid * 2).ok());
+  }
+  for (ObjectId oid = 0; oid < 5; oid++) {
+    // Odd oids beyond the hot range: disjoint from big/hot's postings.
+    ASSERT_TRUE(udef->Add("big/cold" + std::to_string(oid), 4001 + 2 * oid).ok());
+  }
+  PlanStats stats;
+  auto it = udef->OpenPrefixPostings("big/", &stats);
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE((*it)->SeekTo(0).ok());
+  // Pull one page worth. Discovery must have jumped over the hot value's posting run
+  // instead of materializing it: well under the 2005 total rows are touched (the first
+  // 1024-entry batch of the promoted stream plus the absorbed small values).
+  std::vector<ObjectId> page;
+  for (int i = 0; i < 10 && (*it)->Valid(); i++) {
+    page.push_back((*it)->Value());
+    ASSERT_TRUE((*it)->Next().ok());
+  }
+  EXPECT_EQ(page, (std::vector<ObjectId>{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}));
+  EXPECT_LT(stats.rows_scanned, 1100u);
+
+  // And a full drain still yields the complete deduplicated union.
+  auto it_all = udef->OpenPrefixPostings("big/");
+  ASSERT_TRUE(it_all.ok());
+  auto drained = DrainPostings(it_all->get());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), 2005u);
+  EXPECT_TRUE(std::is_sorted(drained->begin(), drained->end()));
+}
+
+TEST_F(IndexTest, PrefixPostingsObserveLaterMutationsLazily) {
+  // The iterator is lazy: values added before first use are visible.
+  IndexStore* udef = collection_->store("UDEF");
+  auto it = udef->OpenPrefixPostings("lazy/");
+  ASSERT_TRUE(it.ok());
+  ASSERT_TRUE(udef->Add("lazy/x", 42).ok());
+  ASSERT_TRUE((*it)->SeekTo(0).ok());
+  ASSERT_TRUE((*it)->Valid());
+  EXPECT_EQ((*it)->Value(), 42u);
+}
+
 TEST_F(IndexTest, DuplicateTagRegistrationRejected) {
   auto backing = KeyValueIndexStore::Mount(osd_.get(), "POSIX");
   ASSERT_TRUE(backing.ok());

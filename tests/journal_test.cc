@@ -1,6 +1,8 @@
 // Unit and failure-injection tests for the write-ahead journal.
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -263,6 +265,155 @@ TEST(JournalTest, SequencesContinueAfterRecovery) {
   Journal j2(&dev, 0, kRegion);
   RecoverAll(&j2);
   EXPECT_EQ(j2.next_sequence(), 102u);
+}
+
+// ---- Group commit: the leader/follower protocol ----
+
+// Park the device inside its first Sync (the leader's fsync), let two more threads
+// append AND commit meanwhile, then release: the two followers' records must share one
+// further sync between them — fsync cost amortizes across the whole commit window.
+TEST(JournalGroupCommitTest, FollowersShareOneSyncPerWindow) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  FaultyBlockDevice dev(base);
+  Journal j(&dev, 0, kRegion);
+
+  std::atomic<bool> leader_in_sync{false};
+  std::atomic<bool> release_sync{false};
+  dev.SetSyncHook([&] {
+    leader_in_sync.store(true);
+    while (!release_sync.load()) {
+      std::this_thread::yield();
+    }
+  });
+
+  ASSERT_TRUE(j.Append("window-1 record").ok());
+  std::thread leader([&] { EXPECT_TRUE(j.Commit().ok()); });
+  while (!leader_in_sync.load()) {
+    std::this_thread::yield();
+  }
+
+  std::atomic<int> appended{0};
+  auto worker = [&](const char* payload) {
+    EXPECT_TRUE(j.Append(payload).ok());
+    appended.fetch_add(1);
+    EXPECT_TRUE(j.Commit().ok());
+  };
+  std::thread w1(worker, "window-2 record a");
+  std::thread w2(worker, "window-2 record b");
+  while (appended.load() < 2) {
+    std::this_thread::yield();
+  }
+  // Both appends completed while the first sync was still parked: appenders never wait
+  // behind an in-flight fsync.
+  EXPECT_TRUE(leader_in_sync.load());
+  EXPECT_FALSE(release_sync.load());
+  release_sync.store(true);  // Later syncs fall straight through the hook.
+  leader.join();
+  w1.join();
+  w2.join();
+
+  EXPECT_EQ(j.committed_sequence(), 3u);
+  EXPECT_EQ(j.pending_records(), 0u);
+  // Exactly two batch syncs: the parked leader's window, then ONE window shared by both
+  // followers (whichever of them led drained both records).
+  EXPECT_EQ(dev.syncs_attempted(), 2u);
+
+  Journal j2(base.get(), 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].second, "window-1 record");
+}
+
+// The acceptance-criterion test: Append must complete while a slow device Sync is in
+// flight, because the commit protocol releases the journal lock around the fsync.
+TEST(JournalGroupCommitTest, AppendNeverBlocksOnInFlightSync) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  FaultyBlockDevice dev(base);
+  Journal j(&dev, 0, kRegion);
+
+  std::atomic<bool> in_sync{false};
+  std::atomic<bool> release{false};
+  dev.SetSyncHook([&] {
+    in_sync.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+
+  ASSERT_TRUE(j.Append("synced record").ok());
+  std::thread committer([&] { EXPECT_TRUE(j.Commit().ok()); });
+  while (!in_sync.load()) {
+    std::this_thread::yield();
+  }
+  // 100 appends land while the fsync is parked. If Append took the lock the leader holds
+  // across Sync, this loop would deadlock (the hook never releases by itself).
+  for (int i = 0; i < 100; i++) {
+    auto seq = j.Append("unblocked append " + std::to_string(i));
+    ASSERT_TRUE(seq.ok());
+  }
+  EXPECT_FALSE(release.load());  // The sync really was still parked throughout.
+  EXPECT_EQ(j.pending_records(), 101u);  // 100 new + the in-flight (not yet durable) one.
+  release.store(true);
+  committer.join();
+  EXPECT_EQ(j.committed_sequence(), 1u);  // Only the drained window is durable.
+  ASSERT_TRUE(j.Commit().ok());
+  EXPECT_EQ(j.committed_sequence(), 101u);
+}
+
+TEST(JournalGroupCommitTest, CommittedSequenceWatermark) {
+  MemoryBlockDevice dev(kRegion);
+  Journal j(&dev, 0, kRegion);
+  EXPECT_EQ(j.committed_sequence(), 0u);
+  ASSERT_TRUE(j.Append("a").ok());
+  ASSERT_TRUE(j.Append("b").ok());
+  // CommitThrough(1) may (and here does) cover more: one batch drains all pending.
+  ASSERT_TRUE(j.CommitThrough(1).ok());
+  EXPECT_EQ(j.committed_sequence(), 2u);
+  // Covered and beyond-appended targets return without further device work.
+  auto base_syncless = j.committed_sequence();
+  ASSERT_TRUE(j.CommitThrough(2).ok());
+  ASSERT_TRUE(j.CommitThrough(999).ok());
+  EXPECT_EQ(j.committed_sequence(), base_syncless);
+  // Reset keeps pre-reset sequences covered (they are checkpoint-durable).
+  ASSERT_TRUE(j.Reset().ok());
+  EXPECT_EQ(j.committed_sequence(), 2u);
+  ASSERT_TRUE(j.Append("c").ok());  // Sequence 3.
+  ASSERT_TRUE(j.Commit().ok());
+  EXPECT_EQ(j.committed_sequence(), 3u);
+}
+
+// A torn commit never advances the watermark, and recovery replays exactly the covered
+// records plus at most a durable prefix of the torn batch — never a torn suffix.
+TEST(JournalGroupCommitTest, WatermarkNeverIncludesATornSuffix) {
+  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
+  {
+    FaultyBlockDevice dev(base);
+    Journal j(&dev, 0, kRegion);
+    ASSERT_TRUE(j.Append("covered 1").ok());
+    ASSERT_TRUE(j.Append("covered 2").ok());
+    ASSERT_TRUE(j.Append("covered 3").ok());
+    ASSERT_TRUE(j.Commit().ok());
+    EXPECT_EQ(j.committed_sequence(), 3u);
+    ASSERT_TRUE(j.Append(std::string(900, 'd')).ok());
+    ASSERT_TRUE(j.Append(std::string(900, 'e')).ok());
+    dev.SetWriteBudget(0);
+    dev.EnableTornWrites(true);
+    EXPECT_FALSE(j.Commit().ok());
+    EXPECT_EQ(j.committed_sequence(), 3u);  // The failed window is not covered.
+    EXPECT_EQ(j.pending_records(), 2u);     // Its records remain pending.
+  }
+  Journal j2(base.get(), 0, kRegion);
+  Records r = RecoverAll(&j2);
+  ASSERT_GE(r.size(), 3u);
+  ASSERT_LE(r.size(), 4u);  // The torn half-write can preserve record 4, never 5.
+  EXPECT_EQ(r[0].second, "covered 1");
+  EXPECT_EQ(r[1].second, "covered 2");
+  EXPECT_EQ(r[2].second, "covered 3");
+  if (r.size() == 4) {
+    EXPECT_EQ(r[3].second, std::string(900, 'd'));
+  }
+  // The recovered journal's watermark covers exactly what the scan validated.
+  EXPECT_EQ(j2.committed_sequence(), r.empty() ? 0 : r.back().first);
 }
 
 // Property sweep: random append/commit/crash cycles always recover exactly the committed

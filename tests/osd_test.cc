@@ -154,6 +154,134 @@ TEST(OsdTest, ScanObjectsVisitsInOidOrder) {
   EXPECT_EQ(std::count(seen.begin(), seen.end(), created[5]), 0);
 }
 
+TEST(OsdTest, ScanObjectsSeeksToStartKey) {
+  auto osd = MakeOsd(std::make_shared<MemoryBlockDevice>(kDev));
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(osd->CreateObject().ok());  // Oids 1..10.
+  }
+  std::vector<ObjectId> seen;
+  ASSERT_TRUE(osd->ScanObjects(7, [&](ObjectId oid, const ObjectMeta&) {
+                   seen.push_back(oid);
+                   return true;
+                 })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<ObjectId>{7, 8, 9, 10}));
+  seen.clear();
+  ASSERT_TRUE(osd->ScanObjects(11, [&](ObjectId oid, const ObjectMeta&) {
+                   seen.push_back(oid);
+                   return true;
+                 })
+                  .ok());
+  EXPECT_TRUE(seen.empty());
+}
+
+// ---- Close status (shutdown errors must not vanish) ----
+
+TEST(OsdCloseTest, CleanCloseRecordsOk) {
+  stats::ResetAll();
+  auto osd = MakeOsd(std::make_shared<MemoryBlockDevice>(kDev));
+  ASSERT_TRUE(osd->CreateObject().ok());
+  EXPECT_TRUE(osd->Close().ok());
+  EXPECT_TRUE(osd->last_close_status().ok());
+  osd.reset();
+  EXPECT_EQ(stats::Get(stats::Counter::kOsdCloseErrors), 0u);
+}
+
+TEST(OsdCloseTest, FailedFinalCheckpointIsRecordedAndCounted) {
+  stats::ResetAll();
+  auto base = std::make_shared<MemoryBlockDevice>(kDev);
+  auto faulty = std::make_shared<FaultyBlockDevice>(base);
+  auto osd = MakeOsd(faulty);
+  auto oid = osd->CreateObject();
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(osd->Write(*oid, 0, "will not checkpoint").ok());
+  faulty->SetWriteBudget(0);  // The device dies before shutdown.
+  Status s = osd->Close();
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(osd->last_close_status().ok());
+  EXPECT_EQ(stats::Get(stats::Counter::kOsdCloseErrors), 1u);
+  // The destructor reuses the recorded outcome — no double count, no second checkpoint.
+  osd.reset();
+  EXPECT_EQ(stats::Get(stats::Counter::kOsdCloseErrors), 1u);
+}
+
+// ---- Threshold-triggered checkpoints ----
+
+// A tag-storm-sized load against a deliberately tiny journal: the occupancy kick keeps
+// checkpoints running in the background so ops keep succeeding long past the point the
+// journal would have filled many times over.
+TEST(OsdCheckpointTest, ThresholdCheckpointsAbsorbSustainedLoad) {
+  OsdOptions opts;
+  opts.journal_size = 256 * 1024;
+  auto dev = std::make_shared<MemoryBlockDevice>(kDev);
+  auto osd = MakeOsd(dev, opts);
+  const std::string payload(512, 'p');
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < 2000; i++) {
+    auto oid = osd->CreateObject();
+    ASSERT_TRUE(oid.ok()) << "op " << i;
+    ASSERT_TRUE(osd->Write(*oid, 0, payload).ok()) << "op " << i;
+    oids.push_back(*oid);
+  }
+  ASSERT_TRUE(osd->Close().ok());
+  osd.reset();
+  auto reopened = Osd::Open(dev, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->object_count(), oids.size());
+  std::string out;
+  ASSERT_TRUE((*reopened)->Read(oids.back(), 0, payload.size(), &out).ok());
+  EXPECT_EQ(out, payload);
+}
+
+// ---- Checkpoint-boundary crash sweep (torn WriteBatch fault injection) ----
+//
+// Every op below is Sync()ed (acknowledged durable) before the crash, then a checkpoint
+// is cut off after `budget` device writes with the final write torn in half. Whatever
+// the tear position — mid page-image epilogue, mid in-place WriteBatch, before the
+// superblock, before the journal reset — recovery must replay exactly the covered
+// watermark: every acknowledged op, never a torn suffix.
+class CheckpointTearTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointTearTest, SyncedOpsSurviveACheckpointTornAtAnyWrite) {
+  const int64_t budget = GetParam();
+  auto base = std::make_shared<MemoryBlockDevice>(kDev);
+  auto faulty = std::make_shared<FaultyBlockDevice>(base);
+  OsdOptions opts;
+  std::vector<std::pair<ObjectId, std::string>> acked;
+  {
+    auto r = Osd::Create(faulty, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto osd = std::move(r).value();
+    for (int i = 0; i < 8; i++) {
+      auto oid = osd->CreateObject();
+      ASSERT_TRUE(oid.ok());
+      std::string payload = "acknowledged payload #" + std::to_string(i) +
+                            std::string(200 + 50 * i, 'a' + static_cast<char>(i));
+      ASSERT_TRUE(osd->Write(*oid, 0, payload).ok());
+      acked.emplace_back(*oid, payload);
+    }
+    ASSERT_TRUE(osd->Sync().ok());  // Everything above is covered by the watermark.
+
+    faulty->SetWriteBudget(budget);
+    faulty->EnableTornWrites(true);
+    (void)osd->Checkpoint();  // May fail anywhere, including mid-WriteBatch.
+    faulty->SetWriteBudget(0);  // Hard crash: nothing else reaches the device.
+  }
+  auto reopened = Osd::Open(base, opts);
+  ASSERT_TRUE(reopened.ok()) << "budget " << budget << ": "
+                             << reopened.status().ToString();
+  for (const auto& [oid, payload] : acked) {
+    std::string out;
+    ASSERT_TRUE((*reopened)->Read(oid, 0, payload.size() + 16, &out).ok())
+        << "budget " << budget << " oid " << oid;
+    EXPECT_EQ(out, payload) << "budget " << budget << " oid " << oid;
+  }
+  EXPECT_EQ((*reopened)->object_count(), acked.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(TearAtEveryWrite, CheckpointTearTest,
+                         ::testing::Range(0, 14));
+
 TEST(OsdTest, PersistsAcrossCleanReopen) {
   auto dev = std::make_shared<MemoryBlockDevice>(kDev);
   ObjectId oid;

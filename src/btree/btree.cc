@@ -453,6 +453,128 @@ class BTree::Impl {
     return s;
   }
 
+  Status BulkLoad(const std::vector<std::pair<std::string, std::string>>& entries,
+                  uint64_t* inserted_out) {
+    if (inserted_out != nullptr) {
+      *inserted_out = 0;
+    }
+    if (entries.empty()) {
+      return Status::Ok();
+    }
+    // Validate before mutating anything: a rejected batch must leave the tree untouched.
+    for (size_t i = 0; i < entries.size(); i++) {
+      if (entries[i].first.size() > kMaxKeySize) {
+        return Status::InvalidArgument("bulk key size " + std::to_string(entries[i].first.size()) +
+                                       " exceeds " + std::to_string(kMaxKeySize));
+      }
+      if (i > 0 && Slice(entries[i].first).Compare(Slice(entries[i - 1].first)) < 0) {
+        return Status::InvalidArgument("bulk entries out of order at index " + std::to_string(i));
+      }
+    }
+    std::unique_lock lock(mu_);
+    auto mutation_hold = pager_->SharedMutationHold();
+    stats::Add(stats::Counter::kIndexTraversals);
+    if (root_ == 0) {
+      HFAD_ASSIGN_OR_RETURN(uint64_t off, NewPage(kLeafPage));
+      SetRoot(off);
+    }
+    if (root_ref_ == nullptr || root_ref_->offset() != root_) {
+      HFAD_ASSIGN_OR_RETURN(root_ref_, pager_->Get(root_));
+    }
+    uint64_t inserted = 0;
+    // Descent cache: the located leaf stays correct for every following key strictly
+    // below the routing upper bound recorded during its descent, as long as no split
+    // has rewritten the path since.
+    PageRef hint_leaf;
+    std::vector<Frame> hint_path;
+    std::string hint_upper;
+    bool hint_bounded = false;
+    bool hint_valid = false;
+    for (const auto& [key_str, value_str] : entries) {
+      Slice key(key_str);
+      Slice value(value_str);
+      std::string cell;
+      uint64_t new_ov_offset = 0;
+      if (value.size() > kMaxInlineValue) {
+        HFAD_ASSIGN_OR_RETURN(BuddyAllocator::Extent ext, alloc_->Allocate(value.size()));
+        HFAD_RETURN_IF_ERROR(pager_->WriteRaw(ext.offset, value));
+        new_ov_offset = ext.offset;
+        cell = EncodeLeafCell(key, kValueOverflow, Slice(), ext.offset, value.size());
+      } else {
+        cell = EncodeLeafCell(key, kValueInline, value, 0, 0);
+      }
+
+      // Same rightmost-append fastpath as Put: a batch targeting the tail of the key
+      // space (the common posting-store shape) never descends at all.
+      if (rightmost_ref_ != nullptr && new_ov_offset == 0) {
+        Page& rp = *rightmost_ref_;
+        int n = NSlots(rp);
+        Slice last_key;
+        if (PageType(rp) == kLeafPage && Link0(rp) == 0 && n > 0 &&
+            FreeSpace(rp) >= cell.size() + 2 && ParseCellKey(rp, n - 1, &last_key) &&
+            key.Compare(last_key) > 0) {
+          InsertCellAt(rp, n, cell);
+          if (count_valid_) {
+            count_++;
+          }
+          inserted++;
+          continue;
+        }
+      }
+
+      PageRef leaf;
+      if (hint_valid && (!hint_bounded || key.Compare(Slice(hint_upper)) < 0)) {
+        leaf = hint_leaf;
+      } else {
+        hint_path.clear();
+        HFAD_ASSIGN_OR_RETURN(leaf, DescendLocked(key, &hint_path, &hint_upper, &hint_bounded));
+        hint_leaf = leaf;
+        hint_valid = true;
+      }
+
+      bool exact;
+      int pos = LowerBound(*leaf, key, &exact);
+      if (exact) {
+        Cell old;
+        if (!ParseCell(*leaf, pos, &old)) {
+          return Status::Corruption("unparseable leaf cell on bulk update");
+        }
+        if (old.kind == kValueOverflow) {
+          HFAD_RETURN_IF_ERROR(alloc_->Free(old.overflow_offset));
+        }
+        EraseSlotAt(*leaf, pos);
+      } else {
+        if (count_valid_) {
+          count_++;
+        }
+        inserted++;
+      }
+
+      bool split = false;
+      Status s = InsertIntoLeaf(leaf, pos, cell, key, hint_path, &split);
+      if (!s.ok()) {
+        if (new_ov_offset != 0) {
+          (void)alloc_->Free(new_ov_offset);
+        }
+        return s;
+      }
+      if (split) {
+        // The leaf was rebuilt and the path may now route differently; re-descend for
+        // the next key.
+        hint_valid = false;
+        hint_leaf.reset();
+        hint_path.clear();
+      }
+      if (Link0(*leaf) == 0 && PageType(*leaf) == kLeafPage) {
+        rightmost_ref_ = leaf;
+      }
+    }
+    if (inserted_out != nullptr) {
+      *inserted_out = inserted;
+    }
+    return Status::Ok();
+  }
+
   Status Delete(Slice key) {
     std::unique_lock lock(mu_);
     auto mutation_hold = pager_->SharedMutationHold();
@@ -598,8 +720,16 @@ class BTree::Impl {
   }
 
   // Descend from the root to the leaf that owns `key`, recording the path. Returns the
-  // leaf's PageRef so callers skip a second pager round-trip for it.
-  Result<PageRef> DescendLocked(Slice key, std::vector<Frame>* path) const {
+  // leaf's PageRef so callers skip a second pager round-trip for it. When `upper` is
+  // non-null it receives the tightest routing upper bound along the path: every key
+  // strictly below it routes to the same leaf, so a sorted-batch caller can reuse the
+  // leaf without re-descending. *bounded is false when the leaf is on the rightmost
+  // spine (no upper bound exists).
+  Result<PageRef> DescendLocked(Slice key, std::vector<Frame>* path,
+                                std::string* upper = nullptr, bool* bounded = nullptr) const {
+    if (bounded != nullptr) {
+      *bounded = false;
+    }
     uint64_t off = root_;
     for (;;) {
       HFAD_ASSIGN_OR_RETURN(PageRef page, RootOrGet(off));
@@ -608,6 +738,17 @@ class BTree::Impl {
         return page;
       }
       int ci = ChildIndexFor(*page, key);
+      if (upper != nullptr && ci + 1 < NSlots(*page)) {
+        // Keys >= separator ci+1 route past this child; separators nest, so the
+        // deepest one seen is the tightest bound.
+        Slice sep;
+        if (ParseCellKey(*page, ci + 1, &sep)) {
+          upper->assign(sep.data(), sep.size());
+          if (bounded != nullptr) {
+            *bounded = true;
+          }
+        }
+      }
       path->push_back(Frame{off, ci});
       uint64_t child;
       if (ci < 0) {
@@ -627,8 +768,13 @@ class BTree::Impl {
   }
 
   // Insert `cell` at slot `pos` of `leaf`, splitting up the recorded path as needed.
+  // *split, when non-null, reports whether a page split occurred (which invalidates any
+  // cached descent path into this leaf).
   Status InsertIntoLeaf(PageRef leaf, int pos, const std::string& cell, Slice /*key*/,
-                        const std::vector<Frame>& path) {
+                        const std::vector<Frame>& path, bool* split = nullptr) {
+    if (split != nullptr) {
+      *split = false;
+    }
     size_t need = cell.size() + 2;
     if (FreeSpace(*leaf) >= need) {
       InsertCellAt(*leaf, pos, cell);
@@ -640,6 +786,9 @@ class BTree::Impl {
         InsertCellAt(*leaf, pos, cell);
         return Status::Ok();
       }
+    }
+    if (split != nullptr) {
+      *split = true;
     }
     // Split: gather all cells plus the new one, rebuild two pages.
     std::vector<std::string> cells;
@@ -1003,6 +1152,10 @@ Result<std::string> BTree::Get(Slice key) const { return impl_->Get(key); }
 bool BTree::Contains(Slice key) const { return impl_->Contains(key); }
 Status BTree::Put(Slice key, Slice value, bool* inserted) {
   return impl_->Put(key, value, inserted);
+}
+Status BTree::BulkLoad(const std::vector<std::pair<std::string, std::string>>& entries,
+                       uint64_t* inserted) {
+  return impl_->BulkLoad(entries, inserted);
 }
 Status BTree::Delete(Slice key) { return impl_->Delete(key); }
 uint64_t BTree::Count() const { return impl_->Count(); }

@@ -20,6 +20,10 @@ constexpr uint8_t kNsUnindexContent = 4;
 // kNsAddTag/kNsRemoveTag sub-record. The journal's record-level atomicity is what makes
 // the batch recover as a unit.
 constexpr uint8_t kNsBatch = 5;
+// A lazy-mode tag intent: same framing as kNsBatch (varint count + sub-records), but
+// replay applies only the reverse-map half inline and hands the forward posting-store
+// half back to the background indexer queue instead of the posting btrees.
+constexpr uint8_t kNsIndexIntent = 6;
 
 // Reverse-map btree roots, one named root per shard ("core/reverse-tags/<shard>").
 constexpr char kReverseRootPrefix[] = "core/reverse-tags/";
@@ -87,6 +91,18 @@ bool TaggableTag(const std::string& tag) {
   return tag != index::kTagFulltext && tag != index::kTagId;
 }
 
+// Every tag the expression touches (including under NOT: a stale negated posting is
+// just as wrong as a stale positive one) — the strict-visibility wait set.
+void CollectQueryTags(const query::Expr& e, std::vector<std::string>* out) {
+  if (e.kind == query::Expr::Kind::kTerm || e.kind == query::Expr::Kind::kPrefix) {
+    out->push_back(e.tag);
+    return;
+  }
+  for (const auto& child : e.children) {
+    CollectQueryTags(*child, out);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- construction
@@ -107,12 +123,29 @@ FileSystem::FileSystem(std::unique_ptr<osd::Osd> osd,
     lazy_indexer_ = std::make_unique<fulltext::LazyIndexer>(ft->engine(),
                                                             options_.lazy_indexing_threads);
   }
+  if (options_.lazy_tag_indexing) {
+    tag_indexer_ = std::make_unique<LazyTagIndexer>(indexes_.get(),
+                                                    options_.tag_intent_queue_capacity);
+  }
 }
 
 FileSystem::~FileSystem() {
   // Drain background indexing before the indexes are torn down.
   lazy_indexer_.reset();
+  if (tag_indexer_ != nullptr) {
+    // Apply what we can (Drain returns immediately while a test holds the queue
+    // paused)...
+    (void)tag_indexer_->Drain();
+  }
+  // ...then checkpoint: anything still unapplied rides the pending set via the
+  // checkpoint provider and is re-seeded on the next Open.
   (void)Checkpoint();
+  if (tag_indexer_ != nullptr) {
+    // The OSD's own close-time checkpoint must not call back into a dead indexer; the
+    // pending set it would have persisted is exactly what the line above persisted.
+    osd_->SetUnappliedForeignProvider(nullptr);
+    tag_indexer_.reset();
+  }
 }
 
 Result<std::unique_ptr<FileSystem>> FileSystem::Create(std::shared_ptr<BlockDevice> device,
@@ -121,20 +154,37 @@ Result<std::unique_ptr<FileSystem>> FileSystem::Create(std::shared_ptr<BlockDevi
                         osd::Osd::Create(std::move(device), options.osd));
   HFAD_ASSIGN_OR_RETURN(std::unique_ptr<index::IndexCollection> indexes,
                         index::IndexCollection::Mount(osd.get()));
-  return std::unique_ptr<FileSystem>(
+  std::unique_ptr<FileSystem> fs(
       new FileSystem(std::move(osd), std::move(indexes), options));
+  HFAD_RETURN_IF_ERROR(fs->AdoptRecoveredIntents({}));
+  return fs;
 }
 
 Result<std::unique_ptr<FileSystem>> FileSystem::Open(std::shared_ptr<BlockDevice> device,
                                                      FileSystemOptions options) {
   // Namespace records replay through a lazily-mounted index collection on the volume
-  // being opened; the collection is then adopted by the FileSystem.
+  // being opened; the collection is then adopted by the FileSystem. Index intents
+  // (lazy mode's journaled-but-possibly-unapplied tag mutations) accumulate here: their
+  // reverse-map half replays inline, their forward half is handed to
+  // AdoptRecoveredIntents after construction.
+  auto recovered = std::make_shared<std::vector<BatchOp>>();
   std::unique_ptr<index::IndexCollection> replay_indexes;
-  auto hook = [&replay_indexes](osd::Osd* volume, Slice payload) -> Status {
+  auto hook = [&replay_indexes, recovered](osd::Osd* volume, Slice payload) -> Status {
     if (replay_indexes == nullptr) {
       HFAD_ASSIGN_OR_RETURN(replay_indexes, index::IndexCollection::Mount(volume));
+      // Install a provider over the recovered set NOW: Osd::Open ends recovery with a
+      // checkpoint that resets the journal, and at that moment this closure is the only
+      // thing that can carry still-unapplied intents into the new pending set.
+      volume->SetUnappliedForeignProvider([recovered]() {
+        std::vector<std::string> payloads;
+        payloads.reserve(recovered->size());
+        for (const BatchOp& op : *recovered) {
+          payloads.push_back(EncodeIntentRecord({op}));
+        }
+        return payloads;
+      });
     }
-    return ApplyNamespaceRecord(volume, replay_indexes.get(), payload);
+    return ApplyNamespaceRecord(volume, replay_indexes.get(), payload, recovered.get());
   };
   HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::Osd> osd,
                         osd::Osd::Open(std::move(device), options.osd, hook));
@@ -142,8 +192,10 @@ Result<std::unique_ptr<FileSystem>> FileSystem::Open(std::shared_ptr<BlockDevice
   if (indexes == nullptr) {
     HFAD_ASSIGN_OR_RETURN(indexes, index::IndexCollection::Mount(osd.get()));
   }
-  return std::unique_ptr<FileSystem>(
+  std::unique_ptr<FileSystem> fs(
       new FileSystem(std::move(osd), std::move(indexes), options));
+  HFAD_RETURN_IF_ERROR(fs->AdoptRecoveredIntents(std::move(*recovered)));
+  return fs;
 }
 
 // ---------------------------------------------------------------- replay
@@ -179,15 +231,38 @@ Status FileSystem::ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes
   return volume->SetNamedRoot(root_name, reverse.root());
 }
 
+// Replay the reverse-map half of one index intent. The forward posting update is NOT
+// applied here — the live lazy write path applied only the reverse map inline, so
+// replay reproduces exactly that state and leaves the forward half to the queue.
+Status FileSystem::ReplayIntentReverse(osd::Osd* volume, index::IndexCollection* indexes,
+                                       uint8_t op, ObjectId oid, const TagValue& name) {
+  if (indexes->store(name.tag) == nullptr) {
+    return Status::Corruption("index intent for unknown store '" + name.tag + "'");
+  }
+  const std::string root_name = ReverseRootName(TagShardOf(oid));
+  btree::BTree reverse(volume->pager(), volume->allocator(),
+                       volume->GetNamedRoot(root_name).value_or(0));
+  if (op == kNsAddTag) {
+    HFAD_RETURN_IF_ERROR(reverse.Put(ReverseKey(oid, name), Slice()));
+  } else {
+    Status s = reverse.Delete(ReverseKey(oid, name));
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+  }
+  return volume->SetNamedRoot(root_name, reverse.root());
+}
+
 Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
-                                        index::IndexCollection* indexes, Slice payload) {
+                                        index::IndexCollection* indexes, Slice payload,
+                                        std::vector<BatchOp>* recovered) {
   if (payload.empty()) {
     return Status::Corruption("empty namespace record");
   }
   uint8_t op = static_cast<uint8_t>(payload[0]);
   Slice in = payload;
   in.RemovePrefix(1);
-  if (op == kNsBatch) {
+  if (op == kNsBatch || op == kNsIndexIntent) {
     uint64_t count = 0;
     if (!GetVarint64(&in, &count)) {
       return Status::Corruption("bad batch record count");
@@ -207,8 +282,14 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
       if (sub_op != kNsAddTag && sub_op != kNsRemoveTag) {
         return Status::Corruption("unknown batch sub-op " + std::to_string(sub_op));
       }
-      HFAD_RETURN_IF_ERROR(
-          ReplayTagOp(volume, indexes, sub_op, oid, {tag.ToString(), value.ToString()}));
+      TagValue name{tag.ToString(), value.ToString()};
+      if (op == kNsIndexIntent && recovered != nullptr) {
+        HFAD_RETURN_IF_ERROR(ReplayIntentReverse(volume, indexes, sub_op, oid, name));
+        recovered->push_back(BatchOp{sub_op, oid, name});
+      } else {
+        // kNsBatch, or an intent with nowhere to defer to: apply fully inline.
+        HFAD_RETURN_IF_ERROR(ReplayTagOp(volume, indexes, sub_op, oid, name));
+      }
     }
     return Status::Ok();
   }
@@ -246,6 +327,87 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
   }
 }
 
+std::string FileSystem::EncodeIntentRecord(const std::vector<BatchOp>& ops) {
+  std::string rec;
+  rec.push_back(static_cast<char>(kNsIndexIntent));
+  PutVarint64(&rec, ops.size());
+  for (const BatchOp& op : ops) {
+    rec.push_back(static_cast<char>(op.op));
+    PutVarint64(&rec, op.oid);
+    PutLengthPrefixed(&rec, op.name.tag);
+    PutLengthPrefixed(&rec, op.name.value);
+  }
+  return rec;
+}
+
+Status FileSystem::AdoptRecoveredIntents(std::vector<BatchOp> recovered) {
+  if (tag_indexer_ != nullptr) {
+    std::vector<LazyTagIndexer::Op> iops;
+    iops.reserve(recovered.size());
+    for (const BatchOp& op : recovered) {
+      iops.push_back(LazyTagIndexer::Op{op.op == kNsAddTag, op.oid, op.name});
+    }
+    tag_indexer_->Seed(std::move(iops));
+    // Live provider: every checkpoint persists whatever the worker has not applied yet
+    // (queue + in-flight), so acknowledged intents survive the journal reset that ends
+    // the checkpoint. Re-applying an in-flight op after a crash is idempotent.
+    LazyTagIndexer* indexer = tag_indexer_.get();
+    osd_->SetUnappliedForeignProvider([indexer]() {
+      std::vector<std::string> payloads;
+      for (const LazyTagIndexer::Op& op : indexer->SnapshotUnapplied()) {
+        payloads.push_back(EncodeIntentRecord(
+            {BatchOp{op.add ? kNsAddTag : kNsRemoveTag, op.oid, op.name}}));
+      }
+      return payloads;
+    });
+    return Status::Ok();
+  }
+  // Inline mode adopting a (possibly lazily-written) volume: the deferred forward
+  // updates are applied right now. Adds for objects deleted later in the log are
+  // skipped; removes always run (NotFound-tolerant) so a pre-crash applied add cannot
+  // leave an orphaned posting.
+  for (const BatchOp& op : recovered) {
+    if (op.op == kNsAddTag && !osd_->Exists(op.oid)) {
+      continue;
+    }
+    index::IndexStore* store = indexes_->store(op.name.tag);
+    if (store == nullptr) {
+      return Status::Corruption("recovered intent for unknown store '" + op.name.tag + "'");
+    }
+    Status s = op.op == kNsAddTag ? store->Add(op.name.value, op.oid)
+                                  : store->Remove(op.name.value, op.oid);
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+  }
+  // Empty provider (not null) so the next checkpoint clears the persisted pending set
+  // now that everything in it has been applied.
+  osd_->SetUnappliedForeignProvider([]() { return std::vector<std::string>(); });
+  return Status::Ok();
+}
+
+Status FileSystem::JournalAndEnqueueIntents(const std::vector<BatchOp>& ops) {
+  std::vector<LazyTagIndexer::Op> iops;
+  iops.reserve(ops.size());
+  for (const BatchOp& op : ops) {
+    iops.push_back(LazyTagIndexer::Op{op.op == kNsAddTag, op.oid, op.name});
+  }
+  // Reserve BEFORE the journal append: ReserveSlots may block on the worker, and the
+  // worker needs the volume lock this append is about to take shared (a full queue
+  // under the volume lock would deadlock against a waiting checkpoint).
+  tag_indexer_->ReserveSlots(iops.size());
+  const size_t n = iops.size();
+  // The enqueue rides the append's own volume-lock hold: a checkpoint either sees the
+  // record in the journal AND the ops in the queue, or neither — the invariant the
+  // pending-set persistence depends on.
+  Status s = osd_->AppendForeign(
+      EncodeIntentRecord(ops), [&] { tag_indexer_->EnqueueReserved(std::move(iops)); });
+  if (!s.ok()) {
+    tag_indexer_->ReleaseSlots(n);
+  }
+  return s;
+}
+
 // ---------------------------------------------------------------- naming
 
 Result<std::unique_ptr<index::PostingIterator>> FileSystem::OpenQuery(
@@ -255,6 +417,17 @@ Result<std::unique_ptr<index::PostingIterator>> FileSystem::OpenQuery(
 
 Result<query::FindPage> FileSystem::Find(const query::Expr& expr,
                                          const query::FindOptions& options) const {
+  // Strict visibility under lazy tag indexing: wait out the applied-sequence horizon
+  // of every tag the query touches before planning, so any mutation acknowledged
+  // before this call is in the postings the plan reads. Relaxed skips straight to the
+  // current postings.
+  if (tag_indexer_ != nullptr && options.visibility == query::Visibility::kStrict) {
+    std::vector<std::string> tags;
+    CollectQueryTags(expr, &tags);
+    std::sort(tags.begin(), tags.end());
+    tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
+    HFAD_RETURN_IF_ERROR(tag_indexer_->WaitForTags(tags));
+  }
   HFAD_ASSIGN_OR_RETURN(auto it, query_engine_->planner().Plan(expr, options.stats));
   return query::Paginate(it.get(), options);
 }
@@ -406,6 +579,15 @@ Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
 
 Status FileSystem::AddTagValidated(ObjectId oid, const TagValue& name) {
   auto lock = tag_mu_.LockExclusive(oid);
+  if (tag_indexer_ != nullptr) {
+    // Lazy: journal the intent + enqueue the forward update, then update only the
+    // reverse map inline — naming state (Tags/HasName/Remove) stays authoritative
+    // while the posting btrees catch up in the background.
+    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents({BatchOp{kNsAddTag, oid, name}}));
+    size_t shard = TagShardOf(oid);
+    HFAD_RETURN_IF_ERROR(reverse_[shard].tree->Put(ReverseKey(oid, name), Slice()));
+    return SyncReverseRoot(shard);
+  }
   if (osd_->journaling_enabled()) {
     HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsAddTag, oid, name)));
   }
@@ -421,6 +603,15 @@ Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
   if (!reverse_[TagShardOf(oid)].tree->Contains(ReverseKey(oid, name))) {
     return Status::NotFound("object " + std::to_string(oid) + " has no name " + name.tag +
                             ":" + name.value);
+  }
+  if (tag_indexer_ != nullptr) {
+    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents({BatchOp{kNsRemoveTag, oid, name}}));
+    size_t shard = TagShardOf(oid);
+    Status s = reverse_[shard].tree->Delete(ReverseKey(oid, name));
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+    return SyncReverseRoot(shard);
   }
   if (osd_->journaling_enabled()) {
     HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsRemoveTag, oid, name)));
@@ -451,6 +642,30 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
       return Status::NotFound("object " + std::to_string(op.oid) + " has no name " +
                               op.name.tag + ":" + op.name.value);
     }
+  }
+  if (tag_indexer_ != nullptr) {
+    // Lazy: ONE intent record + one enqueue for the whole batch, reverse map inline,
+    // each touched shard's root synced once.
+    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents(ops));
+    std::vector<size_t> shards;
+    for (const BatchOp& op : ops) {
+      size_t shard = TagShardOf(op.oid);
+      shards.push_back(shard);
+      if (op.op == kNsAddTag) {
+        HFAD_RETURN_IF_ERROR(reverse_[shard].tree->Put(ReverseKey(op.oid, op.name), Slice()));
+      } else {
+        Status s = reverse_[shard].tree->Delete(ReverseKey(op.oid, op.name));
+        if (!s.ok() && !s.IsNotFound()) {
+          return s;
+        }
+      }
+    }
+    std::sort(shards.begin(), shards.end());
+    shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+    for (size_t shard : shards) {
+      HFAD_RETURN_IF_ERROR(SyncReverseRoot(shard));
+    }
+    return Status::Ok();
   }
   if (osd_->journaling_enabled()) {
     std::string rec;
@@ -560,6 +775,24 @@ Status FileSystem::WaitForIndexing() {
   }
   lazy_indexer_->Drain();
   return lazy_indexer_->first_error();
+}
+
+Status FileSystem::WaitForTagIndexing() {
+  if (tag_indexer_ == nullptr) {
+    return Status::Ok();
+  }
+  return tag_indexer_->Drain();
+}
+
+std::vector<std::pair<ObjectId, TagValue>> FileSystem::PendingIndexIntents() const {
+  std::vector<std::pair<ObjectId, TagValue>> out;
+  if (tag_indexer_ == nullptr) {
+    return out;
+  }
+  for (const LazyTagIndexer::Op& op : tag_indexer_->SnapshotUnapplied()) {
+    out.emplace_back(op.oid, op.name);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------- access

@@ -35,6 +35,7 @@
 #include "src/common/sharded_lock.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
+#include "src/core/lazy_tag_indexer.h"
 #include "src/fulltext/fulltext.h"
 #include "src/index/index_store.h"
 #include "src/osd/osd.h"
@@ -51,6 +52,15 @@ struct FileSystemOptions {
   osd::OsdOptions osd;
   // Background full-text indexing workers; 0 indexes synchronously in IndexContent.
   int lazy_indexing_threads = 2;
+  // Lazy TAG indexing (§3.4 generalized to the namespace itself): tag mutations journal
+  // an intent, update the reverse map inline, and return; a background worker applies
+  // the forward posting-store updates in sorted bulk batches. Readers choose per query
+  // between strict (wait for the horizon) and relaxed (current postings) visibility via
+  // query::FindOptions::visibility. Acknowledged intents survive crashes: recovery
+  // rebuilds the unapplied queue from the journal and the checkpoint's pending set.
+  bool lazy_tag_indexing = false;
+  // Bound on acknowledged-but-unapplied tag intents; mutators block past it.
+  size_t tag_intent_queue_capacity = 4096;
 };
 
 class SearchCursor;
@@ -143,6 +153,21 @@ class FileSystem {
   // Drain the lazy indexer (no-op when synchronous). Returns the first indexing error.
   Status WaitForIndexing();
 
+  // Drain the lazy TAG indexer: wait until every tag intent acknowledged before the
+  // call is applied to the posting stores. No-op with inline indexing. Returns the
+  // indexer's sticky first application error.
+  Status WaitForTagIndexing();
+
+  // Tag intents journaled/acknowledged but not yet applied to the posting stores
+  // (queue + in-flight), for fsck's orphan suppression. Empty with inline indexing.
+  std::vector<std::pair<ObjectId, TagValue>> PendingIndexIntents() const;
+
+  // True when this filesystem defers forward posting updates to the background worker.
+  bool lazy_tag_indexing() const { return tag_indexer_ != nullptr; }
+
+  // Crash/concurrency test support: pin the indexer queue in a chosen drain state.
+  LazyTagIndexer* tag_indexer_for_testing() { return tag_indexer_.get(); }
+
   // ---- Access interfaces (§3.1.2) ----
 
   Status Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const;
@@ -186,12 +211,32 @@ class FileSystem {
   Status CommitBatch(const std::vector<BatchOp>& ops);
 
   // Apply one foreign journal record (shared by live journaling and crash replay).
+  // Index-intent records (lazy mode) replay their reverse-map half inline and append
+  // the deferred forward half to `recovered` (applied fully inline when null).
   static Status ApplyNamespaceRecord(osd::Osd* volume, index::IndexCollection* indexes,
-                                     Slice payload);
+                                     Slice payload,
+                                     std::vector<BatchOp>* recovered = nullptr);
 
   // Replay one add/remove association (single-tag records and batch sub-records).
   static Status ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes, uint8_t op,
                             ObjectId oid, const TagValue& name);
+
+  // Replay the reverse-map half of one index intent (the inline half of the lazy
+  // write path; the forward half is what `recovered` carries out of replay).
+  static Status ReplayIntentReverse(osd::Osd* volume, index::IndexCollection* indexes,
+                                    uint8_t op, ObjectId oid, const TagValue& name);
+
+  // Serialize ops as one kNsIndexIntent journal payload.
+  static std::string EncodeIntentRecord(const std::vector<BatchOp>& ops);
+
+  // Post-recovery hand-off: seed the background queue (lazy) or apply the deferred
+  // forward updates inline (non-lazy), then install the live checkpoint provider.
+  Status AdoptRecoveredIntents(std::vector<BatchOp> recovered);
+
+  // Lazy-mode body of AddTagValidated/RemoveTag/CommitBatch: reserve queue slots,
+  // journal ONE intent record with the enqueue riding the same journal-lock hold, then
+  // apply the reverse-map half inline. Caller holds every involved tag shard.
+  Status JournalAndEnqueueIntents(const std::vector<BatchOp>& ops);
 
   // AddTag minus the tag/store/existence validation, for callers (Create) that have
   // already established those invariants.
@@ -225,6 +270,7 @@ class FileSystem {
   std::unique_ptr<index::IndexCollection> indexes_;
   std::unique_ptr<query::QueryEngine> query_engine_;
   std::unique_ptr<fulltext::LazyIndexer> lazy_indexer_;
+  std::unique_ptr<LazyTagIndexer> tag_indexer_;  // Null unless lazy_tag_indexing.
 
   mutable ShardedMutex<kTagShards> tag_mu_;
   std::array<ReverseShard, kTagShards> reverse_;

@@ -1,9 +1,25 @@
 #include "src/core/fsck.h"
 
+#include <set>
+
 #include "src/index/index_store.h"
 
 namespace hfad {
 namespace core {
+
+namespace {
+
+// Key for the pending-intent suppression set: (oid, tag, value).
+std::string PendingKey(ObjectId oid, const TagValue& name) {
+  std::string key = std::to_string(oid);
+  key.push_back('\0');
+  key += name.tag;
+  key.push_back('\0');
+  key += name.value;
+  return key;
+}
+
+}  // namespace
 
 std::string FsckReport::ToString() const {
   std::string out = "fsck: " + std::to_string(objects_checked) + " objects, " +
@@ -24,15 +40,36 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
   osd::Osd* volume = fs->volume();
   index::IndexCollection* indexes = fs->indexes();
 
-  // 1. Every object's data structures are internally consistent.
+  // 1. Every object's data structures are internally consistent. Snapshot the oid list
+  // first: CheckObject takes an object-shard lock, and mutators hold that lock while
+  // updating the object table, so probing from inside ScanObjects' table lock would
+  // invert the order (deadlock hazard when fsck runs beside live traffic).
+  std::vector<ObjectId> oids;
   HFAD_RETURN_IF_ERROR(volume->ScanObjects([&](ObjectId oid, const osd::ObjectMeta&) {
+    oids.push_back(oid);
+    return true;
+  }));
+  for (ObjectId oid : oids) {
     report.objects_checked++;
     Status s = volume->CheckObject(oid);
+    if (s.IsNotFound()) {
+      continue;  // Deleted between snapshot and probe.
+    }
     if (!s.ok()) {
       report.problems.push_back("object " + std::to_string(oid) + ": " + s.ToString());
     }
-    return true;
-  }));
+  }
+
+  // Under lazy tag indexing the forward postings legitimately trail the reverse map by
+  // exactly the acknowledged-but-unapplied intents. Snapshot that set ONCE, before
+  // phases 2 and 3 probe anything: the background worker may apply ops mid-scan, and a
+  // pre-phase snapshot can only over-suppress a transiently-stale pair, never report a
+  // phantom orphan. Pairs with any pending intent (add or remove) are skipped in both
+  // directions.
+  std::set<std::string> pending;
+  for (const auto& [oid, name] : fs->PendingIndexIntents()) {
+    pending.insert(PendingKey(oid, name));
+  }
 
   // 2. Reverse map -> forward indexes: no dangling names.
   HFAD_RETURN_IF_ERROR(fs->ScanAllNames([&](ObjectId oid, const TagValue& name) {
@@ -49,7 +86,7 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
       return true;
     }
     auto has = store->Contains(name.value, oid);
-    if (!has.ok() || !*has) {
+    if ((!has.ok() || !*has) && pending.count(PendingKey(oid, name)) == 0) {
       report.problems.push_back("reverse name " + name.tag + ":" + name.value +
                                 " missing from forward index (object " +
                                 std::to_string(oid) + ")");
@@ -73,11 +110,16 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
     }
     for (const auto& [value, oid] : entries) {
       if (!volume->Exists(oid)) {
-        report.problems.push_back("index " + tag + " entry '" + value +
-                                  "' references dead object " + std::to_string(oid));
+        // A pending remove intent (Remove() on a lazy filesystem deletes the object
+        // before the worker strips its postings) is not an inconsistency.
+        if (pending.count(PendingKey(oid, {tag, value})) == 0) {
+          report.problems.push_back("index " + tag + " entry '" + value +
+                                    "' references dead object " + std::to_string(oid));
+        }
         continue;
       }
-      if (!fs->HasName(oid, {tag, value})) {
+      if (!fs->HasName(oid, {tag, value}) &&
+          pending.count(PendingKey(oid, {tag, value})) == 0) {
         report.problems.push_back("index " + tag + " entry '" + value +
                                   "' has no reverse name (object " + std::to_string(oid) +
                                   ")");

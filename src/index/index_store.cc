@@ -85,6 +85,20 @@ Result<std::unique_ptr<PostingIterator>> IndexStore::OpenPrefixPostings(
   return MakePrefixIterator(this, prefix.ToString(), stats);
 }
 
+Status IndexStore::ApplyBatch(const std::vector<std::pair<std::string, ObjectId>>& adds,
+                              const std::vector<std::pair<std::string, ObjectId>>& removes) {
+  for (const auto& [value, oid] : adds) {
+    HFAD_RETURN_IF_ERROR(Add(value, oid));
+  }
+  for (const auto& [value, oid] : removes) {
+    Status s = Remove(value, oid);
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
 // ---------------------------------------------------------------- KeyValueIndexStore
 
 KeyValueIndexStore::KeyValueIndexStore(osd::Osd* volume, std::string tag, uint64_t root)
@@ -140,6 +154,40 @@ Status KeyValueIndexStore::Remove(Slice value, ObjectId oid) {
     card_cache_.Erase(value.ToString());
   }
   postings_cache_.Erase(value.ToString());
+  return SyncRoot();
+}
+
+Status KeyValueIndexStore::ApplyBatch(
+    const std::vector<std::pair<std::string, ObjectId>>& adds,
+    const std::vector<std::pair<std::string, ObjectId>>& removes) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Sort the ENCODED entry keys, not (value, oid) pairs: the NUL value/oid delimiter
+  // makes pair order and key order disagree for values with embedded NUL.
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(adds.size());
+  for (const auto& [value, oid] : adds) {
+    entries.emplace_back(EntryKey(value, oid), std::string());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  HFAD_RETURN_IF_ERROR(tree_->BulkLoad(entries));
+  for (const auto& [value, oid] : removes) {
+    Status s = tree_->Delete(EntryKey(value, oid));
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+  }
+  // Per-value increments are not recoverable from an aggregate batch (adds may have
+  // been overwrites), so drop every touched value's cached cardinality and postings
+  // and let the next estimate/lookup rescan.
+  for (const auto& [value, oid] : adds) {
+    card_cache_.Erase(value);
+    postings_cache_.Erase(value);
+  }
+  for (const auto& [value, oid] : removes) {
+    card_cache_.Erase(value);
+    postings_cache_.Erase(value);
+  }
   return SyncRoot();
 }
 

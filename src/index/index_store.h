@@ -75,6 +75,14 @@ class IndexStore {
   // Remove one association. NotFound when absent.
   virtual Status Remove(Slice value, ObjectId oid) = 0;
 
+  // Apply a batch of deferred mutations — the background indexer's write path. Adds
+  // apply before removes; removing an absent association is NOT an error here (a
+  // deferred remove legitimately chases an add that was collapsed away). The default
+  // loops Add/Remove, correct for any plug-in store; KeyValueIndexStore overrides it
+  // with one lock acquisition and a sorted Btree::BulkLoad.
+  virtual Status ApplyBatch(const std::vector<std::pair<std::string, ObjectId>>& adds,
+                            const std::vector<std::pair<std::string, ObjectId>>& removes);
+
   // All objects associated with the value, ascending oid order.
   virtual Result<std::vector<ObjectId>> Lookup(Slice value) const = 0;
 
@@ -128,6 +136,10 @@ class KeyValueIndexStore : public IndexStore {
   std::string_view tag() const override { return tag_; }
   Status Add(Slice value, ObjectId oid) override;
   Status Remove(Slice value, ObjectId oid) override;
+  // One mu_ acquisition for the whole batch: adds become one sorted BulkLoad into the
+  // backing btree, removes a Delete loop, followed by a single root sync.
+  Status ApplyBatch(const std::vector<std::pair<std::string, ObjectId>>& adds,
+                    const std::vector<std::pair<std::string, ObjectId>>& removes) override;
   Result<std::vector<ObjectId>> Lookup(Slice value) const override;
   Result<bool> Contains(Slice value, ObjectId oid) const override;
   Result<uint64_t> EstimateCardinality(Slice value) const override;

@@ -31,6 +31,10 @@ constexpr uint8_t kRtCheckpointCommit = 202;
 // Reservation slack per op for btree page dirtying beyond the payload itself.
 constexpr uint64_t kOpEpilogueSlack = 64 * 1024;
 
+// Named root of the btree holding journaled-but-unapplied foreign payloads across a
+// checkpoint's journal reset (see SetUnappliedForeignProvider).
+constexpr char kPendingForeignRoot[] = "osd/pending-foreign";
+
 uint64_t NowNs() {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                    std::chrono::system_clock::now().time_since_epoch())
@@ -237,10 +241,51 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
     osd->next_oid_.store(osd->sb_.next_oid);
   }
 
+  osd->in_recovery_ = true;
+
+  // Feed the last checkpoint's persisted unapplied-foreign set through the replay hook
+  // BEFORE the logical suffix: those intents were journaled before every record the
+  // journal still holds, so per-key ordering is preserved.
+  {
+    auto raw = osd->named_roots_->Get(kPendingForeignRoot);
+    if (raw.ok()) {
+      if (raw->size() != 8) {
+        osd->in_recovery_ = false;
+        return Status::Corruption("bad pending-foreign root entry");
+      }
+      uint64_t proot = DecodeFixed64(reinterpret_cast<const uint8_t*>(raw->data()));
+      if (proot != 0) {
+        btree::BTree tree(osd->pager_.get(), osd->allocator_.get(), proot);
+        std::vector<std::string> payloads;
+        Status s = tree.Scan(Slice(), Slice(), [&](Slice, Slice value) {
+          payloads.push_back(value.ToString());
+          return true;
+        });
+        if (!s.ok()) {
+          osd->in_recovery_ = false;
+          return s;
+        }
+        if (!payloads.empty() && replay_foreign == nullptr) {
+          osd->in_recovery_ = false;
+          return Status::Corruption("persisted foreign intents but no replay hook");
+        }
+        for (const std::string& p : payloads) {
+          s = replay_foreign(osd.get(), Slice(p));
+          if (!s.ok()) {
+            osd->in_recovery_ = false;
+            return Status::Corruption("pending-foreign replay failed: " + s.ToString());
+          }
+        }
+      }
+    } else if (!raw.status().IsNotFound()) {
+      osd->in_recovery_ = false;
+      return raw.status();
+    }
+  }
+
   // Replay logical records past the last complete checkpoint, skipping any epilogue
   // prefix a torn later checkpoint attempt left behind (its page images are redundant
   // with the logical records already replayed).
-  osd->in_recovery_ = true;
   for (size_t i = replay_from; i < records.size(); i++) {
     const auto& [seq, payload] = records[i];
     if (!payload.empty()) {
@@ -439,8 +484,52 @@ Result<bool> Osd::EnsureJournalSpace(uint64_t record_bytes, uint64_t* reserved) 
                          std::to_string(record_bytes) + " bytes even after checkpoint");
 }
 
+Status Osd::PersistUnappliedForeign() {
+  UnappliedForeignFn provider;
+  {
+    std::lock_guard<std::mutex> lock(foreign_mu_);
+    provider = unapplied_foreign_;
+  }
+  if (!provider) {
+    // No layer defers application — or it has not mounted yet, in which case the tree
+    // still holds the last accurate snapshot and must not be cleared.
+    return Status::Ok();
+  }
+  std::vector<std::string> payloads = provider();
+  uint64_t root = 0;
+  auto raw = named_roots_->Get(kPendingForeignRoot);
+  if (raw.ok()) {
+    if (raw->size() != 8) {
+      return Status::Corruption("bad pending-foreign root entry");
+    }
+    root = DecodeFixed64(reinterpret_cast<const uint8_t*>(raw->data()));
+  } else if (!raw.status().IsNotFound()) {
+    return raw.status();
+  }
+  if (payloads.empty() && root == 0) {
+    return Status::Ok();  // Nothing pending and nothing persisted: zero overhead.
+  }
+  btree::BTree tree(pager_.get(), allocator_.get(), root);
+  HFAD_RETURN_IF_ERROR(tree.Clear());
+  for (size_t i = 0; i < payloads.size(); i++) {
+    // Big-endian index keys keep journal order under the btree's byte order.
+    HFAD_RETURN_IF_ERROR(tree.Put(OidKey(i), payloads[i]));
+  }
+  if (tree.root() != root) {
+    std::string value(8, '\0');
+    EncodeFixed64(reinterpret_cast<uint8_t*>(value.data()), tree.root());
+    HFAD_RETURN_IF_ERROR(named_roots_->Put(kPendingForeignRoot, value));
+  }
+  return Status::Ok();
+}
+
 Status Osd::CheckpointLocked() {
   // Callers hold volume_mu_ exclusively (or are single-threaded construction paths).
+  // Persist the unapplied foreign set FIRST: the rewritten btree pages are dirty by the
+  // time the epilogue below collects page images, so the snapshot commits (or not)
+  // atomically with this checkpoint — the journal reset at the end can then never
+  // orphan an acknowledged-but-unapplied intent.
+  HFAD_RETURN_IF_ERROR(PersistUnappliedForeign());
   if (options_.journaling) {
     HFAD_RETURN_IF_ERROR(journal_->Commit());
   }
@@ -528,6 +617,40 @@ Status Osd::AppendForeign(Slice payload) {
   }
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   return JournalRecord(rec, reserved);
+}
+
+Status Osd::AppendForeign(Slice payload, const std::function<void()>& with_lock) {
+  if (!options_.journaling) {
+    // No record to write, but the callback still needs the volume lock so its effect
+    // is atomic against a checkpoint's unapplied-foreign snapshot.
+    std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+    if (with_lock) {
+      with_lock();
+    }
+    return Status::Ok();
+  }
+  if (in_recovery_) {
+    return Status::Ok();  // Replay must not re-journal; recovery seeds the layer itself.
+  }
+  std::string rec;
+  rec.push_back(static_cast<char>(kRtForeign));
+  rec.append(payload.data(), payload.size());
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(rec.size(), &reserved));
+  if (!fits) {
+    return Status::InvalidArgument("foreign record too large for the journal");
+  }
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  HFAD_RETURN_IF_ERROR(JournalRecord(rec, reserved));
+  if (with_lock) {
+    with_lock();
+  }
+  return Status::Ok();
+}
+
+void Osd::SetUnappliedForeignProvider(UnappliedForeignFn fn) {
+  std::lock_guard<std::mutex> lock(foreign_mu_);
+  unapplied_foreign_ = std::move(fn);
 }
 
 // ---------------------------------------------------------------- replay

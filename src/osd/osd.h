@@ -196,6 +196,28 @@ class Osd {
   // like every other mutation).
   Status AppendForeign(Slice payload);
 
+  // Journal a higher-layer record and, on success, run `with_lock` while still holding
+  // the volume lock the append ran under — the atomic append+enqueue the lazy indexer
+  // needs: a checkpoint can never slip between the journal append and the enqueue and
+  // miss the intent in both the journal and the unapplied-foreign snapshot. With
+  // journaling off no record is written but the callback still runs under the volume
+  // lock (same atomicity against the checkpoint's snapshot). `with_lock` must never
+  // block on threads that take the volume lock (docs/CONCURRENCY.md).
+  Status AppendForeign(Slice payload, const std::function<void()>& with_lock);
+
+  // ---- Deferred application of foreign records (lazy indexing) ----
+  //
+  // A higher layer that defers applying its journaled records registers a provider
+  // returning the payloads still unapplied at the moment of the call. Every checkpoint
+  // persists that snapshot into a volume-resident btree (named root
+  // "osd/pending-foreign") inside the checkpoint's atomic page-image epilogue, so
+  // resetting the journal never orphans an acknowledged-but-unapplied record. Open()
+  // feeds the persisted set through `replay_foreign` BEFORE the journal's logical
+  // suffix (those records predate everything the journal still holds). A null provider
+  // (the default) leaves the persisted set untouched.
+  using UnappliedForeignFn = std::function<std::vector<std::string>()>;
+  void SetUnappliedForeignProvider(UnappliedForeignFn fn);
+
   // True while Open() is replaying the journal. Higher layers use this to suppress
   // re-journaling during their own replay.
   bool in_recovery() const { return in_recovery_; }
@@ -241,6 +263,12 @@ class Osd {
 
   Status CheckpointLocked();
 
+  // Rewrite the pending-foreign btree from the registered provider's snapshot. Called
+  // at the top of CheckpointLocked (volume lock exclusive), so the rewritten pages ride
+  // the checkpoint's own epilogue. Accesses named_roots_ directly — Get/SetNamedRoot
+  // take volume_mu_ shared and would deadlock under the exclusive hold.
+  Status PersistUnappliedForeign();
+
   // Apply one journal record during recovery (type dispatch).
   Status ReplayRecord(Slice payload, const ForeignReplayFn& replay_foreign);
 
@@ -282,6 +310,11 @@ class Osd {
 
   std::atomic<uint64_t> next_oid_{1};
   bool in_recovery_ = false;
+
+  // Unapplied-foreign provider (SetUnappliedForeignProvider). Guarded by foreign_mu_
+  // so installation can race checkpoints safely.
+  std::mutex foreign_mu_;
+  UnappliedForeignFn unapplied_foreign_;
 
   // Background checkpointer state (StartCheckpointThread).
   std::thread checkpoint_thread_;

@@ -78,6 +78,18 @@ Result<std::unique_ptr<Expr>> Parse(Slice text);
 // Canonical text form (parenthesized), for tests and debugging.
 std::string ToString(const Expr& expr);
 
+// Read-visibility contract for one Find call under lazy background indexing (see
+// docs/API.md). With inline indexing the two modes are indistinguishable.
+enum class Visibility {
+  // Wait until the background indexer has applied every tag intent enqueued before the
+  // call for the tags this query touches (the per-tag applied-sequence horizon), then
+  // execute. Every previously acknowledged mutation is visible.
+  kStrict,
+  // Execute against the postings as they are right now. Acknowledged-but-unapplied tag
+  // mutations may be missing; no waiting, the ingest-side win of lazy indexing.
+  kRelaxed,
+};
+
 // Pagination and accounting for one Find/Evaluate call.
 struct FindOptions {
   // Maximum ids returned; 0 means unlimited.
@@ -89,6 +101,9 @@ struct FindOptions {
   ObjectId after = 0;
   // Optional work counters, filled during execution.
   PlanStats* stats = nullptr;
+  // Index visibility under lazy background indexing; ignored (always effectively
+  // strict) when the filesystem indexes inline.
+  Visibility visibility = Visibility::kStrict;
 };
 
 // One page of results (ascending oid).

@@ -348,6 +348,103 @@ INSTANTIATE_TEST_SUITE_P(
                       WorkloadParam{4, 3000, 9000, 800},    // All overflow values.
                       WorkloadParam{5, 1, 9000, 2000}));    // Mixed.
 
+// ---------------------------------------------------------------- BulkLoad
+
+TEST_F(BTreeTest, BulkLoadIntoEmptyTreeMatchesPuts) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 5000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    entries.emplace_back(key, "v" + std::to_string(i));
+  }
+  uint64_t inserted = 0;
+  ASSERT_TRUE(tree_.BulkLoad(entries, &inserted).ok());
+  EXPECT_EQ(inserted, entries.size());
+  EXPECT_EQ(tree_.Count(), entries.size());
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  for (const auto& [k, v] : entries) {
+    auto got = tree_.Get(k);
+    ASSERT_TRUE(got.ok()) << k;
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST_F(BTreeTest, BulkLoadRejectsOutOfOrderBeforeMutating) {
+  ASSERT_TRUE(tree_.Put("existing", "x").ok());
+  std::vector<std::pair<std::string, std::string>> bad = {
+      {"b", "1"}, {"a", "2"}};
+  EXPECT_TRUE(tree_.BulkLoad(bad).IsInvalidArgument());
+  // Nothing was applied.
+  EXPECT_EQ(tree_.Count(), 1u);
+  EXPECT_FALSE(tree_.Contains("b"));
+  std::string big_key(1024, 'k');
+  std::vector<std::pair<std::string, std::string>> oversize = {{big_key, "v"}};
+  EXPECT_TRUE(tree_.BulkLoad(oversize).IsInvalidArgument());
+}
+
+TEST_F(BTreeTest, BulkLoadAdjacentDuplicatesLastWins) {
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"a", "first"}, {"a", "second"}, {"b", "only"}, {"c", "one"}, {"c", "two"}};
+  uint64_t inserted = 0;
+  ASSERT_TRUE(tree_.BulkLoad(entries, &inserted).ok());
+  EXPECT_EQ(inserted, 3u);
+  EXPECT_EQ(tree_.Count(), 3u);
+  EXPECT_EQ(*tree_.Get("a"), "second");
+  EXPECT_EQ(*tree_.Get("c"), "two");
+}
+
+TEST_F(BTreeTest, BulkLoadOverwritesAndInterleavesWithExistingKeys) {
+  // Seed via Put, then bulk-load a run that interleaves fresh keys with overwrites.
+  for (int i = 0; i < 1000; i += 2) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    ASSERT_TRUE(tree_.Put(key, "old").ok());
+  }
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int i = 0; i < 1000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    entries.emplace_back(key, "new" + std::to_string(i));
+  }
+  uint64_t inserted = 0;
+  ASSERT_TRUE(tree_.BulkLoad(entries, &inserted).ok());
+  EXPECT_EQ(inserted, 500u);  // The odd keys; evens were overwrites.
+  EXPECT_EQ(tree_.Count(), 1000u);
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  for (int i = 0; i < 1000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%04d", i);
+    EXPECT_EQ(*tree_.Get(key), "new" + std::to_string(i));
+  }
+}
+
+TEST_F(BTreeTest, BulkLoadOverflowValuesAndScanOrder) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  Random rng(77);
+  for (int i = 0; i < 300; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "ov%06d", i);
+    // Straddle the inline/overflow boundary.
+    entries.emplace_back(key, rng.NextString(1200 + rng.Uniform(800)));
+  }
+  ASSERT_TRUE(tree_.BulkLoad(entries).ok());
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  size_t i = 0;
+  ASSERT_TRUE(tree_.Scan("", "", [&](Slice k, Slice v) {
+    EXPECT_EQ(k.ToString(), entries[i].first);
+    EXPECT_EQ(v.ToString(), entries[i].second);
+    i++;
+    return true;
+  }).ok());
+  EXPECT_EQ(i, entries.size());
+  // Overwriting an overflow value through BulkLoad frees the old extent cleanly.
+  std::vector<std::pair<std::string, std::string>> overwrite = {
+      {"ov000000", "short now"}};
+  ASSERT_TRUE(tree_.BulkLoad(overwrite).ok());
+  EXPECT_EQ(*tree_.Get("ov000000"), "short now");
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+}
+
 }  // namespace
 }  // namespace btree
 }  // namespace hfad

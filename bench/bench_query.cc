@@ -4,6 +4,8 @@
 // per tag). Baseline lives in BENCH_query.json; numbers in docs/BENCHMARKS.md.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -198,4 +200,25 @@ BENCHMARK(BM_Mutate_CreateWithNames)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus an optional metrics dump: with HFAD_DUMP_METRICS=<path> the
+// run's FileSystem::DumpMetrics() JSON lands there after the benchmarks finish (CI
+// validates it against the documented schema via tools/check_metrics_schema.py).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("HFAD_DUMP_METRICS")) {
+    std::string doc = Fixture()->fs->DumpMetrics();
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for metrics dump\n", path);
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
 
 namespace hfad {
@@ -194,6 +195,35 @@ class ShardedMutex {
     return n;
   }
 
+  // One shard's counters, for DumpMetrics-style reporting.
+  struct ShardStat {
+    size_t shard = 0;
+    uint64_t acquisitions = 0;
+    uint64_t contentions = 0;
+  };
+
+  // The n most contended shards, descending by contention count (ties broken by
+  // shard index). Shards with zero contentions are omitted, so a well-striped
+  // lock legitimately reports an empty list.
+  std::vector<ShardStat> TopContended(size_t n) const {
+    std::vector<ShardStat> all;
+    for (size_t i = 0; i < kShards; i++) {
+      uint64_t c = shards_[i].contentions.load(std::memory_order_relaxed);
+      if (c == 0) {
+        continue;
+      }
+      all.push_back({i, shards_[i].acquisitions.load(std::memory_order_relaxed), c});
+    }
+    std::sort(all.begin(), all.end(), [](const ShardStat& a, const ShardStat& b) {
+      return a.contentions != b.contentions ? a.contentions > b.contentions
+                                            : a.shard < b.shard;
+    });
+    if (all.size() > n) {
+      all.resize(n);
+    }
+    return all;
+  }
+
  private:
   // A shard gets its own cache line so uncontended acquisitions on neighbouring shards
   // do not false-share.
@@ -243,6 +273,29 @@ class ShardedMutex {
 
   mutable std::array<Shard, kShards> shards_;
 };
+
+// Emit one lock's stats as a named JSON object into an open "locks" object:
+//   "<name>": {"total_acquisitions": .., "total_contentions": ..,
+//              "top_contended": [{"shard": i, "acquisitions": .., "contentions": ..}]}
+// Shared by the DumpMetrics() implementations so every striped lock reports the
+// same shape.
+template <size_t N>
+void WriteLockStatsJson(metrics::JsonWriter* w, std::string_view name,
+                        const ShardedMutex<N>& mu, size_t top_n = 4) {
+  w->Key(name).BeginObject();
+  w->Key("total_acquisitions").Value(mu.total_acquisitions());
+  w->Key("total_contentions").Value(mu.total_contentions());
+  w->Key("top_contended").BeginArray();
+  for (const auto& st : mu.TopContended(top_n)) {
+    w->BeginObject();
+    w->Key("shard").Value(static_cast<uint64_t>(st.shard));
+    w->Key("acquisitions").Value(st.acquisitions);
+    w->Key("contentions").Value(st.contentions);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
 
 // A hash map striped over a ShardedMutex: point operations lock exactly one stripe, so
 // lookups and inserts on different stripes proceed fully in parallel.

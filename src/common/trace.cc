@@ -1,0 +1,136 @@
+#include "src/common/trace.h"
+
+namespace hfad {
+namespace trace {
+
+void SetSampleEvery(uint32_t n) {
+  internal::g_sample_every.store(n, std::memory_order_relaxed);
+}
+
+uint32_t SampleEvery() {
+  return internal::g_sample_every.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void PublishSpan(const char* name, uint64_t op_id, uint32_t depth,
+                 uint64_t start_ns, uint64_t duration_ns,
+                 const stats::Snapshot& before) {
+  stats::Snapshot after = stats::Snapshot::Take();
+  stats::Snapshot delta = after.Delta(before);
+  uint64_t idx = g_next_slot.fetch_add(1, std::memory_order_relaxed) % kRingSize;
+  Slot& s = g_ring[idx];
+  // Odd version = mid-publish; readers discard the slot. Release on the opening
+  // bump and acquire-side pairing is unnecessary here — all fields are atomics,
+  // so torn *fields* are impossible and a torn *span* (two writers wrapping onto
+  // the same slot) is tolerated by design.
+  s.version.fetch_add(1, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.op_id.store(op_id, std::memory_order_relaxed);
+  s.depth.store(depth, std::memory_order_relaxed);
+  s.start_ns.store(start_ns, std::memory_order_relaxed);
+  s.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  s.d_traversals.store(delta[stats::Counter::kIndexTraversals],
+                       std::memory_order_relaxed);
+  s.d_page_reads.store(delta[stats::Counter::kPageReads],
+                       std::memory_order_relaxed);
+  s.d_pager_hits.store(delta[stats::Counter::kPagerHits],
+                       std::memory_order_relaxed);
+  s.d_journal_commits.store(delta[stats::Counter::kJournalCommits],
+                            std::memory_order_relaxed);
+  s.version.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
+OpScope::OpScope(const char* name) : name_(name) {
+  using internal::g_tls;
+  if (g_tls.armed) {
+    // Nested operation (SearchText calling Find): record as a child span.
+    recording_ = true;
+    g_tls.depth++;
+    start_ns_ = internal::NowNs();
+    before_ = stats::Snapshot::Take();
+    return;
+  }
+  uint32_t every = internal::g_sample_every.load(std::memory_order_relaxed);
+  if (every == 0) {
+    return;
+  }
+  if (every > 1 &&
+      internal::g_sample_counter.fetch_add(1, std::memory_order_relaxed) %
+              every !=
+          0) {
+    return;
+  }
+  recording_ = true;
+  root_ = true;
+  g_tls.armed = true;
+  g_tls.op_id = internal::g_op_counter.fetch_add(1, std::memory_order_relaxed);
+  g_tls.depth = 0;
+  start_ns_ = internal::NowNs();
+  before_ = stats::Snapshot::Take();
+}
+
+OpScope::~OpScope() {
+  using internal::g_tls;
+  if (!recording_) {
+    return;
+  }
+  uint64_t dur = internal::NowNs() - start_ns_;
+  if (root_) {
+    internal::PublishSpan(name_, g_tls.op_id, 0, start_ns_, dur, before_);
+    g_tls.armed = false;
+    g_tls.depth = 0;
+  } else {
+    g_tls.depth--;
+    internal::PublishSpan(name_, g_tls.op_id, g_tls.depth + 1, start_ns_, dur,
+                          before_);
+  }
+}
+
+std::vector<SpanRecord> DumpRecent(size_t max_spans) {
+  using internal::g_ring;
+  if (max_spans == 0 || max_spans > kRingSize) {
+    max_spans = kRingSize;
+  }
+  std::vector<SpanRecord> out;
+  out.reserve(max_spans);
+  uint64_t next = internal::g_next_slot.load(std::memory_order_relaxed);
+  // Walk backwards from the most recently claimed slot.
+  for (size_t step = 1; step <= kRingSize && out.size() < max_spans; step++) {
+    uint64_t pos = next + kRingSize - step;  // next-1, next-2, ... (mod ring)
+    internal::Slot& s = g_ring[pos % kRingSize];
+    uint64_t v1 = s.version.load(std::memory_order_relaxed);
+    if (v1 == 0 || (v1 & 1) != 0) {
+      continue;  // Never written, or a writer is mid-publish.
+    }
+    SpanRecord r;
+    const char* name = s.name.load(std::memory_order_relaxed);
+    r.name = name ? name : "?";
+    r.op_id = s.op_id.load(std::memory_order_relaxed);
+    r.depth = s.depth.load(std::memory_order_relaxed);
+    r.start_ns = s.start_ns.load(std::memory_order_relaxed);
+    r.duration_ns = s.duration_ns.load(std::memory_order_relaxed);
+    r.index_traversals = s.d_traversals.load(std::memory_order_relaxed);
+    r.page_reads = s.d_page_reads.load(std::memory_order_relaxed);
+    r.pager_hits = s.d_pager_hits.load(std::memory_order_relaxed);
+    r.journal_commits = s.d_journal_commits.load(std::memory_order_relaxed);
+    if (s.version.load(std::memory_order_relaxed) != v1) {
+      continue;  // Overwritten while copying.
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void ResetRing() {
+  for (auto& s : internal::g_ring) {
+    s.version.store(0, std::memory_order_relaxed);
+    s.name.store(nullptr, std::memory_order_relaxed);
+  }
+  internal::g_next_slot.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace trace
+}  // namespace hfad

@@ -1,0 +1,160 @@
+// Sampled operation tracing: attributes cost to *individual* operations, where
+// stats.h/metrics.h aggregate. A sampled op (1-in-N, configurable) carries a
+// thread-local trace context through the layers it crosses — FileSystem entry
+// point → query planner → posting iterators → pager → journal commit — and each
+// instrumented section publishes a span (name, op id, depth, start, duration,
+// counter deltas) into a fixed-size lock-free ring readable at any time with
+// DumpRecent().
+//
+// Concurrency model: every slot field is a relaxed atomic plus a per-slot
+// version counter (odd while a writer is mid-publish), so readers never race
+// writers in the TSan sense. A reader that observes a version change mid-copy
+// discards the slot; a slot reclaimed by two wrapping writers at once may carry
+// a torn span, which is acceptable for a diagnostic ring and flagged by the
+// version check in the common case.
+#ifndef HFAD_SRC_COMMON_TRACE_H_
+#define HFAD_SRC_COMMON_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace hfad {
+namespace trace {
+
+constexpr size_t kRingSize = 4096;
+
+// A completed span copied out of the ring.
+struct SpanRecord {
+  std::string name;
+  uint64_t op_id = 0;       // Groups spans belonging to one sampled operation.
+  uint32_t depth = 0;       // 0 = operation root, children nest below.
+  uint64_t start_ns = 0;    // steady_clock nanoseconds (process-relative).
+  uint64_t duration_ns = 0;
+  // Counter deltas over the span, from this thread's perspective. Concurrent
+  // threads bump the same globals, so under load these are attributions of
+  // *system* activity during the span, not exact per-op costs.
+  uint64_t index_traversals = 0;
+  uint64_t page_reads = 0;
+  uint64_t pager_hits = 0;
+  uint64_t journal_commits = 0;
+};
+
+namespace internal {
+
+struct Slot {
+  std::atomic<uint64_t> version{0};  // Odd while being written.
+  std::atomic<const char*> name{nullptr};  // Always a string literal.
+  std::atomic<uint64_t> op_id{0};
+  std::atomic<uint32_t> depth{0};
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> duration_ns{0};
+  std::atomic<uint64_t> d_traversals{0};
+  std::atomic<uint64_t> d_page_reads{0};
+  std::atomic<uint64_t> d_pager_hits{0};
+  std::atomic<uint64_t> d_journal_commits{0};
+};
+
+inline std::array<Slot, kRingSize> g_ring{};
+inline std::atomic<uint64_t> g_next_slot{0};
+inline std::atomic<uint64_t> g_op_counter{0};
+
+// 0 = tracing off, 1 = every op, N = one op in N. Default: 1-in-64.
+inline std::atomic<uint32_t> g_sample_every{64};
+inline std::atomic<uint64_t> g_sample_counter{0};
+
+// Per-thread context: set by the root OpScope of a sampled operation, read by
+// every SpanScope below it. Not armed → SpanScope costs one TLS load + branch.
+struct TlsContext {
+  bool armed = false;
+  uint64_t op_id = 0;
+  uint32_t depth = 0;
+};
+inline thread_local TlsContext g_tls;
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void PublishSpan(const char* name, uint64_t op_id, uint32_t depth,
+                 uint64_t start_ns, uint64_t duration_ns,
+                 const stats::Snapshot& before);
+
+}  // namespace internal
+
+// Configure sampling: 0 disables tracing, 1 traces every operation, N traces
+// one operation in N. Takes effect for operations that start afterwards.
+void SetSampleEvery(uint32_t n);
+uint32_t SampleEvery();
+
+// True if the current thread is inside a sampled operation (used by call sites
+// that want to skip snapshot work when no span will be recorded).
+inline bool Active() { return internal::g_tls.armed; }
+
+// Root scope for one logical operation (Create, Find, an indexer drain...).
+// Makes the sampling decision; when sampled, arms the thread-local context so
+// nested SpanScopes record, and publishes its own depth-0 span at destruction.
+// Nested OpScopes (e.g. Find called from SearchText) behave as child spans.
+class OpScope {
+ public:
+  explicit OpScope(const char* name);
+  ~OpScope();
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  const char* name_;
+  bool recording_ = false;
+  bool root_ = false;  // This scope armed the context (vs. nested in one).
+  uint64_t start_ns_ = 0;
+  stats::Snapshot before_;
+};
+
+// Child scope: records a span only when the thread's context is armed.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) : name_(name) {
+    if (internal::g_tls.armed) {
+      recording_ = true;
+      internal::g_tls.depth++;
+      start_ns_ = internal::NowNs();
+      before_ = stats::Snapshot::Take();
+    }
+  }
+  ~SpanScope() {
+    if (recording_) {
+      uint64_t dur = internal::NowNs() - start_ns_;
+      internal::g_tls.depth--;
+      internal::PublishSpan(name_, internal::g_tls.op_id,
+                            internal::g_tls.depth + 1, start_ns_, dur, before_);
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  bool recording_ = false;
+  uint64_t start_ns_ = 0;
+  stats::Snapshot before_;
+};
+
+// Copy the most recent completed spans out of the ring, newest first, at most
+// max_spans (0 = the whole ring). Slots caught mid-write are skipped.
+std::vector<SpanRecord> DumpRecent(size_t max_spans = 0);
+
+// Clear the ring (benchmark/test setup).
+void ResetRing();
+
+}  // namespace trace
+}  // namespace hfad
+
+#endif  // HFAD_SRC_COMMON_TRACE_H_

@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "src/common/coding.h"
+#include "src/common/metrics.h"
+#include "src/common/stats.h"
+#include "src/common/trace.h"
 
 namespace hfad {
 namespace core {
@@ -417,6 +420,8 @@ Result<std::unique_ptr<index::PostingIterator>> FileSystem::OpenQuery(
 
 Result<query::FindPage> FileSystem::Find(const query::Expr& expr,
                                          const query::FindOptions& options) const {
+  metrics::ScopedLatency latency(metrics::Hist::kFind);
+  trace::OpScope op("find");
   // Strict visibility under lazy tag indexing: wait out the applied-sequence horizon
   // of every tag the query touches before planning, so any mutation acknowledged
   // before this call is in the postings the plan reads. Relaxed skips straight to the
@@ -428,8 +433,32 @@ Result<query::FindPage> FileSystem::Find(const query::Expr& expr,
     tags.erase(std::unique(tags.begin(), tags.end()), tags.end());
     HFAD_RETURN_IF_ERROR(tag_indexer_->WaitForTags(tags));
   }
-  HFAD_ASSIGN_OR_RETURN(auto it, query_engine_->planner().Plan(expr, options.stats));
-  return query::Paginate(it.get(), options);
+  if (options.explain == nullptr) {
+    HFAD_ASSIGN_OR_RETURN(auto it, query_engine_->planner().Plan(expr, options.stats));
+    return query::Paginate(it.get(), options);
+  }
+  // EXPLAIN: plan with node annotation, execute with whole-plan stats on the root, and
+  // capture the counter deltas BEFORE the analyze pass — its extra index reads must not
+  // pollute the reported pages_read / index_traversals.
+  query::Explain* explain = options.explain;
+  explain->root = query::PlanNode{};
+  explain->planner_optimized = true;
+  const stats::Snapshot before = stats::Snapshot::Take();
+  HFAD_ASSIGN_OR_RETURN(
+      auto it, query_engine_->planner().Plan(expr, &explain->root.stats, &explain->root));
+  Result<query::FindPage> page = query::Paginate(it.get(), options);
+  const stats::Snapshot delta = stats::Snapshot::Take().Delta(before);
+  explain->root.pages_read = delta[stats::Counter::kPageReads];
+  explain->root.index_traversals = delta[stats::Counter::kIndexTraversals];
+  if (options.stats != nullptr) {
+    options.stats->index_lookups += explain->root.stats.index_lookups;
+    options.stats->rows_scanned += explain->root.stats.rows_scanned;
+    options.stats->intermediate_rows += explain->root.stats.intermediate_rows;
+    options.stats->membership_probes += explain->root.stats.membership_probes;
+    options.stats->early_exit = options.stats->early_exit || explain->root.stats.early_exit;
+  }
+  HFAD_RETURN_IF_ERROR(query_engine_->planner().AnalyzeActuals(expr, &explain->root));
+  return page;
 }
 
 Result<query::FindPage> FileSystem::Find(Slice query_text,
@@ -453,6 +482,15 @@ Result<std::vector<ObjectId>> FileSystem::Query(Slice query_text) const {
 
 Result<std::vector<fulltext::SearchHit>> FileSystem::SearchText(
     const std::vector<std::string>& terms, size_t limit) const {
+  SearchTextOptions options;
+  options.limit = limit;
+  return SearchText(terms, options);
+}
+
+Result<std::vector<fulltext::SearchHit>> FileSystem::SearchText(
+    const std::vector<std::string>& terms, const SearchTextOptions& options) const {
+  metrics::ScopedLatency latency(metrics::Hist::kSearchText);
+  trace::OpScope op("search_text");
   if (terms.empty()) {
     return Status::InvalidArgument("empty search");
   }
@@ -479,10 +517,12 @@ Result<std::vector<fulltext::SearchHit>> FileSystem::SearchText(
   }
   std::unique_ptr<query::Expr> expr =
       children.size() == 1 ? std::move(children[0]) : query::Expr::And(std::move(children));
-  HFAD_ASSIGN_OR_RETURN(query::FindPage page, Find(*expr));
+  query::FindOptions find_options;
+  find_options.visibility = options.visibility;
+  HFAD_ASSIGN_OR_RETURN(query::FindPage page, Find(*expr, find_options));
   const auto* ft =
       static_cast<const index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
-  return ft->engine()->ScoreDocuments(normalized, page.ids, limit);
+  return ft->engine()->ScoreDocuments(normalized, page.ids, options.limit);
 }
 
 SearchCursor FileSystem::OpenCursor() const { return SearchCursor(this); }
@@ -492,6 +532,8 @@ NamespaceBatch FileSystem::NewBatch() { return NamespaceBatch(this); }
 // ---------------------------------------------------------------- lifecycle
 
 Result<ObjectId> FileSystem::Create(const std::vector<TagValue>& names) {
+  metrics::ScopedLatency latency(metrics::Hist::kCreate);
+  trace::OpScope op("create");
   for (const TagValue& name : names) {
     if (!TaggableTag(name.tag)) {
       return Status::InvalidArgument("tag '" + name.tag + "' cannot be assigned manually");
@@ -563,6 +605,8 @@ Status FileSystem::RemoveTagApply(ObjectId oid, const TagValue& name) {
 }
 
 Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
+  metrics::ScopedLatency latency(metrics::Hist::kAddTag);
+  trace::OpScope op("add_tag");
   if (!TaggableTag(name.tag)) {
     return Status::InvalidArgument("tag '" + name.tag +
                                    "' cannot be assigned manually (use IndexContent for "
@@ -595,6 +639,8 @@ Status FileSystem::AddTagValidated(ObjectId oid, const TagValue& name) {
 }
 
 Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
+  metrics::ScopedLatency latency(metrics::Hist::kRemoveTag);
+  trace::OpScope op("remove_tag");
   if (indexes_->store(name.tag) == nullptr) {
     return Status::NotFound("no index store for tag '" + name.tag + "'");
   }
@@ -623,6 +669,8 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
   if (ops.empty()) {
     return Status::Ok();
   }
+  metrics::ScopedLatency latency(metrics::Hist::kBatchCommit);
+  trace::OpScope op("batch_commit");
   std::vector<uint64_t> oids;
   oids.reserve(ops.size());
   for (const BatchOp& op : ops) {
@@ -825,6 +873,48 @@ Status FileSystem::Sync() { return osd_->Sync(); }
 
 Status FileSystem::Checkpoint() { return osd_->Checkpoint(); }
 
+// ---------------------------------------------------------------- observability
+
+std::string FileSystem::DumpMetrics() const {
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(uint64_t{1});
+  w.Key("scope").Value("filesystem");
+  metrics::WriteCountersJson(&w);
+  metrics::WriteHistogramsJson(&w);
+
+  w.Key("gauges").BeginObject();
+  w.Key("journal_occupancy_pct").Value(osd_->journal_occupancy() * 100.0);
+  w.Key("journal_pending_records").Value(osd_->journal_pending_records());
+  w.Key("pager_resident_pages").Value(static_cast<uint64_t>(osd_->pager()->cached_pages()));
+  w.Key("pager_dirty_pages").Value(static_cast<uint64_t>(osd_->pager()->dirty_pages()));
+  w.Key("indexer_queue_depth")
+      .Value(static_cast<uint64_t>(tag_indexer_ != nullptr ? tag_indexer_->PendingCount() : 0));
+  w.Key("checkpointer_state").Value(static_cast<int64_t>(osd_->checkpointer_state()));
+  w.Key("object_count").Value(osd_->object_count());
+  w.EndObject();
+
+  w.Key("locks").BeginObject();
+  WriteLockStatsJson(&w, "tag_shards", tag_mu_);
+  w.Key("pager_stripes").BeginObject();
+  w.Key("total_acquisitions").Value(osd_->pager()->stripe_lock_acquisitions());
+  w.Key("total_contentions").Value(osd_->pager()->stripe_lock_contentions());
+  w.Key("top_contended").BeginArray();
+  for (const auto& st : osd_->pager()->TopContendedStripes(4)) {
+    w.BeginObject();
+    w.Key("shard").Value(static_cast<uint64_t>(st.stripe));
+    w.Key("acquisitions").Value(st.acquisitions);
+    w.Key("contentions").Value(st.contentions);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
 // ---------------------------------------------------------------- SearchCursor
 
 Status SearchCursor::Refine(const TagValue& term) {
@@ -869,6 +959,7 @@ Result<query::FindPage> SearchCursor::ResultsPage(const query::FindOptions& opti
 Result<std::vector<ObjectId>> SearchCursor::Results() const {
   query::FindOptions options;
   options.limit = kDefaultResultLimit;
+  options.visibility = visibility_;
   HFAD_ASSIGN_OR_RETURN(query::FindPage page, ResultsPage(options));
   return std::move(page.ids);
 }

@@ -110,8 +110,21 @@ class FileSystem {
   // Adapter: parse + Find, fully drained.
   Result<std::vector<ObjectId>> Query(Slice query_text) const;
 
+  // Options for SearchText (the full-text adapter's slice of FindOptions).
+  struct SearchTextOptions {
+    // Maximum hits returned; 0 means unlimited.
+    size_t limit = 0;
+    // Read visibility of the candidate query under lazy tag indexing (see
+    // query::Visibility); ignored with inline indexing.
+    query::Visibility visibility = query::Visibility::kStrict;
+  };
+
   // Ranked conjunctive full-text search (BM25). Adapter: the candidate set is the
   // planner's conjunction of FULLTEXT terms; BM25 scores the candidates.
+  Result<std::vector<fulltext::SearchHit>> SearchText(const std::vector<std::string>& terms,
+                                                      const SearchTextOptions& options) const;
+
+  // Legacy form; equivalent to SearchText(terms, {.limit = limit}).
   Result<std::vector<fulltext::SearchHit>> SearchText(const std::vector<std::string>& terms,
                                                       size_t limit = 0) const;
 
@@ -184,6 +197,14 @@ class FileSystem {
 
   Status Sync();
   Status Checkpoint();
+
+  // ---- Observability ----
+
+  // One stable-schema JSON document (docs/OBSERVABILITY.md): process-wide counters and
+  // latency histograms plus this filesystem's gauges (journal occupancy, pager resident/
+  // dirty pages, indexer queue depth, checkpointer state) and lock contention stats
+  // (tag shards, OSD object mutex, pager stripes — per-shard top-N included).
+  std::string DumpMetrics() const;
 
   // ---- Lower layers (for the POSIX shim, benches, and tests) ----
 
@@ -310,9 +331,15 @@ class SearchCursor {
 
   size_t depth() const { return path_.size(); }
 
+  // Read visibility used by Results(); ResultsPage callers carry their own choice in
+  // FindOptions::visibility. Meaningful only under lazy tag indexing (query::Visibility).
+  void set_visibility(query::Visibility v) { visibility_ = v; }
+  query::Visibility visibility() const { return visibility_; }
+
  private:
   const FileSystem* fs_;
   std::vector<TagValue> path_;
+  query::Visibility visibility_ = query::Visibility::kStrict;
 };
 
 // Staged namespace mutations applied as one atomic unit — the write-side half of the

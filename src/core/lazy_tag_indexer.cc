@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
 namespace hfad {
 namespace core {
 
@@ -155,6 +158,8 @@ void LazyTagIndexer::WorkerMain() {
 }
 
 Status LazyTagIndexer::ApplyOps(const std::vector<Op>& ops) {
+  metrics::ScopedLatency latency(metrics::Hist::kIndexerApply);
+  trace::OpScope op_scope("indexer_apply");
   // Collapse the FIFO batch to the LAST op per (tag, value, oid) — earlier ops are
   // superseded (add-then-remove nets to remove against a NotFound-tolerant store).
   // std::map keeps per-tag groups together and values pre-sorted for ApplyBatch's

@@ -269,12 +269,21 @@ Result<std::unique_ptr<PostingIterator>> BuildConjunction(std::vector<Conjunct> 
   std::vector<AndPostingIterator::Probe> probes;
   std::vector<std::unique_ptr<PostingIterator>> neg_iters;
   HFAD_ASSIGN_OR_RETURN(auto driver, open(positives[0]));
+  if (positives[0]->node != nullptr) {
+    positives[0]->node->planner_order = 0;  // The leapfrog driver.
+  }
   pos_iters.push_back(std::move(driver));
   for (size_t i = 1; i < positives.size(); i++) {
     Conjunct* c = positives[i];
+    if (c->node != nullptr) {
+      c->node->planner_order = static_cast<int>(i);
+    }
     if (c->iter == nullptr && optimize && ShouldProbe(driver_estimate, c->estimate)) {
       // This conjunct's postings dwarf the driver: probe membership per candidate
       // instead of opening the postings at all.
+      if (c->node != nullptr) {
+        c->node->degraded_to_probe = true;
+      }
       probes.push_back({c->store, std::move(c->value), /*negated=*/false});
       continue;
     }
@@ -285,6 +294,9 @@ Result<std::unique_ptr<PostingIterator>> BuildConjunction(std::vector<Conjunct> 
     // Same cost rule inverted: probe only when the negative's postings dwarf the
     // driver; a small negative streams as a seek-filter instead.
     if (c->iter == nullptr && optimize && ShouldProbe(driver_estimate, c->estimate)) {
+      if (c->node != nullptr) {
+        c->node->degraded_to_probe = true;
+      }
       probes.push_back({c->store, std::move(c->value), /*negated=*/true});
       continue;
     }

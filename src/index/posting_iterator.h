@@ -189,14 +189,39 @@ inline bool ShouldProbe(uint64_t driver_estimate, uint64_t conjunct_estimate) {
 // large enough to never drive, small enough that sums of several stay ordered.
 inline constexpr uint64_t kUnknownCardinality = uint64_t{1} << 62;
 
+// PlanStats grown into a tree: one node per Expr node, annotated by the planner
+// (estimates, execution order, probe-degradation decisions) and, when the caller
+// asked for EXPLAIN, by post-execution analysis (actual cardinalities, whole-plan
+// PlanStats and counter deltas on the root). Built only on request — the normal
+// query path never allocates one.
+struct PlanNode {
+  static constexpr uint64_t kNoActual = ~uint64_t{0};
+
+  std::string op;           // "and" | "or" | "not" | "term" | "prefix".
+  std::string detail;       // Term nodes: "tag=value"; prefix nodes: "tag=prefix*".
+  uint64_t estimate = 0;    // Planner's cardinality estimate (kUnknownCardinality
+                            // when the store could not answer).
+  uint64_t actual = kNoActual;  // True posting count (EXPLAIN fills it post-run).
+  int planner_order = -1;   // Execution position among a conjunction's positives
+                            // (0 = leapfrog driver); -1 outside conjunctions.
+  bool degraded_to_probe = false;  // Planner chose per-candidate membership probes
+                                   // over opening this conjunct's postings.
+  PlanStats stats;          // Root node: whole-plan execution stats.
+  uint64_t pages_read = 0;      // Root node: stats-counter deltas over execution.
+  uint64_t index_traversals = 0;
+  std::vector<PlanNode> children;
+};
+
 // One conjunct feeding BuildConjunction: a term backed by a store (probe-eligible,
-// postings opened on demand) or a pre-planned sub-iterator (`iter` set).
+// postings opened on demand) or a pre-planned sub-iterator (`iter` set). `node`,
+// when set, receives the planner's decisions for EXPLAIN.
 struct Conjunct {
   const IndexStore* store = nullptr;  // Term conjuncts; caller has validated non-null.
   std::string value;
   std::unique_ptr<PostingIterator> iter;  // Non-term conjuncts.
   uint64_t estimate = 0;
   bool negated = false;
+  PlanNode* node = nullptr;  // EXPLAIN annotation target (optional).
 };
 
 // THE conjunction planner, shared by IndexCollection::OpenLookupIterator (tag/value

@@ -5,7 +5,9 @@
 
 #include "src/common/coding.h"
 #include "src/common/crc32.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 
 namespace hfad {
 namespace journal {
@@ -66,9 +68,16 @@ Status Journal::LeadCommit(std::unique_lock<std::mutex>& lock) {
   inflight_count_ = batch_count;
 
   lock.unlock();  // Appenders (and new followers) proceed during the Write+Sync.
-  Status s = device_->Write(region_offset_ + pos, Slice(batch));
-  if (s.ok()) {
-    s = device_->Sync();
+  Status s;
+  {
+    // The histogram records every group commit; the span only lands when the
+    // leading thread is inside a sampled operation.
+    metrics::ScopedLatency latency(metrics::Hist::kJournalCommit);
+    trace::SpanScope span("journal_commit");
+    s = device_->Write(region_offset_ + pos, Slice(batch));
+    if (s.ok()) {
+      s = device_->Sync();
+    }
   }
   lock.lock();
 

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "src/common/coding.h"
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 #include "src/extent/extent_tree.h"
 
 namespace hfad {
@@ -356,6 +358,8 @@ void Osd::StartCheckpointThread() {
       options_.checkpoint_kick_occupancy >= 1) {
     return;
   }
+  ckpt_state_.store(static_cast<int>(CheckpointerState::kIdle),
+                    std::memory_order_relaxed);
   checkpoint_thread_ = std::thread([this] { CheckpointThreadMain(); });
 }
 
@@ -368,6 +372,8 @@ void Osd::StopCheckpointThread() {
   if (checkpoint_thread_.joinable()) {
     checkpoint_thread_.join();
   }
+  ckpt_state_.store(static_cast<int>(CheckpointerState::kDisabled),
+                    std::memory_order_relaxed);
 }
 
 void Osd::MaybeKickCheckpoint() {
@@ -381,6 +387,8 @@ void Osd::MaybeKickCheckpoint() {
       return;  // Already kicked (or shutting down); the thread will re-check occupancy.
     }
     ckpt_requested_ = true;
+    ckpt_state_.store(static_cast<int>(CheckpointerState::kKicked),
+                      std::memory_order_relaxed);
   }
   ckpt_cv_.notify_one();
 }
@@ -389,14 +397,20 @@ void Osd::CheckpointThreadMain() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(ckpt_mu_);
+      ckpt_state_.store(static_cast<int>(ckpt_requested_ ? CheckpointerState::kKicked
+                                                         : CheckpointerState::kIdle),
+                        std::memory_order_relaxed);
       ckpt_cv_.wait(lock, [&] { return ckpt_requested_ || ckpt_shutdown_; });
       if (ckpt_shutdown_) {
         return;
       }
       ckpt_requested_ = false;
+      ckpt_state_.store(static_cast<int>(CheckpointerState::kRunning),
+                        std::memory_order_relaxed);
     }
     // An IO error here is not fatal to ops: the journal simply keeps filling and the
     // synchronous NoSpace backstop in EnsureJournalSpace reports it on the op path.
+    trace::OpScope op("bg_checkpoint");
     (void)Checkpoint();
   }
 }
@@ -524,6 +538,8 @@ Status Osd::PersistUnappliedForeign() {
 }
 
 Status Osd::CheckpointLocked() {
+  metrics::ScopedLatency latency(metrics::Hist::kCheckpoint);
+  trace::SpanScope span("checkpoint");
   // Callers hold volume_mu_ exclusively (or are single-threaded construction paths).
   // Persist the unapplied foreign set FIRST: the rewritten btree pages are dirty by the
   // time the epilogue below collects page images, so the snapshot commits (or not)
@@ -800,6 +816,53 @@ uint64_t Osd::object_count() const {
 
 uint64_t Osd::journal_records_appended() const {
   return journal_->next_sequence() - 1;  // Journal sequencing is internally locked.
+}
+
+double Osd::journal_occupancy() const {
+  return options_.journaling ? journal_->Occupancy() : 0.0;
+}
+
+uint64_t Osd::journal_pending_records() const {
+  return options_.journaling ? journal_->pending_records() : 0;
+}
+
+std::string Osd::DumpMetrics() const {
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(uint64_t{1});
+  w.Key("scope").Value("osd");
+  metrics::WriteCountersJson(&w);
+  metrics::WriteHistogramsJson(&w);
+
+  w.Key("gauges").BeginObject();
+  w.Key("journal_occupancy_pct").Value(journal_occupancy() * 100.0);
+  w.Key("journal_pending_records").Value(journal_pending_records());
+  w.Key("pager_resident_pages").Value(static_cast<uint64_t>(pager_->cached_pages()));
+  w.Key("pager_dirty_pages").Value(static_cast<uint64_t>(pager_->dirty_pages()));
+  w.Key("checkpointer_state").Value(static_cast<int64_t>(checkpointer_state()));
+  w.Key("object_count").Value(object_count());
+  w.Key("heap_allocated_bytes").Value(heap_allocated_bytes());
+  w.EndObject();
+
+  w.Key("locks").BeginObject();
+  WriteLockStatsJson(&w, "object_mutex", object_mu_);
+  w.Key("pager_stripes").BeginObject();
+  w.Key("total_acquisitions").Value(pager_->stripe_lock_acquisitions());
+  w.Key("total_contentions").Value(pager_->stripe_lock_contentions());
+  w.Key("top_contended").BeginArray();
+  for (const auto& st : pager_->TopContendedStripes(4)) {
+    w.BeginObject();
+    w.Key("shard").Value(static_cast<uint64_t>(st.stripe));
+    w.Key("acquisitions").Value(st.acquisitions);
+    w.Key("contentions").Value(st.contentions);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
 }
 
 Status Osd::ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {

@@ -225,6 +225,28 @@ class Osd {
   // Volume heap statistics (bench support).
   uint64_t heap_allocated_bytes() const { return allocator_->allocated_bytes(); }
 
+  // ---- Observability ----
+
+  // Where the background checkpointer currently is, as a dump-able gauge.
+  enum class CheckpointerState : int {
+    kDisabled = 0,  // No background thread (journaling off or kick disabled).
+    kIdle = 1,      // Thread parked, waiting for a kick.
+    kKicked = 2,    // Kick delivered, checkpoint not yet started.
+    kRunning = 3,   // Checkpoint in progress.
+  };
+  CheckpointerState checkpointer_state() const {
+    return static_cast<CheckpointerState>(ckpt_state_.load(std::memory_order_relaxed));
+  }
+
+  // Journal gauges (0 / empty when journaling is off).
+  double journal_occupancy() const;
+  uint64_t journal_pending_records() const;
+
+  // One JSON document: process counters + latency histograms + this volume's gauges
+  // (journal occupancy, pager residency, checkpointer state) + per-shard lock hot
+  // spots. Schema documented in docs/OBSERVABILITY.md.
+  std::string DumpMetrics() const;
+
   // Total journal records ever appended on this volume (monotonic across checkpoints;
   // sequence numbering continues over journal resets). bench_query uses deltas to
   // compare batched vs. per-tag mutation on records written.
@@ -322,6 +344,8 @@ class Osd {
   std::condition_variable ckpt_cv_;
   bool ckpt_requested_ = false;
   bool ckpt_shutdown_ = false;
+  // CheckpointerState, maintained by MaybeKickCheckpoint/CheckpointThreadMain.
+  std::atomic<int> ckpt_state_{0};
 
   // Close() bookkeeping.
   mutable std::mutex close_mu_;

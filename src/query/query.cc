@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace hfad {
 namespace query {
 
@@ -335,6 +337,39 @@ std::string ToString(const Expr& expr) {
 
 // ---------------------------------------------------------------- planner
 
+namespace {
+
+// Both "couldn't estimate" sentinels (index::kUnknownCardinality and this file's
+// kUnknown) sit at ~2^62; anything that large is a sentinel, not a cardinality.
+bool EstimateKnown(uint64_t estimate) { return estimate < (uint64_t{1} << 61); }
+
+// Fill op/detail/estimate for one node (children are the caller's job).
+void FillNodeShallow(const Expr& expr, const QueryPlanner& planner,
+                     index::PlanNode* node) {
+  switch (expr.kind) {
+    case Expr::Kind::kTerm:
+      node->op = "term";
+      node->detail = expr.tag + "=" + expr.value;
+      break;
+    case Expr::Kind::kPrefix:
+      node->op = "prefix";
+      node->detail = expr.tag + "=" + expr.value + "*";
+      break;
+    case Expr::Kind::kAnd:
+      node->op = "and";
+      break;
+    case Expr::Kind::kOr:
+      node->op = "or";
+      break;
+    case Expr::Kind::kNot:
+      node->op = "not";
+      break;
+  }
+  node->estimate = planner.Estimate(expr);
+}
+
+}  // namespace
+
 uint64_t QueryPlanner::Estimate(const Expr& expr) const {
   constexpr uint64_t kUnknown = std::numeric_limits<uint64_t>::max() / 4;
   switch (expr.kind) {
@@ -371,21 +406,37 @@ uint64_t QueryPlanner::Estimate(const Expr& expr) const {
 }
 
 Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::PlanAnd(
-    const Expr& expr, PlanStats* stats) const {
+    const Expr& expr, PlanStats* stats, PlanNode* explain) const {
   // Map each child onto an index::Conjunct — terms stay store+value (probe-eligible,
   // opened on demand), everything else is pre-planned into a sub-iterator — and let the
   // shared conjunction planner (index::BuildConjunction, also behind
   // IndexCollection::OpenLookupIterator) do the ordering and probe degradation.
   std::vector<index::Conjunct> conjuncts;
   conjuncts.reserve(expr.children.size());
-  for (const auto& child : expr.children) {
-    const Expr* node = child.get();
+  if (explain != nullptr) {
+    // Sized once up front: Conjunct::node pointers into this vector must stay
+    // valid through the BuildConjunction call below.
+    explain->children.resize(expr.children.size());
+  }
+  for (size_t i = 0; i < expr.children.size(); i++) {
+    const Expr* node = expr.children[i].get();
+    PlanNode* cnode = explain != nullptr ? &explain->children[i] : nullptr;
     index::Conjunct c;
     if (node->kind == Expr::Kind::kNot) {
       c.negated = true;
+      if (cnode != nullptr) {
+        FillNodeShallow(*node, *this, cnode);
+        cnode->children.resize(1);
+      }
       node = node->children[0].get();
     }
     c.estimate = optimize_ ? Estimate(*node) : 0;
+    // The node the planner annotates (order, probe degradation) is the conjunct-
+    // level one; for a negation the operand's own description nests below it.
+    PlanNode* inner = cnode == nullptr ? nullptr
+                      : c.negated      ? &cnode->children[0]
+                                       : cnode;
+    c.node = cnode;
     if (node->kind == Expr::Kind::kTerm) {
       const index::IndexStore* s = indexes_->store(node->tag);
       if (s == nullptr) {
@@ -393,8 +444,11 @@ Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::PlanAnd(
       }
       c.store = s;
       c.value = node->value;
+      if (inner != nullptr) {
+        FillNodeShallow(*node, *this, inner);
+      }
     } else {
-      HFAD_ASSIGN_OR_RETURN(c.iter, Plan(*node, stats));
+      HFAD_ASSIGN_OR_RETURN(c.iter, Plan(*node, stats, inner));
     }
     conjuncts.push_back(std::move(c));
   }
@@ -402,7 +456,10 @@ Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::PlanAnd(
 }
 
 Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::Plan(
-    const Expr& expr, PlanStats* stats) const {
+    const Expr& expr, PlanStats* stats, PlanNode* explain) const {
+  if (explain != nullptr) {
+    FillNodeShallow(expr, *this, explain);
+  }
   switch (expr.kind) {
     case Expr::Kind::kTerm: {
       const index::IndexStore* s = indexes_->store(expr.tag);
@@ -421,12 +478,17 @@ Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::Plan(
       return s->OpenPrefixPostings(expr.value, stats);
     }
     case Expr::Kind::kAnd:
-      return PlanAnd(expr, stats);
+      return PlanAnd(expr, stats, explain);
     case Expr::Kind::kOr: {
       std::vector<std::unique_ptr<index::PostingIterator>> children;
       children.reserve(expr.children.size());
-      for (const auto& child : expr.children) {
-        HFAD_ASSIGN_OR_RETURN(auto it, Plan(*child, stats));
+      if (explain != nullptr) {
+        explain->children.resize(expr.children.size());
+      }
+      for (size_t i = 0; i < expr.children.size(); i++) {
+        HFAD_ASSIGN_OR_RETURN(
+            auto it, Plan(*expr.children[i], stats,
+                          explain != nullptr ? &explain->children[i] : nullptr));
         children.push_back(std::move(it));
       }
       return std::unique_ptr<index::PostingIterator>(
@@ -437,6 +499,145 @@ Result<std::unique_ptr<index::PostingIterator>> QueryPlanner::Plan(
           "negation is only meaningful inside a conjunction (found bare NOT)");
   }
   return Status::Internal("unreachable expression kind");
+}
+
+Status QueryPlanner::AnalyzeActuals(const Expr& expr, PlanNode* node) const {
+  switch (expr.kind) {
+    case Expr::Kind::kTerm:
+    case Expr::Kind::kPrefix: {
+      const index::IndexStore* s = indexes_->store(expr.tag);
+      if (s == nullptr) {
+        return Status::NotFound("no index store for tag '" + expr.tag + "'");
+      }
+      // Count the real postings with a throwaway iterator: these are the extra
+      // reads an EXPLAIN pays for "estimated vs. actual".
+      HFAD_ASSIGN_OR_RETURN(auto it, expr.kind == Expr::Kind::kTerm
+                                         ? s->OpenPostings(expr.value, nullptr)
+                                         : s->OpenPrefixPostings(expr.value, nullptr));
+      HFAD_ASSIGN_OR_RETURN(std::vector<ObjectId> ids,
+                            index::DrainPostings(it.get()));
+      node->actual = ids.size();
+      return Status::Ok();
+    }
+    case Expr::Kind::kNot:
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      if (node->children.size() != expr.children.size()) {
+        return Status::Internal("EXPLAIN tree does not mirror the expression");
+      }
+      for (size_t i = 0; i < expr.children.size(); i++) {
+        HFAD_RETURN_IF_ERROR(AnalyzeActuals(*expr.children[i], &node->children[i]));
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable expression kind");
+}
+
+// ---------------------------------------------------------------- EXPLAIN rendering
+
+namespace {
+
+void AppendNodeText(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.op;
+  if (!node.detail.empty()) {
+    *out += " ";
+    *out += node.detail;
+  }
+  if (EstimateKnown(node.estimate)) {
+    *out += " est=" + std::to_string(node.estimate);
+  } else {
+    *out += " est=?";
+  }
+  if (node.actual != PlanNode::kNoActual) {
+    *out += " actual=" + std::to_string(node.actual);
+  }
+  if (node.planner_order >= 0) {
+    *out += " order=" + std::to_string(node.planner_order);
+    if (node.planner_order == 0) {
+      *out += " (driver)";
+    }
+  }
+  if (node.degraded_to_probe) {
+    *out += " [probe]";
+  }
+  if (depth == 0) {
+    *out += " | lookups=" + std::to_string(node.stats.index_lookups) +
+            " rows=" + std::to_string(node.stats.rows_scanned) +
+            " probes=" + std::to_string(node.stats.membership_probes) +
+            " pages_read=" + std::to_string(node.pages_read) +
+            " traversals=" + std::to_string(node.index_traversals);
+    if (node.stats.early_exit) {
+      *out += " early_exit";
+    }
+  }
+  *out += "\n";
+  for (const PlanNode& child : node.children) {
+    AppendNodeText(child, depth + 1, out);
+  }
+}
+
+void AppendNodeJson(const PlanNode& node, bool root, metrics::JsonWriter* w) {
+  w->BeginObject();
+  w->Key("op").Value(node.op);
+  if (!node.detail.empty()) {
+    w->Key("detail").Value(node.detail);
+  }
+  if (EstimateKnown(node.estimate)) {
+    w->Key("estimate").Value(node.estimate);
+  } else {
+    w->Key("estimate").Value("unknown");
+  }
+  if (node.actual != PlanNode::kNoActual) {
+    w->Key("actual").Value(node.actual);
+  }
+  if (node.planner_order >= 0) {
+    w->Key("planner_order").Value(static_cast<int64_t>(node.planner_order));
+  }
+  if (node.degraded_to_probe) {
+    w->Key("degraded_to_probe").Value(true);
+  }
+  if (root) {
+    w->Key("stats").BeginObject();
+    w->Key("index_lookups").Value(node.stats.index_lookups);
+    w->Key("rows_scanned").Value(node.stats.rows_scanned);
+    w->Key("intermediate_rows").Value(node.stats.intermediate_rows);
+    w->Key("membership_probes").Value(node.stats.membership_probes);
+    w->Key("early_exit").Value(node.stats.early_exit);
+    w->EndObject();
+    w->Key("pages_read").Value(node.pages_read);
+    w->Key("index_traversals").Value(node.index_traversals);
+  }
+  if (!node.children.empty()) {
+    w->Key("children").BeginArray();
+    for (const PlanNode& child : node.children) {
+      AppendNodeJson(child, /*root=*/false, w);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string Explain::ToString() const {
+  std::string out;
+  if (!planner_optimized) {
+    out += "(planner: textual order, probes disabled)\n";
+  }
+  AppendNodeText(root, 0, &out);
+  return out;
+}
+
+std::string Explain::ToJson() const {
+  metrics::JsonWriter w;
+  w.BeginObject();
+  w.Key("planner_optimized").Value(planner_optimized);
+  w.Key("plan");
+  AppendNodeJson(root, /*root=*/true, &w);
+  w.EndObject();
+  return w.str();
 }
 
 // ---------------------------------------------------------------- execution

@@ -48,6 +48,25 @@ using index::ObjectId;
 // iterators that fill it.
 using PlanStats = index::PlanStats;
 
+// The EXPLAIN plan tree (one node per Expr node); defined next to the conjunction
+// planner that annotates it.
+using PlanNode = index::PlanNode;
+
+// Structured EXPLAIN for one Find call: the planner's term ordering and probe-
+// degradation decisions, per-term estimated vs. actual cardinalities (actuals are
+// measured post-execution with extra index reads — EXPLAIN ANALYZE pricing), and
+// whole-plan execution stats plus pages-read / index-traversal counter deltas on
+// the root. Request one via FindOptions::explain.
+struct Explain {
+  PlanNode root;
+  bool planner_optimized = true;  // False under the ablation (optimize=false) planner.
+
+  // Indented one-line-per-node tree for logs and tests.
+  std::string ToString() const;
+  // Nested JSON (schema in docs/OBSERVABILITY.md).
+  std::string ToJson() const;
+};
+
 // Expression tree. Terms carry tag/value (kPrefix: value is a prefix to match); And/Or
 // carry children; Not carries exactly one.
 struct Expr {
@@ -104,6 +123,9 @@ struct FindOptions {
   // Index visibility under lazy background indexing; ignored (always effectively
   // strict) when the filesystem indexes inline.
   Visibility visibility = Visibility::kStrict;
+  // When set, Find fills a structured EXPLAIN of the executed plan. Costs extra
+  // index reads after execution (actual cardinalities); leave null on hot paths.
+  Explain* explain = nullptr;
 };
 
 // One page of results (ascending oid).
@@ -127,16 +149,26 @@ class QueryPlanner {
       : indexes_(indexes), optimize_(optimize) {}
 
   // Compile `expr` into an unpositioned iterator (SeekTo before use). The iterator
-  // borrows the index collection and `stats`; both must outlive it.
+  // borrows the index collection and `stats`; both must outlive it. With `explain`
+  // set, a PlanNode tree mirroring `expr` is built under it and annotated with the
+  // planner's estimates, ordering, and probe decisions (the node must outlive the
+  // BuildConjunction call, not the iterator).
   Result<std::unique_ptr<index::PostingIterator>> Plan(const Expr& expr,
-                                                       PlanStats* stats = nullptr) const;
+                                                       PlanStats* stats = nullptr,
+                                                       PlanNode* explain = nullptr) const;
 
   // Cheap upper-bound cardinality estimate used to order conjuncts.
   uint64_t Estimate(const Expr& expr) const;
 
+  // Fill PlanNode::actual for every term/prefix node under `node` by counting the
+  // real postings (extra index reads — the EXPLAIN ANALYZE price). `node` must have
+  // been built by Plan(expr, ..., explain) for the same expression.
+  Status AnalyzeActuals(const Expr& expr, PlanNode* node) const;
+
  private:
   Result<std::unique_ptr<index::PostingIterator>> PlanAnd(const Expr& expr,
-                                                          PlanStats* stats) const;
+                                                          PlanStats* stats,
+                                                          PlanNode* explain) const;
 
   const index::IndexCollection* const indexes_;
   const bool optimize_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/metrics.h"
 #include "src/common/stats.h"
+#include "src/common/trace.h"
 
 namespace hfad {
 
@@ -25,6 +27,64 @@ Pager::Pager(BlockDevice* device, size_t capacity_pages, bool no_steal)
       stripe_capacity_(std::max<size_t>(1, capacity_ / stripe_count_)),
       stripes_(std::make_unique<Stripe[]>(stripe_count_)) {}
 
+std::shared_lock<std::shared_mutex> Pager::LockStripeShared(const Stripe& s) const {
+  std::shared_lock<std::shared_mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    s.contentions.fetch_add(1, std::memory_order_relaxed);
+    stats::Add(stats::Counter::kLockContentions);
+    lock.lock();
+  }
+  s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> Pager::LockStripeExclusive(const Stripe& s) const {
+  std::unique_lock<std::shared_mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    s.contentions.fetch_add(1, std::memory_order_relaxed);
+    stats::Add(stats::Counter::kLockContentions);
+    lock.lock();
+  }
+  s.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return lock;
+}
+
+std::vector<Pager::StripeLockStat> Pager::TopContendedStripes(size_t n) const {
+  std::vector<StripeLockStat> all;
+  for (size_t i = 0; i < stripe_count_; i++) {
+    uint64_t c = stripes_[i].contentions.load(std::memory_order_relaxed);
+    if (c == 0) {
+      continue;
+    }
+    all.push_back({i, stripes_[i].acquisitions.load(std::memory_order_relaxed), c});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const StripeLockStat& a, const StripeLockStat& b) {
+              return a.contentions != b.contentions ? a.contentions > b.contentions
+                                                    : a.stripe < b.stripe;
+            });
+  if (all.size() > n) {
+    all.resize(n);
+  }
+  return all;
+}
+
+uint64_t Pager::stripe_lock_acquisitions() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < stripe_count_; i++) {
+    n += stripes_[i].acquisitions.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+uint64_t Pager::stripe_lock_contentions() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < stripe_count_; i++) {
+    n += stripes_[i].contentions.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
 Result<PageRef> Pager::Get(uint64_t offset) {
   if (offset % kPageSize != 0) {
     return Status::InvalidArgument("unaligned page offset " + std::to_string(offset));
@@ -32,8 +92,10 @@ Result<PageRef> Pager::Get(uint64_t offset) {
   Stripe& s = StripeFor(offset);
   {
     // Hit path: shared stripe lock + reference bit — no list maintenance, so
-    // concurrent readers never serialize.
-    std::shared_lock<std::shared_mutex> lock(s.mu);
+    // concurrent readers never serialize. Deliberately not histogrammed: only
+    // misses pay a latency worth attributing, and keeping the hit path at one
+    // counter bump is what lets the instrumentation stay on in Release.
+    std::shared_lock<std::shared_mutex> lock = LockStripeShared(s);
     auto it = s.map.find(offset);
     if (it != s.map.end()) {
       stats::Add(stats::Counter::kPagerHits);
@@ -44,12 +106,14 @@ Result<PageRef> Pager::Get(uint64_t offset) {
   // Miss: read the device BEFORE taking the stripe exclusively — no device IO under
   // stripe locks. A racing miss on the same offset wins harmlessly (we drop our copy).
   stats::Add(stats::Counter::kPageReads);
+  metrics::ScopedLatency latency(metrics::Hist::kPageRead);
+  trace::SpanScope span("page_read");
   std::string buf;
   HFAD_RETURN_IF_ERROR(device_->Read(offset, kPageSize, &buf));
   std::vector<Writeback> writeback;
   PageRef page;
   {
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    std::unique_lock<std::shared_mutex> lock = LockStripeExclusive(s);
     auto it = s.map.find(offset);
     if (it != s.map.end()) {
       // Raced with another miss on the same page.
@@ -75,7 +139,7 @@ Result<PageRef> Pager::GetZeroed(uint64_t offset) {
   std::vector<Writeback> writeback;
   PageRef page;
   {
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    std::unique_lock<std::shared_mutex> lock = LockStripeExclusive(s);
     auto it = s.map.find(offset);
     if (it != s.map.end()) {
       // Reuse the cached buffer but reset the contents.
@@ -161,7 +225,7 @@ Status Pager::FlushWriteback(Stripe& s, std::vector<Writeback>* writeback) {
     }
     stats::Add(stats::Counter::kPageWrites, writeback->size());
     HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    std::unique_lock<std::shared_mutex> lock = LockStripeExclusive(s);
     for (const Writeback& w : *writeback) {
       auto it = s.map.find(w.page->offset());
       if (it == s.map.end() || it->second != w.page) {
@@ -190,7 +254,7 @@ Status Pager::Flush() {
   std::vector<PageRef> dirty;
   for (size_t i = 0; i < stripe_count_; i++) {
     Stripe& s = stripes_[i];
-    std::shared_lock<std::shared_mutex> lock(s.mu);
+    std::shared_lock<std::shared_mutex> lock = LockStripeShared(s);
     for (auto& [offset, page] : s.map) {
       if (page->dirty()) {
         dirty.push_back(page);
@@ -217,7 +281,7 @@ void Pager::CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) con
   std::vector<PageRef> dirty;
   for (size_t i = 0; i < stripe_count_; i++) {
     const Stripe& s = stripes_[i];
-    std::shared_lock<std::shared_mutex> lock(s.mu);
+    std::shared_lock<std::shared_mutex> lock = LockStripeShared(s);
     for (const auto& [offset, page] : s.map) {
       if (page->dirty()) {
         dirty.push_back(page);
@@ -240,7 +304,7 @@ Status Pager::WriteRaw(uint64_t offset, Slice data) { return device_->Write(offs
 
 void Pager::Invalidate(uint64_t offset) {
   Stripe& s = StripeFor(offset);
-  std::unique_lock<std::shared_mutex> lock(s.mu);
+  std::unique_lock<std::shared_mutex> lock = LockStripeExclusive(s);
   auto it = s.map.find(offset);
   if (it != s.map.end()) {
     it->second->ClearDirty();  // Discarded, not deferred: keep the dirty count honest.
@@ -253,7 +317,7 @@ Status Pager::DropCacheForTesting() {
   std::vector<PageRef> dirty;
   for (size_t i = 0; i < stripe_count_; i++) {
     Stripe& s = stripes_[i];
-    std::shared_lock<std::shared_mutex> lock(s.mu);
+    std::shared_lock<std::shared_mutex> lock = LockStripeShared(s);
     for (auto& [offset, page] : s.map) {
       if (page->dirty()) {
         dirty.push_back(page);
@@ -273,7 +337,7 @@ Status Pager::DropCacheForTesting() {
   }
   for (size_t i = 0; i < stripe_count_; i++) {
     Stripe& s = stripes_[i];
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    std::unique_lock<std::shared_mutex> lock = LockStripeExclusive(s);
     s.map.clear();
     s.ring.clear();
   }
@@ -283,7 +347,7 @@ Status Pager::DropCacheForTesting() {
 size_t Pager::cached_pages() const {
   size_t n = 0;
   for (size_t i = 0; i < stripe_count_; i++) {
-    std::shared_lock<std::shared_mutex> lock(stripes_[i].mu);
+    std::shared_lock<std::shared_mutex> lock = LockStripeShared(stripes_[i]);
     n += stripes_[i].map.size();
   }
   return n;

@@ -152,15 +152,36 @@ class Pager {
 
   size_t stripe_count() const { return stripe_count_; }
 
+  // Per-stripe lock instrumentation (same shape as ShardedMutex::ShardStat): every
+  // stripe acquisition is counted locally, and contended ones additionally feed the
+  // process-global kLockContentions counter — the pager's stripe locks used to be
+  // the one striped structure invisible to contention accounting. Acquisitions stay
+  // local so kLockAcquisitions keeps its §2.3 meaning (namespace-structure locks).
+  struct StripeLockStat {
+    size_t stripe = 0;
+    uint64_t acquisitions = 0;
+    uint64_t contentions = 0;
+  };
+  // The n most contended stripes, descending (zero-contention stripes omitted).
+  std::vector<StripeLockStat> TopContendedStripes(size_t n) const;
+  uint64_t stripe_lock_acquisitions() const;
+  uint64_t stripe_lock_contentions() const;
+
  private:
   // One independently locked cache stripe: hash map of resident pages plus the
   // second-chance FIFO ring the evictor sweeps. Ring entries are lazily deleted
   // (Invalidate leaves a stale offset behind; the sweep skips it).
   struct Stripe {
     mutable std::shared_mutex mu;
+    mutable std::atomic<uint64_t> acquisitions{0};
+    mutable std::atomic<uint64_t> contentions{0};
     std::unordered_map<uint64_t, PageRef> map;
     std::deque<uint64_t> ring;
   };
+
+  // Counted stripe acquisition (try-lock-first probe, like sharded_lock.h).
+  std::shared_lock<std::shared_mutex> LockStripeShared(const Stripe& s) const;
+  std::unique_lock<std::shared_mutex> LockStripeExclusive(const Stripe& s) const;
 
   // One dirty victim picked for batched write-back: its image and epoch were snapshotted
   // under the stripe lock; the page itself stays resident until the write succeeds and

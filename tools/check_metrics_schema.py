@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a DumpMetrics() JSON document against the documented schema.
+
+Usage: check_metrics_schema.py <metrics.json>
+
+Pins the schema described in docs/OBSERVABILITY.md: required top-level keys,
+the minimum histogram/gauge sets the acceptance criteria name, and the shape of
+every histogram entry and lock-stats block. Stdlib only (json) so it runs in
+any CI image with python3.
+"""
+import json
+import sys
+
+REQUIRED_TOP = ["schema_version", "scope", "counters", "histograms", "gauges", "locks"]
+
+# Histograms that must exist with a recorded sample after a bench_query run is a
+# smaller set; existence (key present with the right shape) is required for all.
+REQUIRED_HISTOGRAMS = [
+    "create",
+    "add_tag",
+    "find",
+    "search_text",
+    "journal_commit",
+    "page_read",
+]
+
+HIST_FIELDS = ["count", "sum_ns", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"]
+
+REQUIRED_GAUGES = [
+    "journal_occupancy_pct",
+    "pager_resident_pages",
+    "pager_dirty_pages",
+    "checkpointer_state",
+]
+
+LOCK_FIELDS = ["total_acquisitions", "total_contentions", "top_contended"]
+
+
+def fail(msg):
+    print(f"schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_lock_block(name, block):
+    for field in LOCK_FIELDS:
+        if field not in block:
+            fail(f"locks.{name} missing '{field}'")
+    if not isinstance(block["top_contended"], list):
+        fail(f"locks.{name}.top_contended is not an array")
+    for entry in block["top_contended"]:
+        for field in ["shard", "acquisitions", "contentions"]:
+            if not isinstance(entry.get(field), int):
+                fail(f"locks.{name}.top_contended entry missing int '{field}'")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <metrics.json>")
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    for key in REQUIRED_TOP:
+        if key not in doc:
+            fail(f"missing top-level key '{key}'")
+    if doc["schema_version"] != 1:
+        fail(f"unexpected schema_version {doc['schema_version']}")
+    if doc["scope"] not in ("filesystem", "osd"):
+        fail(f"unexpected scope '{doc['scope']}'")
+
+    counters = doc["counters"]
+    if not counters or not all(isinstance(v, int) for v in counters.values()):
+        fail("counters must be a non-empty object of integers")
+
+    hists = doc["histograms"]
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in hists:
+            fail(f"missing histogram '{name}'")
+    for name, h in hists.items():
+        for field in HIST_FIELDS:
+            if not isinstance(h.get(field), int):
+                fail(f"histogram '{name}' missing int field '{field}'")
+        if h["count"] > 0 and h["max_ns"] < h["p50_ns"]:
+            fail(f"histogram '{name}': max_ns < p50_ns")
+
+    gauges = doc["gauges"]
+    for name in REQUIRED_GAUGES:
+        if name not in gauges:
+            fail(f"missing gauge '{name}'")
+    if len(gauges) < 4:
+        fail("fewer than 4 gauges")
+
+    locks = doc["locks"]
+    if "pager_stripes" not in locks:
+        fail("locks missing 'pager_stripes'")
+    for name, block in locks.items():
+        check_lock_block(name, block)
+
+    print(
+        f"schema OK: scope={doc['scope']} "
+        f"{len(counters)} counters, {len(hists)} histograms, {len(gauges)} gauges"
+    )
+
+
+if __name__ == "__main__":
+    main()

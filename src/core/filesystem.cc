@@ -110,10 +110,11 @@ void CollectQueryTags(const query::Expr& e, std::vector<std::string>* out) {
 
 // ---------------------------------------------------------------- construction
 
-FileSystem::FileSystem(std::unique_ptr<osd::Osd> osd,
+FileSystem::FileSystem(std::unique_ptr<osd::OsdCluster> cluster,
                        std::unique_ptr<index::IndexCollection> indexes,
                        const FileSystemOptions& options)
-    : options_(options), osd_(std::move(osd)), indexes_(std::move(indexes)) {
+    : options_(options), cluster_(std::move(cluster)), osd_(cluster_->meta()),
+      indexes_(std::move(indexes)) {
   for (size_t shard = 0; shard < kTagShards; shard++) {
     auto root = osd_->GetNamedRoot(ReverseRootName(shard));
     reverse_[shard].root = root.ok() ? *root : 0;
@@ -146,57 +147,96 @@ FileSystem::~FileSystem() {
   if (tag_indexer_ != nullptr) {
     // The OSD's own close-time checkpoint must not call back into a dead indexer; the
     // pending set it would have persisted is exactly what the line above persisted.
-    osd_->SetUnappliedForeignProvider(nullptr);
+    cluster_->SetUnappliedForeignProvider(nullptr);
     tag_indexer_.reset();
   }
 }
 
+namespace {
+
+// shard_count 0 means "one shard per device"; anything else must match exactly.
+Status ValidateShardCount(size_t devices, size_t shard_count) {
+  if (devices == 0) {
+    return Status::InvalidArgument("filesystem needs at least one device");
+  }
+  if (shard_count != 0 && shard_count != devices) {
+    return Status::InvalidArgument("shard_count " + std::to_string(shard_count) +
+                                   " does not match device count " +
+                                   std::to_string(devices));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileSystem>> FileSystem::Create(std::shared_ptr<BlockDevice> device,
                                                        FileSystemOptions options) {
-  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::Osd> osd,
-                        osd::Osd::Create(std::move(device), options.osd));
+  std::vector<std::shared_ptr<BlockDevice>> devices;
+  devices.push_back(std::move(device));
+  return Create(std::move(devices), std::move(options));
+}
+
+Result<std::unique_ptr<FileSystem>> FileSystem::Create(
+    std::vector<std::shared_ptr<BlockDevice>> devices, FileSystemOptions options) {
+  HFAD_RETURN_IF_ERROR(ValidateShardCount(devices.size(), options.shard_count));
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::OsdCluster> cluster,
+                        osd::OsdCluster::Create(std::move(devices), options.osd));
   HFAD_ASSIGN_OR_RETURN(std::unique_ptr<index::IndexCollection> indexes,
-                        index::IndexCollection::Mount(osd.get()));
+                        index::IndexCollection::Mount(cluster->meta()));
   std::unique_ptr<FileSystem> fs(
-      new FileSystem(std::move(osd), std::move(indexes), options));
+      new FileSystem(std::move(cluster), std::move(indexes), options));
   HFAD_RETURN_IF_ERROR(fs->AdoptRecoveredIntents({}));
   return fs;
 }
 
 Result<std::unique_ptr<FileSystem>> FileSystem::Open(std::shared_ptr<BlockDevice> device,
                                                      FileSystemOptions options) {
-  // Namespace records replay through a lazily-mounted index collection on the volume
-  // being opened; the collection is then adopted by the FileSystem. Index intents
-  // (lazy mode's journaled-but-possibly-unapplied tag mutations) accumulate here: their
-  // reverse-map half replays inline, their forward half is handed to
-  // AdoptRecoveredIntents after construction.
+  std::vector<std::shared_ptr<BlockDevice>> devices;
+  devices.push_back(std::move(device));
+  return Open(std::move(devices), std::move(options));
+}
+
+Result<std::unique_ptr<FileSystem>> FileSystem::Open(
+    std::vector<std::shared_ptr<BlockDevice>> devices, FileSystemOptions options) {
+  HFAD_RETURN_IF_ERROR(ValidateShardCount(devices.size(), options.shard_count));
+  // Namespace records replay through a lazily-mounted index collection on the metadata
+  // shard; the collection is then adopted by the FileSystem. Index intents (lazy mode's
+  // journaled-but-possibly-unapplied tag mutations) accumulate here: their reverse-map
+  // half replays inline, their forward half is handed to AdoptRecoveredIntents after
+  // construction.
   auto recovered = std::make_shared<std::vector<BatchOp>>();
   std::unique_ptr<index::IndexCollection> replay_indexes;
-  auto hook = [&replay_indexes, recovered](osd::Osd* volume, Slice payload) -> Status {
+  auto hook = [&replay_indexes, recovered](osd::Osd* meta, osd::Osd* data,
+                                           osd::OsdCluster* cluster, size_t shard,
+                                           bool filter_to_shard, Slice payload) -> Status {
     if (replay_indexes == nullptr) {
-      HFAD_ASSIGN_OR_RETURN(replay_indexes, index::IndexCollection::Mount(volume));
-      // Install a provider over the recovered set NOW: Osd::Open ends recovery with a
-      // checkpoint that resets the journal, and at that moment this closure is the only
-      // thing that can carry still-unapplied intents into the new pending set.
-      volume->SetUnappliedForeignProvider([recovered]() {
+      HFAD_ASSIGN_OR_RETURN(replay_indexes, index::IndexCollection::Mount(meta));
+      // Install a provider over the recovered set NOW: each shard's Osd::Open ends
+      // recovery with a checkpoint that resets its journal, and at that moment this
+      // closure is the only thing that can carry still-unapplied intents into the new
+      // pending set. Each shard persists only the intents whose oid it owns.
+      cluster->SetUnappliedForeignProvider([recovered, cluster](size_t s) {
         std::vector<std::string> payloads;
-        payloads.reserve(recovered->size());
         for (const BatchOp& op : *recovered) {
+          if (cluster->ShardOf(op.oid) != s) {
+            continue;
+          }
           payloads.push_back(EncodeIntentRecord({op}));
         }
         return payloads;
       });
     }
-    return ApplyNamespaceRecord(volume, replay_indexes.get(), payload, recovered.get());
+    return ApplyNamespaceRecord(meta, data, cluster, shard, filter_to_shard,
+                                replay_indexes.get(), payload, recovered.get());
   };
-  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::Osd> osd,
-                        osd::Osd::Open(std::move(device), options.osd, hook));
+  HFAD_ASSIGN_OR_RETURN(std::unique_ptr<osd::OsdCluster> cluster,
+                        osd::OsdCluster::Open(std::move(devices), options.osd, hook));
   std::unique_ptr<index::IndexCollection> indexes = std::move(replay_indexes);
   if (indexes == nullptr) {
-    HFAD_ASSIGN_OR_RETURN(indexes, index::IndexCollection::Mount(osd.get()));
+    HFAD_ASSIGN_OR_RETURN(indexes, index::IndexCollection::Mount(cluster->meta()));
   }
   std::unique_ptr<FileSystem> fs(
-      new FileSystem(std::move(osd), std::move(indexes), options));
+      new FileSystem(std::move(cluster), std::move(indexes), options));
   HFAD_RETURN_IF_ERROR(fs->AdoptRecoveredIntents(std::move(*recovered)));
   return fs;
 }
@@ -205,15 +245,15 @@ Result<std::unique_ptr<FileSystem>> FileSystem::Open(std::shared_ptr<BlockDevice
 
 // Replay one add/remove association (shared by single-tag records and batch
 // sub-records). Tolerates NotFound: the original op may have failed after journaling.
-Status FileSystem::ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes,
+Status FileSystem::ReplayTagOp(osd::Osd* meta, index::IndexCollection* indexes,
                                uint8_t op, ObjectId oid, const TagValue& name) {
   index::IndexStore* store = indexes->store(name.tag);
   if (store == nullptr) {
     return Status::Corruption("tag record for unknown store '" + name.tag + "'");
   }
   const std::string root_name = ReverseRootName(TagShardOf(oid));
-  btree::BTree reverse(volume->pager(), volume->allocator(),
-                       volume->GetNamedRoot(root_name).value_or(0));
+  btree::BTree reverse(meta->pager(), meta->allocator(),
+                       meta->GetNamedRoot(root_name).value_or(0));
   Status s;
   if (op == kNsAddTag) {
     s = store->Add(name.value, oid);
@@ -231,20 +271,20 @@ Status FileSystem::ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes
     s = Status::Ok();
   }
   HFAD_RETURN_IF_ERROR(s);
-  return volume->SetNamedRoot(root_name, reverse.root());
+  return meta->SetNamedRoot(root_name, reverse.root());
 }
 
 // Replay the reverse-map half of one index intent. The forward posting update is NOT
 // applied here — the live lazy write path applied only the reverse map inline, so
 // replay reproduces exactly that state and leaves the forward half to the queue.
-Status FileSystem::ReplayIntentReverse(osd::Osd* volume, index::IndexCollection* indexes,
+Status FileSystem::ReplayIntentReverse(osd::Osd* meta, index::IndexCollection* indexes,
                                        uint8_t op, ObjectId oid, const TagValue& name) {
   if (indexes->store(name.tag) == nullptr) {
     return Status::Corruption("index intent for unknown store '" + name.tag + "'");
   }
   const std::string root_name = ReverseRootName(TagShardOf(oid));
-  btree::BTree reverse(volume->pager(), volume->allocator(),
-                       volume->GetNamedRoot(root_name).value_or(0));
+  btree::BTree reverse(meta->pager(), meta->allocator(),
+                       meta->GetNamedRoot(root_name).value_or(0));
   if (op == kNsAddTag) {
     HFAD_RETURN_IF_ERROR(reverse.Put(ReverseKey(oid, name), Slice()));
   } else {
@@ -253,10 +293,12 @@ Status FileSystem::ReplayIntentReverse(osd::Osd* volume, index::IndexCollection*
       return s;
     }
   }
-  return volume->SetNamedRoot(root_name, reverse.root());
+  return meta->SetNamedRoot(root_name, reverse.root());
 }
 
-Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
+Status FileSystem::ApplyNamespaceRecord(osd::Osd* meta, osd::Osd* data,
+                                        const osd::OsdCluster* cluster, size_t shard,
+                                        bool filter_to_shard,
                                         index::IndexCollection* indexes, Slice payload,
                                         std::vector<BatchOp>* recovered) {
   if (payload.empty()) {
@@ -285,13 +327,18 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
       if (sub_op != kNsAddTag && sub_op != kNsRemoveTag) {
         return Status::Corruption("unknown batch sub-op " + std::to_string(sub_op));
       }
+      // A cross-shard batch replays once per participant; each participant redoes only
+      // the slice it owns, so the union over shards is exactly the whole batch.
+      if (filter_to_shard && cluster->ShardOf(oid) != shard) {
+        continue;
+      }
       TagValue name{tag.ToString(), value.ToString()};
       if (op == kNsIndexIntent && recovered != nullptr) {
-        HFAD_RETURN_IF_ERROR(ReplayIntentReverse(volume, indexes, sub_op, oid, name));
+        HFAD_RETURN_IF_ERROR(ReplayIntentReverse(meta, indexes, sub_op, oid, name));
         recovered->push_back(BatchOp{sub_op, oid, name});
       } else {
         // kNsBatch, or an intent with nowhere to defer to: apply fully inline.
-        HFAD_RETURN_IF_ERROR(ReplayTagOp(volume, indexes, sub_op, oid, name));
+        HFAD_RETURN_IF_ERROR(ReplayTagOp(meta, indexes, sub_op, oid, name));
       }
     }
     return Status::Ok();
@@ -307,16 +354,17 @@ Status FileSystem::ApplyNamespaceRecord(osd::Osd* volume,
       if (!GetLengthPrefixed(&in, &tag) || !GetLengthPrefixed(&in, &value)) {
         return Status::Corruption("bad tag record");
       }
-      return ReplayTagOp(volume, indexes, op, oid, {tag.ToString(), value.ToString()});
+      return ReplayTagOp(meta, indexes, op, oid, {tag.ToString(), value.ToString()});
     }
     case kNsIndexContent: {
-      auto size = volume->Size(oid);
+      // Object bytes live on the shard whose journal carried the record.
+      auto size = data->Size(oid);
       if (size.status().IsNotFound()) {
         return Status::Ok();  // Object deleted later in the log.
       }
       HFAD_RETURN_IF_ERROR(size.status());
       std::string content;
-      HFAD_RETURN_IF_ERROR(volume->Read(oid, 0, *size, &content));
+      HFAD_RETURN_IF_ERROR(data->Read(oid, 0, *size, &content));
       auto* ft = static_cast<index::FullTextIndexStore*>(indexes->store(index::kTagFulltext));
       return ft->Add(content, oid);
     }
@@ -353,11 +401,17 @@ Status FileSystem::AdoptRecoveredIntents(std::vector<BatchOp> recovered) {
     tag_indexer_->Seed(std::move(iops));
     // Live provider: every checkpoint persists whatever the worker has not applied yet
     // (queue + in-flight), so acknowledged intents survive the journal reset that ends
-    // the checkpoint. Re-applying an in-flight op after a crash is idempotent.
+    // the checkpoint. Re-applying an in-flight op after a crash is idempotent. Each
+    // shard persists only the intents whose oid it owns — the shard whose journal
+    // acknowledged them.
     LazyTagIndexer* indexer = tag_indexer_.get();
-    osd_->SetUnappliedForeignProvider([indexer]() {
+    osd::OsdCluster* cluster = cluster_.get();
+    cluster_->SetUnappliedForeignProvider([indexer, cluster](size_t shard) {
       std::vector<std::string> payloads;
       for (const LazyTagIndexer::Op& op : indexer->SnapshotUnapplied()) {
+        if (cluster->ShardOf(op.oid) != shard) {
+          continue;
+        }
         payloads.push_back(EncodeIntentRecord(
             {BatchOp{op.add ? kNsAddTag : kNsRemoveTag, op.oid, op.name}}));
       }
@@ -370,7 +424,7 @@ Status FileSystem::AdoptRecoveredIntents(std::vector<BatchOp> recovered) {
   // skipped; removes always run (NotFound-tolerant) so a pre-crash applied add cannot
   // leave an orphaned posting.
   for (const BatchOp& op : recovered) {
-    if (op.op == kNsAddTag && !osd_->Exists(op.oid)) {
+    if (op.op == kNsAddTag && !cluster_->Exists(op.oid)) {
       continue;
     }
     index::IndexStore* store = indexes_->store(op.name.tag);
@@ -385,11 +439,13 @@ Status FileSystem::AdoptRecoveredIntents(std::vector<BatchOp> recovered) {
   }
   // Empty provider (not null) so the next checkpoint clears the persisted pending set
   // now that everything in it has been applied.
-  osd_->SetUnappliedForeignProvider([]() { return std::vector<std::string>(); });
+  cluster_->SetUnappliedForeignProvider([](size_t) { return std::vector<std::string>(); });
   return Status::Ok();
 }
 
-Status FileSystem::JournalAndEnqueueIntents(const std::vector<BatchOp>& ops) {
+Status FileSystem::JournalAndEnqueueIntents(const std::vector<BatchOp>& ops,
+                                            uint64_t* token_out) {
+  *token_out = 0;
   std::vector<LazyTagIndexer::Op> iops;
   iops.reserve(ops.size());
   for (const BatchOp& op : ops) {
@@ -400,15 +456,44 @@ Status FileSystem::JournalAndEnqueueIntents(const std::vector<BatchOp>& ops) {
   // under the volume lock would deadlock against a waiting checkpoint).
   tag_indexer_->ReserveSlots(iops.size());
   const size_t n = iops.size();
-  // The enqueue rides the append's own volume-lock hold: a checkpoint either sees the
-  // record in the journal AND the ops in the queue, or neither — the invariant the
-  // pending-set persistence depends on.
-  Status s = osd_->AppendForeign(
-      EncodeIntentRecord(ops), [&] { tag_indexer_->EnqueueReserved(std::move(iops)); });
-  if (!s.ok()) {
-    tag_indexer_->ReleaseSlots(n);
+  bool multi_shard = false;
+  if (cluster_->shard_count() > 1) {
+    const size_t first = cluster_->ShardOf(ops[0].oid);
+    for (const BatchOp& op : ops) {
+      if (cluster_->ShardOf(op.oid) != first) {
+        multi_shard = true;
+        break;
+      }
+    }
   }
-  return s;
+  if (!multi_shard) {
+    // The enqueue rides the append's own volume-lock hold: a checkpoint either sees
+    // the record in the journal AND the ops in the queue, or neither — the invariant
+    // the pending-set persistence depends on.
+    Status s = cluster_->AppendForeign(
+        ops[0].oid, EncodeIntentRecord(ops),
+        [&] { tag_indexer_->EnqueueReserved(std::move(iops)); }, token_out);
+    if (!s.ok()) {
+      tag_indexer_->ReleaseSlots(n);
+    }
+    return s;
+  }
+  // Cross-shard: the intent commits via the prepare/commit protocol, then enqueues.
+  // The gap between commit and enqueue is covered by the cluster's retention lists
+  // (the token is unmarked, so every participant's checkpoint persists the record).
+  std::vector<ObjectId> oids;
+  oids.reserve(ops.size());
+  for (const BatchOp& op : ops) {
+    oids.push_back(op.oid);
+  }
+  auto token = cluster_->CommitForeignBatch(oids, EncodeIntentRecord(ops));
+  if (!token.ok()) {
+    tag_indexer_->ReleaseSlots(n);
+    return token.status();
+  }
+  tag_indexer_->EnqueueReserved(std::move(iops));
+  *token_out = *token;
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------- naming
@@ -542,7 +627,7 @@ Result<ObjectId> FileSystem::Create(const std::vector<TagValue>& names) {
       return Status::NotFound("no index store for tag '" + name.tag + "'");
     }
   }
-  HFAD_ASSIGN_OR_RETURN(ObjectId oid, osd_->CreateObject());
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, cluster_->CreateObject());
   if (names.empty()) {
     return oid;
   }
@@ -564,14 +649,17 @@ Status FileSystem::Remove(ObjectId oid) {
   // Strip any full-text postings (journaled so replay stays in sync).
   {
     auto lock = tag_mu_.LockExclusive(oid);
-    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeOidRecord(kNsUnindexContent, oid)));
+    uint64_t token = 0;
+    HFAD_RETURN_IF_ERROR(
+        cluster_->AppendForeign(oid, EncodeOidRecord(kNsUnindexContent, oid), &token));
     auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
     Status s = ft->Remove(Slice(), oid);
     if (!s.ok() && !s.IsNotFound()) {
       return s;
     }
+    cluster_->MarkForeignApplied(token);
   }
-  return osd_->DeleteObject(oid);
+  return cluster_->DeleteObject(oid);
 }
 
 // ---------------------------------------------------------------- tags
@@ -615,7 +703,7 @@ Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
   if (indexes_->store(name.tag) == nullptr) {
     return Status::NotFound("no index store for tag '" + name.tag + "'");
   }
-  if (!osd_->Exists(oid)) {
+  if (!cluster_->Exists(oid)) {
     return Status::NotFound("no object " + std::to_string(oid));
   }
   return AddTagValidated(oid, name);
@@ -623,19 +711,25 @@ Status FileSystem::AddTag(ObjectId oid, const TagValue& name) {
 
 Status FileSystem::AddTagValidated(ObjectId oid, const TagValue& name) {
   auto lock = tag_mu_.LockExclusive(oid);
+  uint64_t token = 0;
   if (tag_indexer_ != nullptr) {
     // Lazy: journal the intent + enqueue the forward update, then update only the
     // reverse map inline — naming state (Tags/HasName/Remove) stays authoritative
     // while the posting btrees catch up in the background.
-    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents({BatchOp{kNsAddTag, oid, name}}));
+    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents({BatchOp{kNsAddTag, oid, name}}, &token));
     size_t shard = TagShardOf(oid);
     HFAD_RETURN_IF_ERROR(reverse_[shard].tree->Put(ReverseKey(oid, name), Slice()));
-    return SyncReverseRoot(shard);
+    HFAD_RETURN_IF_ERROR(SyncReverseRoot(shard));
+    cluster_->MarkForeignApplied(token);
+    return Status::Ok();
   }
   if (osd_->journaling_enabled()) {
-    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsAddTag, oid, name)));
+    HFAD_RETURN_IF_ERROR(
+        cluster_->AppendForeign(oid, EncodeTagRecord(kNsAddTag, oid, name), &token));
   }
-  return AddTagApply(oid, name);
+  HFAD_RETURN_IF_ERROR(AddTagApply(oid, name));
+  cluster_->MarkForeignApplied(token);
+  return Status::Ok();
 }
 
 Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
@@ -650,19 +744,26 @@ Status FileSystem::RemoveTag(ObjectId oid, const TagValue& name) {
     return Status::NotFound("object " + std::to_string(oid) + " has no name " + name.tag +
                             ":" + name.value);
   }
+  uint64_t token = 0;
   if (tag_indexer_ != nullptr) {
-    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents({BatchOp{kNsRemoveTag, oid, name}}));
+    HFAD_RETURN_IF_ERROR(
+        JournalAndEnqueueIntents({BatchOp{kNsRemoveTag, oid, name}}, &token));
     size_t shard = TagShardOf(oid);
     Status s = reverse_[shard].tree->Delete(ReverseKey(oid, name));
     if (!s.ok() && !s.IsNotFound()) {
       return s;
     }
-    return SyncReverseRoot(shard);
+    HFAD_RETURN_IF_ERROR(SyncReverseRoot(shard));
+    cluster_->MarkForeignApplied(token);
+    return Status::Ok();
   }
   if (osd_->journaling_enabled()) {
-    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeTagRecord(kNsRemoveTag, oid, name)));
+    HFAD_RETURN_IF_ERROR(
+        cluster_->AppendForeign(oid, EncodeTagRecord(kNsRemoveTag, oid, name), &token));
   }
-  return RemoveTagApply(oid, name);
+  HFAD_RETURN_IF_ERROR(RemoveTagApply(oid, name));
+  cluster_->MarkForeignApplied(token);
+  return Status::Ok();
 }
 
 Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
@@ -674,7 +775,7 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
   std::vector<uint64_t> oids;
   oids.reserve(ops.size());
   for (const BatchOp& op : ops) {
-    if (!osd_->Exists(op.oid)) {
+    if (!cluster_->Exists(op.oid)) {
       return Status::NotFound("no object " + std::to_string(op.oid));
     }
     oids.push_back(op.oid);
@@ -693,8 +794,11 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
   }
   if (tag_indexer_ != nullptr) {
     // Lazy: ONE intent record + one enqueue for the whole batch, reverse map inline,
-    // each touched shard's root synced once.
-    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents(ops));
+    // each touched shard's root synced once. A batch spanning multiple owner shards
+    // commits via the cluster's prepare/commit protocol inside
+    // JournalAndEnqueueIntents.
+    uint64_t token = 0;
+    HFAD_RETURN_IF_ERROR(JournalAndEnqueueIntents(ops, &token));
     std::vector<size_t> shards;
     for (const BatchOp& op : ops) {
       size_t shard = TagShardOf(op.oid);
@@ -713,8 +817,10 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
     for (size_t shard : shards) {
       HFAD_RETURN_IF_ERROR(SyncReverseRoot(shard));
     }
+    cluster_->MarkForeignApplied(token);
     return Status::Ok();
   }
+  uint64_t token = 0;
   if (osd_->journaling_enabled()) {
     std::string rec;
     rec.push_back(static_cast<char>(kNsBatch));
@@ -725,7 +831,23 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
       PutLengthPrefixed(&rec, op.name.tag);
       PutLengthPrefixed(&rec, op.name.value);
     }
-    HFAD_RETURN_IF_ERROR(osd_->AppendForeign(rec));
+    bool multi_shard = false;
+    if (cluster_->shard_count() > 1) {
+      const size_t first = cluster_->ShardOf(oids[0]);
+      for (uint64_t oid : oids) {
+        if (cluster_->ShardOf(oid) != first) {
+          multi_shard = true;
+          break;
+        }
+      }
+    }
+    if (multi_shard) {
+      // Atomic across owners: prepares on every participant, commit on the
+      // coordinator, all durable before any op applies (src/osd/osd_cluster.h).
+      HFAD_ASSIGN_OR_RETURN(token, cluster_->CommitForeignBatch(oids, rec));
+    } else {
+      HFAD_RETURN_IF_ERROR(cluster_->AppendForeign(oids[0], rec, &token));
+    }
   }
   for (const BatchOp& op : ops) {
     if (op.op == kNsAddTag) {
@@ -734,11 +856,12 @@ Status FileSystem::CommitBatch(const std::vector<BatchOp>& ops) {
       HFAD_RETURN_IF_ERROR(RemoveTagApply(op.oid, op.name));
     }
   }
+  cluster_->MarkForeignApplied(token);
   return Status::Ok();
 }
 
 Result<std::vector<TagValue>> FileSystem::Tags(ObjectId oid) const {
-  if (!osd_->Exists(oid)) {
+  if (!cluster_->Exists(oid)) {
     return Status::NotFound("no object " + std::to_string(oid));
   }
   auto lock = tag_mu_.LockShared(oid);
@@ -792,28 +915,35 @@ Status FileSystem::ScanAllNames(
 }
 
 Status FileSystem::IndexContentNow(ObjectId oid) {
-  HFAD_ASSIGN_OR_RETURN(uint64_t size, osd_->Size(oid));
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, cluster_->Size(oid));
   std::string content;
-  HFAD_RETURN_IF_ERROR(osd_->Read(oid, 0, size, &content));
+  HFAD_RETURN_IF_ERROR(cluster_->Read(oid, 0, size, &content));
   auto* ft = static_cast<index::FullTextIndexStore*>(indexes_->store(index::kTagFulltext));
   return ft->Add(content, oid);
 }
 
 Status FileSystem::IndexContent(ObjectId oid) {
-  if (!osd_->Exists(oid)) {
+  if (!cluster_->Exists(oid)) {
     return Status::NotFound("no object " + std::to_string(oid));
   }
   auto lock = tag_mu_.LockExclusive(oid);
-  HFAD_RETURN_IF_ERROR(osd_->AppendForeign(EncodeOidRecord(kNsIndexContent, oid)));
+  uint64_t token = 0;
+  HFAD_RETURN_IF_ERROR(
+      cluster_->AppendForeign(oid, EncodeOidRecord(kNsIndexContent, oid), &token));
   if (lazy_indexer_ == nullptr) {
-    return IndexContentNow(oid);
+    HFAD_RETURN_IF_ERROR(IndexContentNow(oid));
+    cluster_->MarkForeignApplied(token);
+    return Status::Ok();
   }
   // Snapshot the content now so later writes do not race the background worker; the
   // worker indexes exactly these bytes.
-  HFAD_ASSIGN_OR_RETURN(uint64_t size, osd_->Size(oid));
+  HFAD_ASSIGN_OR_RETURN(uint64_t size, cluster_->Size(oid));
   std::string content;
-  HFAD_RETURN_IF_ERROR(osd_->Read(oid, 0, size, &content));
+  HFAD_RETURN_IF_ERROR(cluster_->Read(oid, 0, size, &content));
   lazy_indexer_->Submit(oid, std::move(content));
+  // Same crash contract as the single-volume lazy path: the record's redo (a content
+  // re-read) is durable until here; the submitted snapshot itself lives only in memory.
+  cluster_->MarkForeignApplied(token);
   return Status::Ok();
 }
 
@@ -846,32 +976,32 @@ std::vector<std::pair<ObjectId, TagValue>> FileSystem::PendingIndexIntents() con
 // ---------------------------------------------------------------- access
 
 Status FileSystem::Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const {
-  return osd_->Read(oid, offset, n, out);
+  return cluster_->Read(oid, offset, n, out);
 }
 
 Status FileSystem::Write(ObjectId oid, uint64_t offset, Slice data) {
-  return osd_->Write(oid, offset, data);
+  return cluster_->Write(oid, offset, data);
 }
 
 Status FileSystem::Insert(ObjectId oid, uint64_t offset, Slice data) {
-  return osd_->Insert(oid, offset, data);
+  return cluster_->Insert(oid, offset, data);
 }
 
 Status FileSystem::Truncate(ObjectId oid, uint64_t offset, uint64_t length) {
-  return osd_->RemoveRange(oid, offset, length);
+  return cluster_->RemoveRange(oid, offset, length);
 }
 
-Result<uint64_t> FileSystem::Size(ObjectId oid) const { return osd_->Size(oid); }
+Result<uint64_t> FileSystem::Size(ObjectId oid) const { return cluster_->Size(oid); }
 
-Result<osd::ObjectMeta> FileSystem::Stat(ObjectId oid) const { return osd_->Stat(oid); }
+Result<osd::ObjectMeta> FileSystem::Stat(ObjectId oid) const { return cluster_->Stat(oid); }
 
 Status FileSystem::SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid) {
-  return osd_->SetAttributes(oid, mode, uid, gid);
+  return cluster_->SetAttributes(oid, mode, uid, gid);
 }
 
-Status FileSystem::Sync() { return osd_->Sync(); }
+Status FileSystem::Sync() { return cluster_->Sync(); }
 
-Status FileSystem::Checkpoint() { return osd_->Checkpoint(); }
+Status FileSystem::Checkpoint() { return cluster_->Checkpoint(); }
 
 // ---------------------------------------------------------------- observability
 
@@ -883,16 +1013,47 @@ std::string FileSystem::DumpMetrics() const {
   metrics::WriteCountersJson(&w);
   metrics::WriteHistogramsJson(&w);
 
+  // Gauges aggregate across shards (sums for counts, max for occupancy — the shard
+  // closest to a forced checkpoint is the one that matters) so the top-level keys keep
+  // their single-volume meaning; the per-shard breakdown follows.
+  double occupancy = 0.0;
+  uint64_t pending_records = 0, resident_pages = 0, dirty_pages = 0;
+  for (size_t k = 0; k < cluster_->shard_count(); k++) {
+    osd::Osd* shard = cluster_->shard(k);
+    occupancy = std::max(occupancy, shard->journal_occupancy());
+    pending_records += shard->journal_pending_records();
+    resident_pages += shard->pager()->cached_pages();
+    dirty_pages += shard->pager()->dirty_pages();
+  }
   w.Key("gauges").BeginObject();
-  w.Key("journal_occupancy_pct").Value(osd_->journal_occupancy() * 100.0);
-  w.Key("journal_pending_records").Value(osd_->journal_pending_records());
-  w.Key("pager_resident_pages").Value(static_cast<uint64_t>(osd_->pager()->cached_pages()));
-  w.Key("pager_dirty_pages").Value(static_cast<uint64_t>(osd_->pager()->dirty_pages()));
+  w.Key("journal_occupancy_pct").Value(occupancy * 100.0);
+  w.Key("journal_pending_records").Value(pending_records);
+  w.Key("pager_resident_pages").Value(resident_pages);
+  w.Key("pager_dirty_pages").Value(dirty_pages);
   w.Key("indexer_queue_depth")
       .Value(static_cast<uint64_t>(tag_indexer_ != nullptr ? tag_indexer_->PendingCount() : 0));
   w.Key("checkpointer_state").Value(static_cast<int64_t>(osd_->checkpointer_state()));
-  w.Key("object_count").Value(osd_->object_count());
+  w.Key("object_count").Value(cluster_->object_count());
+  w.Key("shard_count").Value(static_cast<uint64_t>(cluster_->shard_count()));
   w.EndObject();
+
+  if (cluster_->shard_count() > 1) {
+    w.Key("shards").BeginArray();
+    for (size_t k = 0; k < cluster_->shard_count(); k++) {
+      osd::Osd* shard = cluster_->shard(k);
+      w.BeginObject();
+      w.Key("shard").Value(static_cast<uint64_t>(k));
+      w.Key("journal_occupancy_pct").Value(shard->journal_occupancy() * 100.0);
+      w.Key("journal_pending_records").Value(shard->journal_pending_records());
+      w.Key("pager_resident_pages")
+          .Value(static_cast<uint64_t>(shard->pager()->cached_pages()));
+      w.Key("pager_dirty_pages").Value(static_cast<uint64_t>(shard->pager()->dirty_pages()));
+      w.Key("checkpointer_state").Value(static_cast<int64_t>(shard->checkpointer_state()));
+      w.Key("object_count").Value(shard->object_count());
+      w.EndObject();
+    }
+    w.EndArray();
+  }
 
   w.Key("locks").BeginObject();
   WriteLockStatsJson(&w, "tag_shards", tag_mu_);
@@ -941,7 +1102,7 @@ Result<query::FindPage> SearchCursor::ResultsPage(const query::FindOptions& opti
     if (after == std::numeric_limits<ObjectId>::max()) {
       return page;  // Nothing can follow the maximal oid.
     }
-    HFAD_RETURN_IF_ERROR(const_cast<FileSystem*>(fs_)->volume()->ScanObjects(
+    HFAD_RETURN_IF_ERROR(fs_->cluster()->ScanObjects(
         after + 1, [&](ObjectId oid, const osd::ObjectMeta&) {
           if (options.limit != 0 && page.ids.size() == options.limit) {
             page.has_more = true;
@@ -996,7 +1157,7 @@ Result<ObjectId> NamespaceBatch::Create(const std::vector<TagValue>& names) {
       return Status::NotFound("no index store for tag '" + name.tag + "'");
     }
   }
-  HFAD_ASSIGN_OR_RETURN(ObjectId oid, fs_->volume()->CreateObject());
+  HFAD_ASSIGN_OR_RETURN(ObjectId oid, fs_->cluster_->CreateObject());
   for (const TagValue& name : names) {
     ops_.push_back(FileSystem::BatchOp{kNsAddTag, oid, name});
   }

@@ -39,6 +39,7 @@
 #include "src/fulltext/fulltext.h"
 #include "src/index/index_store.h"
 #include "src/osd/osd.h"
+#include "src/osd/osd_cluster.h"
 #include "src/query/query.h"
 #include "src/storage/block_device.h"
 
@@ -61,6 +62,13 @@ struct FileSystemOptions {
   bool lazy_tag_indexing = false;
   // Bound on acknowledged-but-unapplied tag intents; mutators block past it.
   size_t tag_intent_queue_capacity = 4096;
+  // Number of OSD shards (ROADMAP item 1). 1 (the default) is today's single-volume
+  // behavior, byte-compatible with existing volumes; 0 means one shard per device
+  // passed to the multi-device Create/Open. Any other value must match the device
+  // count. Objects are hash-placed across shards; namespace metadata lives on shard 0;
+  // cross-shard NamespaceBatch commits use the cluster's prepare/commit protocol
+  // (src/osd/osd_cluster.h).
+  size_t shard_count = 1;
 };
 
 class SearchCursor;
@@ -74,6 +82,14 @@ class FileSystem {
   // Open an existing volume, recovering object store and namespace together.
   static Result<std::unique_ptr<FileSystem>> Open(std::shared_ptr<BlockDevice> device,
                                                   FileSystemOptions options = {});
+
+  // Sharded forms: one volume per device, objects hash-placed across them
+  // (FileSystemOptions::shard_count must be 0 or match devices.size()). Open recovers
+  // every shard and resolves in-doubt cross-shard batches before returning.
+  static Result<std::unique_ptr<FileSystem>> Create(
+      std::vector<std::shared_ptr<BlockDevice>> devices, FileSystemOptions options = {});
+  static Result<std::unique_ptr<FileSystem>> Open(
+      std::vector<std::shared_ptr<BlockDevice>> devices, FileSystemOptions options = {});
 
   ~FileSystem();
 
@@ -208,14 +224,19 @@ class FileSystem {
 
   // ---- Lower layers (for the POSIX shim, benches, and tests) ----
 
-  osd::Osd* volume() { return osd_.get(); }
+  // The metadata shard (shard 0) — where named roots, index stores, and journal gauges
+  // live. On a single-shard filesystem this is the whole volume, as before.
+  osd::Osd* volume() { return osd_; }
+  osd::OsdCluster* cluster() { return cluster_.get(); }
+  const osd::OsdCluster* cluster() const { return cluster_.get(); }
   index::IndexCollection* indexes() { return indexes_.get(); }
   const index::IndexCollection* indexes() const { return indexes_.get(); }
 
  private:
   friend class NamespaceBatch;
 
-  FileSystem(std::unique_ptr<osd::Osd> osd, std::unique_ptr<index::IndexCollection> indexes,
+  FileSystem(std::unique_ptr<osd::OsdCluster> cluster,
+             std::unique_ptr<index::IndexCollection> indexes,
              const FileSystemOptions& options);
 
   // One staged namespace mutation (NamespaceBatch's unit; also the journal sub-record).
@@ -232,19 +253,26 @@ class FileSystem {
   Status CommitBatch(const std::vector<BatchOp>& ops);
 
   // Apply one foreign journal record (shared by live journaling and crash replay).
+  // `meta` is the metadata shard (namespace btrees), `data` the shard whose journal the
+  // record came from (object content reads for kNsIndexContent) — the same Osd on a
+  // single-shard filesystem. When `filter_to_shard` is set the payload is a cross-shard
+  // batch redone on one participant: only sub-ops whose oid is owned by `shard` apply.
   // Index-intent records (lazy mode) replay their reverse-map half inline and append
   // the deferred forward half to `recovered` (applied fully inline when null).
-  static Status ApplyNamespaceRecord(osd::Osd* volume, index::IndexCollection* indexes,
-                                     Slice payload,
+  static Status ApplyNamespaceRecord(osd::Osd* meta, osd::Osd* data,
+                                     const osd::OsdCluster* cluster, size_t shard,
+                                     bool filter_to_shard,
+                                     index::IndexCollection* indexes, Slice payload,
                                      std::vector<BatchOp>* recovered = nullptr);
 
-  // Replay one add/remove association (single-tag records and batch sub-records).
-  static Status ReplayTagOp(osd::Osd* volume, index::IndexCollection* indexes, uint8_t op,
+  // Replay one add/remove association (single-tag records and batch sub-records). All
+  // namespace state lives on `meta`.
+  static Status ReplayTagOp(osd::Osd* meta, index::IndexCollection* indexes, uint8_t op,
                             ObjectId oid, const TagValue& name);
 
   // Replay the reverse-map half of one index intent (the inline half of the lazy
   // write path; the forward half is what `recovered` carries out of replay).
-  static Status ReplayIntentReverse(osd::Osd* volume, index::IndexCollection* indexes,
+  static Status ReplayIntentReverse(osd::Osd* meta, index::IndexCollection* indexes,
                                     uint8_t op, ObjectId oid, const TagValue& name);
 
   // Serialize ops as one kNsIndexIntent journal payload.
@@ -254,10 +282,14 @@ class FileSystem {
   // forward updates inline (non-lazy), then install the live checkpoint provider.
   Status AdoptRecoveredIntents(std::vector<BatchOp> recovered);
 
-  // Lazy-mode body of AddTagValidated/RemoveTag/CommitBatch: reserve queue slots,
-  // journal ONE intent record with the enqueue riding the same journal-lock hold, then
-  // apply the reverse-map half inline. Caller holds every involved tag shard.
-  Status JournalAndEnqueueIntents(const std::vector<BatchOp>& ops);
+  // Lazy-mode body of AddTagValidated/RemoveTag/CommitBatch: reserve queue slots, then
+  // journal ONE intent record — on the owning shard with the enqueue riding the same
+  // journal-lock hold when all ops share an owner, or via the cluster's cross-shard
+  // prepare/commit protocol (the retention lists carry the records over the enqueue
+  // gap) when they do not. Caller holds every involved tag shard, applies the
+  // reverse-map half afterwards, and passes `token_out` to MarkForeignApplied once it
+  // has.
+  Status JournalAndEnqueueIntents(const std::vector<BatchOp>& ops, uint64_t* token_out);
 
   // AddTag minus the tag/store/existence validation, for callers (Create) that have
   // already established those invariants.
@@ -287,7 +319,8 @@ class FileSystem {
   Status SyncReverseRoot(size_t shard);
 
   const FileSystemOptions options_;
-  std::unique_ptr<osd::Osd> osd_;
+  std::unique_ptr<osd::OsdCluster> cluster_;
+  osd::Osd* osd_ = nullptr;  // cluster_->meta(): the shard namespace state lives on.
   std::unique_ptr<index::IndexCollection> indexes_;
   std::unique_ptr<query::QueryEngine> query_engine_;
   std::unique_ptr<fulltext::LazyIndexer> lazy_indexer_;

@@ -25,6 +25,9 @@ std::string FsckReport::ToString() const {
   std::string out = "fsck: " + std::to_string(objects_checked) + " objects, " +
                     std::to_string(names_checked) + " names, " +
                     std::to_string(postings_checked) + " indexed documents";
+  if (shards_checked > 1) {
+    out += " across " + std::to_string(shards_checked) + " shards";
+  }
   if (clean()) {
     return out + " — clean";
   }
@@ -37,21 +40,25 @@ std::string FsckReport::ToString() const {
 
 Result<FsckReport> CheckFileSystem(FileSystem* fs) {
   FsckReport report;
-  osd::Osd* volume = fs->volume();
+  // All object probes route through the cluster: on a sharded filesystem ScanObjects
+  // merges the per-shard tables into global oid order and CheckObject/Exists hit the
+  // owning shard, so the invariants below hold across every volume at once.
+  const osd::OsdCluster* cluster = fs->cluster();
   index::IndexCollection* indexes = fs->indexes();
+  report.shards_checked = cluster->shard_count();
 
   // 1. Every object's data structures are internally consistent. Snapshot the oid list
   // first: CheckObject takes an object-shard lock, and mutators hold that lock while
   // updating the object table, so probing from inside ScanObjects' table lock would
   // invert the order (deadlock hazard when fsck runs beside live traffic).
   std::vector<ObjectId> oids;
-  HFAD_RETURN_IF_ERROR(volume->ScanObjects([&](ObjectId oid, const osd::ObjectMeta&) {
+  HFAD_RETURN_IF_ERROR(cluster->ScanObjects([&](ObjectId oid, const osd::ObjectMeta&) {
     oids.push_back(oid);
     return true;
   }));
   for (ObjectId oid : oids) {
     report.objects_checked++;
-    Status s = volume->CheckObject(oid);
+    Status s = cluster->CheckObject(oid);
     if (s.IsNotFound()) {
       continue;  // Deleted between snapshot and probe.
     }
@@ -74,7 +81,7 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
   // 2. Reverse map -> forward indexes: no dangling names.
   HFAD_RETURN_IF_ERROR(fs->ScanAllNames([&](ObjectId oid, const TagValue& name) {
     report.names_checked++;
-    if (!volume->Exists(oid)) {
+    if (!cluster->Exists(oid)) {
       report.problems.push_back("name " + name.tag + ":" + name.value +
                                 " references dead object " + std::to_string(oid));
       return true;
@@ -109,7 +116,7 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
       return scan;  // Real IO failure; NotSupported just means non-enumerable store.
     }
     for (const auto& [value, oid] : entries) {
-      if (!volume->Exists(oid)) {
+      if (!cluster->Exists(oid)) {
         // A pending remove intent (Remove() on a lazy filesystem deletes the object
         // before the worker strips its postings) is not an inconsistency.
         if (pending.count(PendingKey(oid, {tag, value})) == 0) {
@@ -131,7 +138,7 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
   auto* ft = static_cast<index::FullTextIndexStore*>(indexes->store(index::kTagFulltext));
   HFAD_RETURN_IF_ERROR(ft->engine()->ScanDocuments([&](uint64_t docid) {
     report.postings_checked++;
-    if (!volume->Exists(docid)) {
+    if (!cluster->Exists(docid)) {
       report.problems.push_back("full-text index contains dead object " +
                                 std::to_string(docid));
     }

@@ -31,6 +31,8 @@ struct FsckReport {
   uint64_t objects_checked = 0;
   uint64_t names_checked = 0;
   uint64_t postings_checked = 0;
+  // OSD shards the object pass covered (1 on a single-volume filesystem).
+  uint64_t shards_checked = 0;
   // Human-readable description of every inconsistency found.
   std::vector<std::string> problems;
 

@@ -598,6 +598,18 @@ Status Osd::CheckpointLocked() {
     std::lock_guard<std::mutex> lock(journal_mu_);
     epilogue_reserved_ = 0;
   }
+  // The checkpoint succeeded: everything applied to this volume before the quiesce is
+  // durable. Tell the registered listener (OsdCluster retention trimming) last, still
+  // under the exclusive volume lock, so nothing can apply-and-mark between the page
+  // flush above and the notification.
+  std::function<void()> callback;
+  {
+    std::lock_guard<std::mutex> lock(foreign_mu_);
+    callback = checkpoint_callback_;
+  }
+  if (callback) {
+    callback();
+  }
   return Status::Ok();
 }
 
@@ -667,6 +679,27 @@ Status Osd::AppendForeign(Slice payload, const std::function<void()>& with_lock)
 void Osd::SetUnappliedForeignProvider(UnappliedForeignFn fn) {
   std::lock_guard<std::mutex> lock(foreign_mu_);
   unapplied_foreign_ = std::move(fn);
+}
+
+void Osd::SetCheckpointCallback(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(foreign_mu_);
+  checkpoint_callback_ = std::move(fn);
+}
+
+void Osd::RequestCheckpoint() {
+  if (!checkpoint_thread_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (ckpt_requested_ || ckpt_shutdown_) {
+      return;
+    }
+    ckpt_requested_ = true;
+    ckpt_state_.store(static_cast<int>(CheckpointerState::kKicked),
+                      std::memory_order_relaxed);
+  }
+  ckpt_cv_.notify_one();
 }
 
 // ---------------------------------------------------------------- replay
@@ -750,6 +783,29 @@ Result<ObjectId> Osd::CreateObject() {
   (void)fits;  // A create record always fits.
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   ObjectId oid = next_oid_.fetch_add(1);
+  auto olock = object_mu_.LockExclusive(oid);
+  uint64_t now = NowNs();
+  if (options_.journaling && !in_recovery_) {
+    rec_payload.push_back(static_cast<char>(kRtCreate));
+    PutVarint64(&rec_payload, oid);
+    PutFixed64(&rec_payload, now);
+    HFAD_RETURN_IF_ERROR(JournalRecord(rec_payload, reserved));
+  }
+  HFAD_RETURN_IF_ERROR(DoCreate(oid, now).status());
+  return oid;
+}
+
+Result<ObjectId> Osd::CreateObjectAt(ObjectId oid) {
+  std::string rec_payload;
+  uint64_t reserved = 0;
+  HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
+  (void)fits;  // A create record always fits.
+  std::shared_lock<std::shared_mutex> vlock(volume_mu_);
+  // Advance the counter past the chosen id (same CAS loop as replay) so a later
+  // CreateObject() on this volume can never collide with it.
+  uint64_t expect = next_oid_.load();
+  while (expect <= oid && !next_oid_.compare_exchange_weak(expect, oid + 1)) {
+  }
   auto olock = object_mu_.LockExclusive(oid);
   uint64_t now = NowNs();
   if (options_.journaling && !in_recovery_) {

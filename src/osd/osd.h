@@ -114,6 +114,15 @@ class Osd {
   // Allocate a fresh object (empty, metadata defaulted, times set to now).
   Result<ObjectId> CreateObject();
 
+  // Create an object under a caller-chosen id (AlreadyExists when taken) and advance
+  // the volume's id counter past it. OsdCluster allocates ids from a cluster-wide
+  // counter and places them by hash, so the owning volume cannot pick the id itself.
+  Result<ObjectId> CreateObjectAt(ObjectId oid);
+
+  // The next id CreateObject() would hand out. OsdCluster recovers its cluster-wide
+  // counter as the max across shards.
+  uint64_t next_object_id() const { return next_oid_.load(); }
+
   // Remove an object and free all its storage.
   Status DeleteObject(ObjectId oid);
 
@@ -217,6 +226,17 @@ class Osd {
   // (the default) leaves the persisted set untouched.
   using UnappliedForeignFn = std::function<std::vector<std::string>()>;
   void SetUnappliedForeignProvider(UnappliedForeignFn fn);
+
+  // Invoked at the very end of every successful checkpoint, still under the exclusive
+  // volume lock. OsdCluster hangs retention-list trimming off the metadata shard's
+  // checkpoints: once this volume's checkpoint has captured the cross-shard effects,
+  // the other shards' copies of the corresponding records may be dropped. The callback
+  // must not call back into this Osd (the volume lock is held) and must not block.
+  void SetCheckpointCallback(std::function<void()> fn);
+
+  // Wake the background checkpointer regardless of journal occupancy (no-op when the
+  // thread is not running). OsdCluster uses it to bound retention-list growth.
+  void RequestCheckpoint();
 
   // True while Open() is replaying the journal. Higher layers use this to suppress
   // re-journaling during their own replay.
@@ -337,6 +357,7 @@ class Osd {
   // so installation can race checkpoints safely.
   std::mutex foreign_mu_;
   UnappliedForeignFn unapplied_foreign_;
+  std::function<void()> checkpoint_callback_;  // Also guarded by foreign_mu_.
 
   // Background checkpointer state (StartCheckpointThread).
   std::thread checkpoint_thread_;

@@ -1,0 +1,515 @@
+#include "src/osd/osd_cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/coding.h"
+
+namespace hfad {
+namespace osd {
+
+// ---------------------------------------------------------------- construction
+
+Result<std::unique_ptr<OsdCluster>> OsdCluster::Create(
+    std::vector<std::shared_ptr<BlockDevice>> devices, const OsdOptions& options) {
+  if (devices.empty()) {
+    return Status::InvalidArgument("cluster needs at least one device");
+  }
+  std::unique_ptr<OsdCluster> cluster(new OsdCluster());
+  const size_t n = devices.size();
+  cluster->n_ = n;
+  cluster->journaling_ = options.journaling;
+  cluster->retained_.resize(n);
+  cluster->provider_installed_.assign(n, false);
+  for (size_t k = 0; k < n; k++) {
+    HFAD_ASSIGN_OR_RETURN(std::unique_ptr<Osd> osd,
+                          Osd::Create(std::move(devices[k]), options));
+    cluster->osds_.push_back(std::move(osd));
+  }
+  if (n > 1) {
+    OsdCluster* raw = cluster.get();
+    for (size_t k = 0; k < n; k++) {
+      // Stamp and checkpoint each shard so a crash right after Create still leaves an
+      // openable, correctly-identified cluster. Single-shard volumes are deliberately
+      // not stamped: they stay byte-compatible with pre-cluster volumes.
+      const uint64_t stamp = (static_cast<uint64_t>(n) << 32) | (k + 1);
+      HFAD_RETURN_IF_ERROR(cluster->osds_[k]->SetNamedRoot(kShardStampRoot, stamp));
+      HFAD_RETURN_IF_ERROR(cluster->osds_[k]->Checkpoint());
+      cluster->InstallShardProvider(k, cluster->osds_[k].get());
+    }
+    cluster->osds_[0]->SetCheckpointCallback([raw] { raw->TrimRetained(); });
+  }
+  return cluster;
+}
+
+Result<std::unique_ptr<OsdCluster>> OsdCluster::Open(
+    std::vector<std::shared_ptr<BlockDevice>> devices, const OsdOptions& options,
+    ForeignReplayFn replay_foreign) {
+  if (devices.empty()) {
+    return Status::InvalidArgument("cluster needs at least one device");
+  }
+  std::unique_ptr<OsdCluster> cluster(new OsdCluster());
+  const size_t n = devices.size();
+  cluster->n_ = n;
+  cluster->journaling_ = options.journaling;
+  cluster->hook_ = std::move(replay_foreign);
+  cluster->retained_.resize(n);
+  cluster->provider_installed_.assign(n, false);
+  OsdCluster* raw = cluster.get();
+  // Shards open in index order. The coordinator of any batch is its minimum
+  // participant index, so a batch's verdict (commit record present or not) is always
+  // established before a higher shard's prepare record replays.
+  for (size_t k = 0; k < n; k++) {
+    auto opened = Osd::Open(std::move(devices[k]), options,
+                            [raw, k](Osd* volume, Slice payload) {
+                              return raw->ReplayShardRecord(k, volume, payload);
+                            });
+    raw->opening_ = nullptr;
+    HFAD_RETURN_IF_ERROR(opened.status());
+    cluster->osds_.push_back(std::move(opened).value());
+    // Coordinator-side prepares whose commit never appeared in this shard's stream:
+    // the commit was never durable, so the batch is uncommitted — discard.
+    cluster->open_deferred_.clear();
+    HFAD_ASSIGN_OR_RETURN(uint64_t stamp,
+                          cluster->osds_[k]->GetNamedRoot(kShardStampRoot));
+    if (n == 1) {
+      if (stamp != 0) {
+        return Status::InvalidArgument(
+            "volume is shard " + std::to_string((stamp & 0xffffffffu) - 1) + " of a " +
+            std::to_string(stamp >> 32) + "-shard cluster; open it with all its devices");
+      }
+    } else {
+      const uint64_t want = (static_cast<uint64_t>(n) << 32) | (k + 1);
+      if (stamp != want) {
+        return Status::InvalidArgument("device " + std::to_string(k) +
+                                       " is not shard " + std::to_string(k) + " of a " +
+                                       std::to_string(n) + "-shard cluster");
+      }
+      if (!cluster->provider_installed_[k]) {
+        cluster->InstallShardProvider(k, cluster->osds_[k].get());
+      }
+    }
+  }
+  uint64_t next = 1;
+  for (const auto& osd : cluster->osds_) {
+    next = std::max(next, osd->next_object_id());
+  }
+  cluster->next_oid_.store(next);
+  cluster->next_batch_id_.store(cluster->max_batch_id_seen_ + 1);
+  if (n > 1) {
+    cluster->osds_[0]->SetCheckpointCallback([raw] { raw->TrimRetained(); });
+  }
+  return cluster;
+}
+
+OsdCluster::~OsdCluster() { (void)Close(); }
+
+Status OsdCluster::Close() {
+  // Metadata shard first: its checkpoint makes every cross-shard effect durable and
+  // trims the retention lists, so the data shards then close with (near-)empty pending
+  // sets. Every shard is closed even if an earlier one fails.
+  Status first;
+  for (auto& osd : osds_) {
+    Status s = osd->Close();
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+// ---------------------------------------------------------------- object ops
+
+Result<ObjectId> OsdCluster::CreateObject() {
+  if (n_ == 1) {
+    return osds_[0]->CreateObject();
+  }
+  const ObjectId oid = next_oid_.fetch_add(1);
+  return osds_[ShardOf(oid)]->CreateObjectAt(oid);
+}
+
+uint64_t OsdCluster::object_count() const {
+  uint64_t total = 0;
+  for (const auto& osd : osds_) {
+    total += osd->object_count();
+  }
+  return total;
+}
+
+Status OsdCluster::ScanObjects(
+    ObjectId start, const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {
+  if (n_ == 1) {
+    return osds_[0]->ScanObjects(start, fn);
+  }
+  // K-way merge over per-shard ordered scans. Each head is fetched with a one-item
+  // seek, so a capped consumer (cursor pagination) costs O(page * shards * log n)
+  // instead of a full sweep.
+  struct Head {
+    bool valid = false;
+    ObjectId oid = 0;
+    ObjectMeta meta;
+  };
+  std::vector<Head> heads(n_);
+  auto refill = [&](size_t k, ObjectId from) -> Status {
+    heads[k].valid = false;
+    return osds_[k]->ScanObjects(from, [&](ObjectId oid, const ObjectMeta& meta) {
+      heads[k].valid = true;
+      heads[k].oid = oid;
+      heads[k].meta = meta;
+      return false;
+    });
+  };
+  for (size_t k = 0; k < n_; k++) {
+    HFAD_RETURN_IF_ERROR(refill(k, start));
+  }
+  for (;;) {
+    size_t best = n_;
+    for (size_t k = 0; k < n_; k++) {
+      if (heads[k].valid && (best == n_ || heads[k].oid < heads[best].oid)) {
+        best = k;
+      }
+    }
+    if (best == n_) {
+      return Status::Ok();
+    }
+    if (!fn(heads[best].oid, heads[best].meta)) {
+      return Status::Ok();
+    }
+    if (heads[best].oid == std::numeric_limits<ObjectId>::max()) {
+      heads[best].valid = false;
+      continue;
+    }
+    HFAD_RETURN_IF_ERROR(refill(best, heads[best].oid + 1));
+  }
+}
+
+// ---------------------------------------------------------------- durability
+
+Status OsdCluster::Sync() {
+  for (auto& osd : osds_) {
+    HFAD_RETURN_IF_ERROR(osd->Sync());
+  }
+  return Status::Ok();
+}
+
+Status OsdCluster::Checkpoint() {
+  // Index order puts the metadata shard first; see Close() for why that matters.
+  for (auto& osd : osds_) {
+    HFAD_RETURN_IF_ERROR(osd->Checkpoint());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- foreign records
+
+Status OsdCluster::AppendForeign(ObjectId oid, Slice payload, uint64_t* token_out) {
+  return AppendForeign(oid, payload, nullptr, token_out);
+}
+
+Status OsdCluster::AppendForeign(ObjectId oid, Slice payload,
+                                 const std::function<void()>& with_lock,
+                                 uint64_t* token_out) {
+  if (token_out != nullptr) {
+    *token_out = 0;
+  }
+  if (n_ == 1) {
+    // Pass-through, bit-for-bit what a bare Osd would journal.
+    return osds_[0]->AppendForeign(payload, with_lock);
+  }
+  const size_t k = ShardOf(oid);
+  std::string rec;
+  rec.reserve(payload.size() + 1);
+  rec.push_back(static_cast<char>(kCfPlain));
+  rec.append(payload.data(), payload.size());
+  // Records on the metadata shard itself need no retention: record and effects share a
+  // checkpoint, the same durability contract as a single volume.
+  const bool retain = journaling_ && k != 0;
+  const uint64_t token = retain ? next_token_.fetch_add(1) : 0;
+  Status s = osds_[k]->AppendForeign(rec, [&] {
+    if (retain) {
+      Retain(k, rec, token);
+    }
+    if (with_lock) {
+      with_lock();
+    }
+  });
+  HFAD_RETURN_IF_ERROR(s);
+  if (token_out != nullptr) {
+    *token_out = token;
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> OsdCluster::CommitForeignBatch(const std::vector<ObjectId>& oids,
+                                                Slice payload) {
+  if (n_ == 1) {
+    return Status::InvalidArgument("cross-shard batch on a single-shard cluster");
+  }
+  std::vector<size_t> parts;
+  parts.reserve(oids.size());
+  for (ObjectId oid : oids) {
+    parts.push_back(ShardOf(oid));
+  }
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  if (parts.size() < 2) {
+    return Status::InvalidArgument("cross-shard batch needs at least two owner shards");
+  }
+  if (!journaling_) {
+    return uint64_t{0};  // Checkpoint durability only, like every other mutation.
+  }
+  const size_t coord = parts[0];
+  const uint64_t batch_id = next_batch_id_.fetch_add(1);
+  const uint64_t token = next_token_.fetch_add(1);
+
+  std::string prep;
+  prep.reserve(payload.size() + 16);
+  prep.push_back(static_cast<char>(kCfPrepare));
+  PutFixed64(&prep, batch_id);
+  PutVarint64(&prep, coord);
+  prep.append(payload.data(), payload.size());
+  for (size_t k : parts) {
+    Status s = osds_[k]->AppendForeign(prep, [&] { Retain(k, prep, token); });
+    if (!s.ok()) {
+      // No commit record can exist: recovery discards the orphan prepares, so their
+      // retained copies may be dropped as soon as the metadata shard checkpoints.
+      MarkForeignApplied(token);
+      return s;
+    }
+  }
+  for (size_t k : parts) {
+    Status s = osds_[k]->Sync();
+    if (!s.ok()) {
+      MarkForeignApplied(token);
+      return s;
+    }
+  }
+
+  std::string com;
+  com.push_back(static_cast<char>(kCfCommit));
+  PutFixed64(&com, batch_id);
+  // Point of no return: once the commit append is attempted it may be (partially)
+  // durable, so on error the retained records are deliberately NOT marked applied —
+  // they stay in every participant's pending set until a recovery resolves the batch
+  // one way for all shards.
+  HFAD_RETURN_IF_ERROR(osds_[coord]->AppendForeign(com, [&] { Retain(coord, com, token); }));
+  // The commit must be durable before the caller applies the ops and releases its
+  // locks: recovery's discard rule assumes no later record depends on an uncommitted
+  // batch.
+  HFAD_RETURN_IF_ERROR(osds_[coord]->Sync());
+  return token;
+}
+
+void OsdCluster::MarkForeignApplied(uint64_t token) {
+  if (token == 0 || n_ == 1) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  applied_tokens_.insert(token);
+}
+
+void OsdCluster::SetUnappliedForeignProvider(UnappliedProviderFn fn) {
+  {
+    std::lock_guard<std::mutex> lock(provider_mu_);
+    higher_provider_ = std::move(fn);
+  }
+  if (n_ != 1) {
+    return;  // Per-shard providers read higher_provider_ at call time.
+  }
+  // Single shard: mirror the higher layer's provider directly onto the volume,
+  // unframed — including during recovery, when the volume has not been handed over yet
+  // (the final checkpoint inside Osd::Open persists through this provider).
+  Osd* volume = !osds_.empty() ? osds_[0].get() : opening_;
+  if (volume == nullptr) {
+    return;
+  }
+  bool has;
+  {
+    std::lock_guard<std::mutex> lock(provider_mu_);
+    has = static_cast<bool>(higher_provider_);
+  }
+  if (!has) {
+    volume->SetUnappliedForeignProvider(nullptr);
+    return;
+  }
+  volume->SetUnappliedForeignProvider([this]() {
+    UnappliedProviderFn higher;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      higher = higher_provider_;
+    }
+    return higher ? higher(0) : std::vector<std::string>();
+  });
+}
+
+size_t OsdCluster::retained_for_testing() const {
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  size_t total = 0;
+  for (const auto& list : retained_) {
+    total += list.size();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------- retention
+
+void OsdCluster::Retain(size_t k, std::string payload, uint64_t token) {
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(retained_mu_);
+    retained_[k].push_back(Retained{std::move(payload), token});
+    for (const auto& list : retained_) {
+      total += list.size();
+    }
+  }
+  if (total >= kRetainedKickThreshold && !osds_.empty()) {
+    // A metadata-shard checkpoint is what trims the lists; nudge it along. Async kick
+    // only — this runs under a data shard's volume lock.
+    osds_[0]->RequestCheckpoint();
+  }
+}
+
+void OsdCluster::RetainReplayed(size_t k, Slice payload) {
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  const uint64_t token = next_token_.fetch_add(1);
+  retained_[k].push_back(Retained{payload.ToString(), token});
+  // Replayed records are applied to metadata state as part of recovery itself, so the
+  // next metadata-shard checkpoint may drop them.
+  applied_tokens_.insert(token);
+}
+
+void OsdCluster::TrimRetained() {
+  std::lock_guard<std::mutex> lock(retained_mu_);
+  if (applied_tokens_.empty()) {
+    return;
+  }
+  for (auto& list : retained_) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const Retained& r) {
+                                return applied_tokens_.count(r.token) != 0;
+                              }),
+               list.end());
+  }
+  // Every entry of every marked token was just swept (all shards, one critical
+  // section), so the marks have no further referents.
+  applied_tokens_.clear();
+}
+
+// ---------------------------------------------------------------- recovery
+
+void OsdCluster::InstallShardProvider(size_t k, Osd* volume) {
+  provider_installed_[k] = true;
+  volume->SetUnappliedForeignProvider([this, k]() {
+    std::vector<std::string> out;
+    {
+      std::lock_guard<std::mutex> lock(retained_mu_);
+      out.reserve(retained_[k].size());
+      for (const Retained& r : retained_[k]) {
+        out.push_back(r.payload);
+      }
+    }
+    UnappliedProviderFn higher;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      higher = higher_provider_;
+    }
+    if (higher) {
+      std::vector<std::string> payloads = higher(k);
+      for (std::string& p : payloads) {
+        std::string rec;
+        rec.reserve(p.size() + 1);
+        rec.push_back(static_cast<char>(kCfPlain));
+        rec.append(p);
+        out.push_back(std::move(rec));
+      }
+    }
+    return out;
+  });
+}
+
+Status OsdCluster::ReplayShardRecord(size_t k, Osd* volume, Slice payload) {
+  opening_ = volume;
+  if (n_ == 1) {
+    if (!hook_) {
+      return Status::Corruption("foreign journal record but no replay hook");
+    }
+    return hook_(volume, volume, this, 0, false, payload);
+  }
+  // Install the shard's provider before any record applies: Osd::Open ends with a
+  // checkpoint that resets the journal, and by then the retention list must be what
+  // carries these records forward.
+  if (!provider_installed_[k]) {
+    InstallShardProvider(k, volume);
+  }
+  if (payload.empty()) {
+    return Status::Corruption("empty cluster record");
+  }
+  const uint8_t kind = static_cast<uint8_t>(payload[0]);
+  Slice in = payload;
+  in.RemovePrefix(1);
+  switch (kind) {
+    case kCfPlain: {
+      if (!hook_) {
+        return Status::Corruption("cluster record but no replay hook");
+      }
+      HFAD_RETURN_IF_ERROR(hook_(MetaForReplay(k, volume), volume, this, k, false, in));
+      if (k != 0) {
+        RetainReplayed(k, payload);
+      }
+      return Status::Ok();
+    }
+    case kCfPrepare: {
+      uint64_t batch_id = 0, coord = 0;
+      if (!GetFixed64(&in, &batch_id) || !GetVarint64(&in, &coord)) {
+        return Status::Corruption("bad cluster prepare record");
+      }
+      max_batch_id_seen_ = std::max(max_batch_id_seen_, batch_id);
+      if (coord == k) {
+        // Our own commit record, if it exists, is later in this same stream.
+        open_deferred_.push_back(
+            DeferredPrepare{batch_id, payload.ToString(), in.ToString()});
+        return Status::Ok();
+      }
+      if (committed_.count(batch_id) == 0) {
+        // The coordinator (a lower shard, already recovered) has no commit record:
+        // the batch never committed. Discard.
+        return Status::Ok();
+      }
+      if (!hook_) {
+        return Status::Corruption("cluster record but no replay hook");
+      }
+      HFAD_RETURN_IF_ERROR(hook_(MetaForReplay(k, volume), volume, this, k, true, in));
+      RetainReplayed(k, payload);
+      return Status::Ok();
+    }
+    case kCfCommit: {
+      uint64_t batch_id = 0;
+      if (!GetFixed64(&in, &batch_id)) {
+        return Status::Corruption("bad cluster commit record");
+      }
+      max_batch_id_seen_ = std::max(max_batch_id_seen_, batch_id);
+      committed_.insert(batch_id);
+      for (auto it = open_deferred_.begin(); it != open_deferred_.end();) {
+        if (it->batch_id == batch_id) {
+          if (!hook_) {
+            return Status::Corruption("cluster record but no replay hook");
+          }
+          HFAD_RETURN_IF_ERROR(
+              hook_(MetaForReplay(k, volume), volume, this, k, true, Slice(it->inner)));
+          RetainReplayed(k, it->framed);
+          it = open_deferred_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      RetainReplayed(k, payload);
+      return Status::Ok();
+    }
+    default:
+      return Status::Corruption("unknown cluster record kind " + std::to_string(kind));
+  }
+}
+
+}  // namespace osd
+}  // namespace hfad

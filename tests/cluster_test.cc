@@ -1,0 +1,592 @@
+// Multi-volume sharded OsdCluster: placement and routing, merged scans, device-set
+// stamping, crash-proven cross-shard 2PC batches (tear sweep over every write budget on
+// every participant shard), a seeded differential check of 4-shard vs single-volume
+// behavior, and a concurrent cross-shard batch storm with live readers and fsck.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/filesystem.h"
+#include "src/core/fsck.h"
+#include "src/osd/osd.h"
+#include "src/osd/osd_cluster.h"
+#include "src/storage/block_device.h"
+#include "tests/crash_harness.h"
+
+namespace hfad {
+namespace core {
+namespace {
+
+using osd::ObjectMeta;
+using osd::Osd;
+using osd::OsdCluster;
+using osd::OsdOptions;
+
+constexpr uint64_t kDev = 32 * 1024 * 1024;
+
+std::vector<std::shared_ptr<BlockDevice>> MakeDevices(size_t n) {
+  std::vector<std::shared_ptr<BlockDevice>> devices;
+  for (size_t i = 0; i < n; i++) {
+    devices.push_back(std::make_shared<MemoryBlockDevice>(kDev));
+  }
+  return devices;
+}
+
+FileSystemOptions ShardedOptions(size_t n) {
+  FileSystemOptions opts;
+  opts.lazy_indexing_threads = 0;  // Synchronous content indexing: deterministic.
+  opts.shard_count = n;
+  return opts;
+}
+
+std::vector<ObjectId> StrictFind(FileSystem* fs, const std::string& q) {
+  query::FindOptions o;
+  o.visibility = query::Visibility::kStrict;
+  auto page = fs->Find(Slice(q), o);
+  EXPECT_TRUE(page.ok()) << q << ": " << page.status().ToString();
+  return page.ok() ? page->ids : std::vector<ObjectId>{};
+}
+
+// Tags() as sortable (tag, value) pairs, for cross-filesystem comparison.
+std::vector<std::pair<std::string, std::string>> SortedTags(FileSystem* fs,
+                                                            ObjectId oid) {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto tags = fs->Tags(oid);
+  EXPECT_TRUE(tags.ok()) << tags.status().ToString();
+  if (tags.ok()) {
+    for (const TagValue& t : *tags) {
+      out.emplace_back(t.tag, t.value);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------- cluster routing
+
+TEST(ClusterTest, RoutesObjectsAcrossShardsAndMergesScans) {
+  auto devices = MakeDevices(4);
+  auto r = OsdCluster::Create(devices, OsdOptions{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto cluster = std::move(r).value();
+  ASSERT_EQ(cluster->shard_count(), 4u);
+
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < 64; i++) {
+    auto oid = cluster->CreateObject();
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+    std::string payload = "shard payload #" + std::to_string(i);
+    ASSERT_TRUE(cluster->Write(*oid, 0, payload).ok());
+  }
+  EXPECT_EQ(cluster->object_count(), oids.size());
+
+  // The hash must actually spread: every shard owns some objects, and each object
+  // lives exactly on the shard ShardOf names.
+  for (size_t k = 0; k < 4; k++) {
+    EXPECT_GT(cluster->shard(k)->object_count(), 0u) << "shard " << k << " empty";
+  }
+  for (ObjectId oid : oids) {
+    EXPECT_TRUE(cluster->shard(cluster->ShardOf(oid))->Exists(oid));
+    for (size_t k = 0; k < 4; k++) {
+      if (k != cluster->ShardOf(oid)) {
+        EXPECT_FALSE(cluster->shard(k)->Exists(oid));
+      }
+    }
+  }
+
+  // Merged scan: global ascending oid order, every object exactly once.
+  std::vector<ObjectId> scanned;
+  ASSERT_TRUE(cluster->ScanObjects([&](ObjectId oid, const ObjectMeta&) {
+    scanned.push_back(oid);
+    return true;
+  }).ok());
+  EXPECT_EQ(scanned, oids);  // CreateObject allocates ascending ids.
+
+  // Reopen: placement, payloads, and the id allocator all survive.
+  ASSERT_TRUE(cluster->Checkpoint().ok());
+  ASSERT_TRUE(cluster->Close().ok());
+  cluster.reset();
+  auto reopened = OsdCluster::Open(devices, OsdOptions{});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (int i = 0; i < 64; i++) {
+    std::string out;
+    ASSERT_TRUE((*reopened)->Read(oids[i], 0, 64, &out).ok());
+    EXPECT_EQ(out, "shard payload #" + std::to_string(i));
+  }
+  auto fresh = (*reopened)->CreateObject();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, oids.back());
+}
+
+TEST(ClusterTest, SingleShardClusterIsByteCompatibleWithPlainOsd) {
+  // A volume created by the plain Osd opens as a 1-shard cluster...
+  auto dev = std::make_shared<MemoryBlockDevice>(kDev);
+  ObjectId oid;
+  {
+    auto created = Osd::Create(dev, OsdOptions{});
+    ASSERT_TRUE(created.ok());
+    auto r = (*created)->CreateObject();
+    ASSERT_TRUE(r.ok());
+    oid = *r;
+    ASSERT_TRUE((*created)->Write(oid, 0, "plain osd bytes").ok());
+    ASSERT_TRUE((*created)->Checkpoint().ok());
+  }
+  auto as_cluster = OsdCluster::Open({dev}, OsdOptions{});
+  ASSERT_TRUE(as_cluster.ok()) << as_cluster.status().ToString();
+  std::string out;
+  ASSERT_TRUE((*as_cluster)->Read(oid, 0, 64, &out).ok());
+  EXPECT_EQ(out, "plain osd bytes");
+  auto oid2 = (*as_cluster)->CreateObject();
+  ASSERT_TRUE(oid2.ok());
+  ASSERT_TRUE((*as_cluster)->Write(*oid2, 0, "cluster bytes").ok());
+  ASSERT_TRUE((*as_cluster)->Checkpoint().ok());
+  ASSERT_TRUE((*as_cluster)->Close().ok());
+
+  // ...and the other way around: a 1-shard cluster's volume opens as a plain Osd.
+  auto as_osd = Osd::Open(dev, OsdOptions{});
+  ASSERT_TRUE(as_osd.ok()) << as_osd.status().ToString();
+  ASSERT_TRUE((*as_osd)->Read(oid, 0, 64, &out).ok());
+  EXPECT_EQ(out, "plain osd bytes");
+  ASSERT_TRUE((*as_osd)->Read(*oid2, 0, 64, &out).ok());
+  EXPECT_EQ(out, "cluster bytes");
+}
+
+TEST(ClusterTest, RejectsMisassembledDeviceSets) {
+  auto devices = MakeDevices(2);
+  {
+    auto r = OsdCluster::Create(devices, OsdOptions{});
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE((*r)->Checkpoint().ok());
+    ASSERT_TRUE((*r)->Close().ok());
+  }
+  // One shard of a 2-shard cluster is not a standalone volume.
+  EXPECT_FALSE(OsdCluster::Open({devices[0]}, OsdOptions{}).ok());
+  EXPECT_FALSE(OsdCluster::Open({devices[1]}, OsdOptions{}).ok());
+  // Reordered devices put shard 1's stamp where shard 0 is expected.
+  EXPECT_FALSE(OsdCluster::Open({devices[1], devices[0]}, OsdOptions{}).ok());
+  // Two unstamped single volumes are not a 2-shard cluster.
+  auto singles = MakeDevices(2);
+  for (auto& d : singles) {
+    auto r = Osd::Create(d, OsdOptions{});
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE((*r)->Checkpoint().ok());
+  }
+  EXPECT_FALSE(OsdCluster::Open(singles, OsdOptions{}).ok());
+  // The correct assembly still opens.
+  EXPECT_TRUE(OsdCluster::Open(devices, OsdOptions{}).ok());
+}
+
+// ------------------------------------------------------- sharded filesystem basics
+
+TEST(ShardedFileSystemTest, NamespaceOpsSpanShardsAndSurviveReopen) {
+  auto devices = MakeDevices(4);
+  FileSystemOptions opts = ShardedOptions(4);
+  std::vector<ObjectId> oids;
+  {
+    auto fs = FileSystem::Create(devices, opts);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    for (int i = 0; i < 16; i++) {
+      auto oid = (*fs)->Create({{"UDEF", "all"}});
+      ASSERT_TRUE(oid.ok());
+      oids.push_back(*oid);
+      std::string body = "searchable document number" + std::to_string(i);
+      ASSERT_TRUE((*fs)->Write(*oid, 0, body).ok());
+      ASSERT_TRUE((*fs)->IndexContent(*oid).ok());
+    }
+    // Objects really landed on distinct shards.
+    std::set<size_t> owners;
+    for (ObjectId oid : oids) {
+      owners.insert((*fs)->cluster()->ShardOf(oid));
+    }
+    EXPECT_GT(owners.size(), 1u);
+    EXPECT_EQ(StrictFind(fs->get(), "UDEF:all"), oids);
+    auto hits = (*fs)->SearchText({"searchable"});
+    ASSERT_TRUE(hits.ok());
+    EXPECT_EQ(hits->size(), oids.size());
+    // Aggregated metrics expose the topology.
+    EXPECT_NE((*fs)->DumpMetrics().find("shard_count"), std::string::npos);
+    auto report = CheckFileSystem(fs->get());
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean()) << report->ToString();
+    EXPECT_EQ(report->shards_checked, 4u);
+    ASSERT_TRUE((*fs)->Checkpoint().ok());
+  }
+  auto reopened = FileSystem::Open(devices, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(StrictFind(reopened->get(), "UDEF:all"), oids);
+  auto hits = (*reopened)->SearchText({"searchable"});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), oids.size());
+  auto report = CheckFileSystem(reopened->get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+// A hard crash (no checkpoint, journals only) with lazy tag intents pending on BOTH
+// shards: recovery must route each intent back through its owner's journal and rebuild
+// the unapplied queue.
+TEST(ShardedFileSystemTest, LazyIntentsOnEveryShardSurviveAHardCrash) {
+  auto bases = MakeDevices(2);
+  std::vector<std::shared_ptr<FaultyBlockDevice>> faulty;
+  std::vector<std::shared_ptr<BlockDevice>> devices;
+  for (auto& b : bases) {
+    faulty.push_back(std::make_shared<FaultyBlockDevice>(b));
+    devices.push_back(faulty.back());
+  }
+  FileSystemOptions opts = ShardedOptions(2);
+  opts.lazy_tag_indexing = true;
+  opts.osd.group_commit = false;
+  std::vector<std::pair<ObjectId, std::string>> acked;
+  {
+    auto fs = FileSystem::Create(devices, opts);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    std::vector<ObjectId> oids;
+    std::set<size_t> owners;
+    while (owners.size() < 2) {  // At least one object on each shard.
+      auto oid = (*fs)->Create();
+      ASSERT_TRUE(oid.ok());
+      oids.push_back(*oid);
+      owners.insert((*fs)->cluster()->ShardOf(*oid));
+    }
+    (*fs)->tag_indexer_for_testing()->SetPausedForTesting(true);
+    for (size_t i = 0; i < oids.size(); i++) {
+      std::string value = "pinned" + std::to_string(i);
+      ASSERT_TRUE((*fs)->AddTag(oids[i], {"UDEF", value}).ok());
+      acked.emplace_back(oids[i], value);
+    }
+    ASSERT_TRUE((*fs)->Sync().ok());
+    for (auto& f : faulty) {
+      f->SetWriteBudget(0);  // Hard crash on every device at once.
+    }
+  }
+  auto reopened = FileSystem::Open(bases, opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_TRUE((*reopened)->WaitForTagIndexing().ok());
+  for (const auto& [oid, value] : acked) {
+    EXPECT_EQ(StrictFind(reopened->get(), "UDEF:" + value), std::vector<ObjectId>{oid})
+        << "lost acknowledged intent " << value;
+  }
+  auto report = CheckFileSystem(reopened->get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
+// ------------------------------------------------------- cross-shard 2PC tear sweep
+
+// The acceptance sweep: a cross-shard batch is torn after `budget` writes on shard
+// `victim` — across every budget, on every participant. After recovery an acked batch
+// is fully visible on all member shards; an unacked batch either committed entirely
+// (its commit record became durable before the tear) or left no residue at all. fsck
+// must come back clean either way: no half-applied batch can exist.
+class ClusterBatchTearTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ClusterBatchTearTest, TornCrossShardBatchIsAllOrNothing) {
+  const size_t victim = static_cast<size_t>(std::get<0>(GetParam()));
+  const int64_t budget = std::get<1>(GetParam());
+  FileSystemOptions opts = ShardedOptions(2);
+  opts.osd.group_commit = false;
+  std::vector<ObjectId> members;  // One object per shard: every batch is cross-shard.
+  bool torn_acked = false;
+  test::RunTornWriteCrashMulti(
+      2, kDev, victim, budget,
+      [&](const std::vector<std::shared_ptr<BlockDevice>>& devices,
+          test::CrashPoint* point) {
+        auto fs = FileSystem::Create(devices, opts);
+        ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+        std::vector<ObjectId> per_shard(2, 0);
+        while (per_shard[0] == 0 || per_shard[1] == 0) {
+          auto oid = (*fs)->Create();
+          ASSERT_TRUE(oid.ok());
+          per_shard[(*fs)->cluster()->ShardOf(*oid)] = *oid;
+        }
+        members = {std::min(per_shard[0], per_shard[1]),
+                   std::max(per_shard[0], per_shard[1])};
+
+        // Acked before the fault: must survive whatever happens next.
+        NamespaceBatch acked = (*fs)->NewBatch();
+        for (ObjectId oid : members) {
+          ASSERT_TRUE(acked.AddTag(oid, {"UDEF", "acked"}).ok());
+        }
+        ASSERT_TRUE(acked.Commit().ok());
+        ASSERT_TRUE((*fs)->Sync().ok());
+
+        point->Tear();
+        NamespaceBatch torn = (*fs)->NewBatch();
+        for (ObjectId oid : members) {
+          ASSERT_TRUE(torn.AddTag(oid, {"UDEF", "torn"}).ok());
+        }
+        // An ok() return is an acknowledgment: the batch must then be durable on
+        // every shard even though `victim`'s device dies right after.
+        torn_acked = torn.Commit().ok();
+        point->Crash();
+      },
+      [&](const std::vector<std::shared_ptr<BlockDevice>>& bases) {
+        auto reopened = FileSystem::Open(bases, opts);
+        ASSERT_TRUE(reopened.ok())
+            << "victim " << victim << " budget " << budget << ": "
+            << reopened.status().ToString();
+        FileSystem* fs = reopened->get();
+        EXPECT_EQ(StrictFind(fs, "UDEF:acked"), members)
+            << "victim " << victim << " budget " << budget;
+        int visible = 0;
+        for (ObjectId oid : members) {
+          visible += fs->HasName(oid, {"UDEF", "torn"}) ? 1 : 0;
+        }
+        if (torn_acked) {
+          EXPECT_EQ(visible, 2) << "acked batch lost (victim " << victim
+                                << " budget " << budget << ")";
+        } else {
+          EXPECT_TRUE(visible == 0 || visible == 2)
+              << "partial batch residue: " << visible << " of 2 members tagged "
+              << "(victim " << victim << " budget " << budget << ")";
+        }
+        // Find and the reverse map agree with each other in either outcome.
+        EXPECT_EQ(StrictFind(fs, "UDEF:torn"),
+                  visible == 2 ? members : std::vector<ObjectId>{});
+        auto report = CheckFileSystem(fs);
+        ASSERT_TRUE(report.ok());
+        EXPECT_TRUE(report->clean()) << "victim " << victim << " budget " << budget
+                                     << ": " << report->ToString();
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(TearAtEveryWriteOnEveryShard, ClusterBatchTearTest,
+                         ::testing::Combine(::testing::Range(0, 2),
+                                            ::testing::Range(0, 8)));
+
+// ------------------------------------------------------------- differential testing
+
+// The same seeded 500-op workload driven against a single volume and a 4-shard
+// cluster must be observationally identical: same Find pages, same Tags, same
+// full-text hits, same fsck verdict.
+class ClusterDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClusterDifferentialTest, FourShardsMatchSingleVolume) {
+  Random rng(GetParam());
+  auto fs1r = FileSystem::Create(MakeDevices(1), ShardedOptions(1));
+  auto fs4r = FileSystem::Create(MakeDevices(4), ShardedOptions(4));
+  ASSERT_TRUE(fs1r.ok()) << fs1r.status().ToString();
+  ASSERT_TRUE(fs4r.ok()) << fs4r.status().ToString();
+  FileSystem* fs1 = fs1r->get();
+  FileSystem* fs4 = fs4r->get();
+
+  const std::vector<std::string> vocab = {"alpha", "bravo", "charlie", "delta",
+                                          "echo",  "fox",   "golf",    "hotel"};
+  std::vector<ObjectId> live;
+  for (int op = 0; op < 500; op++) {
+    int dice = rng.Uniform(100);
+    if (dice < 25 || live.empty()) {  // create (+ content + fulltext)
+      auto o1 = fs1->Create();
+      auto o4 = fs4->Create();
+      ASSERT_TRUE(o1.ok());
+      ASSERT_TRUE(o4.ok());
+      ASSERT_EQ(*o1, *o4) << "oid allocation diverged at op " << op;
+      std::string body = vocab[rng.Uniform(vocab.size())] + " " +
+                         vocab[rng.Uniform(vocab.size())] + " document";
+      ASSERT_TRUE(fs1->Write(*o1, 0, body).ok());
+      ASSERT_TRUE(fs4->Write(*o4, 0, body).ok());
+      ASSERT_TRUE(fs1->IndexContent(*o1).ok());
+      ASSERT_TRUE(fs4->IndexContent(*o4).ok());
+      live.push_back(*o1);
+    } else if (dice < 50) {  // loose AddTag
+      ObjectId oid = live[rng.Uniform(live.size())];
+      TagValue name{"UDEF", "v" + std::to_string(rng.Uniform(24))};
+      Status s1 = fs1->AddTag(oid, name);
+      Status s4 = fs4->AddTag(oid, name);
+      EXPECT_EQ(s1.ok(), s4.ok()) << s1.ToString() << " vs " << s4.ToString();
+    } else if (dice < 62) {  // loose RemoveTag (NotFound in lockstep)
+      ObjectId oid = live[rng.Uniform(live.size())];
+      TagValue name{"UDEF", "v" + std::to_string(rng.Uniform(24))};
+      Status s1 = fs1->RemoveTag(oid, name);
+      Status s4 = fs4->RemoveTag(oid, name);
+      EXPECT_EQ(s1.code(), s4.code()) << s1.ToString() << " vs " << s4.ToString();
+    } else if (dice < 80) {  // atomic batch over 2-4 objects (cross-shard on fs4)
+      NamespaceBatch b1 = fs1->NewBatch();
+      NamespaceBatch b4 = fs4->NewBatch();
+      std::string value = "b" + std::to_string(rng.Uniform(12));
+      int width = 2 + rng.Uniform(3);
+      for (int i = 0; i < width; i++) {
+        ObjectId oid = live[rng.Uniform(live.size())];
+        ASSERT_TRUE(b1.AddTag(oid, {"UDEF", value}).ok());
+        ASSERT_TRUE(b4.AddTag(oid, {"UDEF", value}).ok());
+      }
+      Status s1 = b1.Commit();
+      Status s4 = b4.Commit();
+      EXPECT_EQ(s1.ok(), s4.ok()) << s1.ToString() << " vs " << s4.ToString();
+    } else if (dice < 85 && live.size() > 4) {  // remove an object
+      size_t pick = rng.Uniform(live.size());
+      ObjectId oid = live[pick];
+      Status s1 = fs1->Remove(oid);
+      Status s4 = fs4->Remove(oid);
+      EXPECT_EQ(s1.ok(), s4.ok()) << s1.ToString() << " vs " << s4.ToString();
+      live.erase(live.begin() + pick);
+    } else {  // interleaved read: strict Find must agree mid-workload
+      std::string q = rng.OneIn(2)
+                          ? "UDEF:v" + std::to_string(rng.Uniform(24))
+                          : "UDEF:b" + std::to_string(rng.Uniform(12));
+      EXPECT_EQ(StrictFind(fs1, q), StrictFind(fs4, q)) << "query " << q;
+    }
+  }
+
+  ASSERT_TRUE(fs1->WaitForIndexing().ok());
+  ASSERT_TRUE(fs4->WaitForIndexing().ok());
+  for (int v = 0; v < 24; v++) {
+    std::string q = "UDEF:v" + std::to_string(v);
+    EXPECT_EQ(StrictFind(fs1, q), StrictFind(fs4, q)) << q;
+  }
+  for (int v = 0; v < 12; v++) {
+    std::string q = "UDEF:b" + std::to_string(v);
+    EXPECT_EQ(StrictFind(fs1, q), StrictFind(fs4, q)) << q;
+  }
+  for (ObjectId oid : live) {
+    EXPECT_EQ(SortedTags(fs1, oid), SortedTags(fs4, oid)) << "oid " << oid;
+  }
+  for (const std::string& word : vocab) {
+    auto h1 = fs1->SearchText({word});
+    auto h4 = fs4->SearchText({word});
+    ASSERT_TRUE(h1.ok());
+    ASSERT_TRUE(h4.ok());
+    ASSERT_EQ(h1->size(), h4->size()) << word;
+    for (size_t i = 0; i < h1->size(); i++) {
+      EXPECT_EQ((*h1)[i].docid, (*h4)[i].docid) << word << " hit " << i;
+      EXPECT_DOUBLE_EQ((*h1)[i].score, (*h4)[i].score) << word << " hit " << i;
+    }
+  }
+  auto r1 = CheckFileSystem(fs1);
+  auto r4 = CheckFileSystem(fs4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r1->clean(), r4->clean());
+  EXPECT_TRUE(r1->clean()) << r1->ToString();
+  EXPECT_TRUE(r4->clean()) << r4->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterDifferentialTest,
+                         ::testing::Values(0xC0FFEEull, 0xDECAFull, 0xF00Dull));
+
+// --------------------------------------------------------------- concurrent storm
+
+// 8 writer threads commit cross-shard batches against a 4-shard lazy filesystem while
+// strict and relaxed readers page results and fsck sweeps the live volume. TSan runs
+// this in CI. Mid-storm fsck reports may be transiently stale (pending intents) and
+// only the quiesced report is asserted clean.
+TEST(ClusterStormTest, CrossShardBatchStormWithReadersAndFsck) {
+  FileSystemOptions opts = ShardedOptions(4);
+  opts.lazy_tag_indexing = true;
+  opts.tag_intent_queue_capacity = 64;  // Exercise backpressure.
+  auto fsr = FileSystem::Create(MakeDevices(4), opts);
+  ASSERT_TRUE(fsr.ok()) << fsr.status().ToString();
+  FileSystem* fs = fsr->get();
+
+  constexpr int kWriters = 8;
+  constexpr int kBatchesPerWriter = 60;
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < 48; i++) {
+    auto oid = fs->Create();
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; w++) {
+    threads.emplace_back([&, w] {
+      Random rng(7000 + w);
+      for (int i = 0; i < kBatchesPerWriter; i++) {
+        NamespaceBatch batch = fs->NewBatch();
+        std::string value = "w" + std::to_string(w) + "v" +
+                            std::to_string(rng.Uniform(8));
+        int width = 2 + rng.Uniform(3);
+        for (int m = 0; m < width; m++) {
+          if (!batch.AddTag(oids[rng.Uniform(oids.size())], {"UDEF", value}).ok()) {
+            failures.fetch_add(1);
+          }
+        }
+        if (!batch.Commit().ok()) {
+          failures.fetch_add(1);
+        }
+        if (rng.OneIn(4)) {
+          Status s = fs->RemoveTag(oids[rng.Uniform(oids.size())],
+                                   {"UDEF", value});
+          if (!s.ok() && !s.IsNotFound()) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Strict reader.
+    Random rng(8100);
+    while (!stop.load()) {
+      query::FindOptions o;
+      o.visibility = query::Visibility::kStrict;
+      auto page = fs->Find(Slice("UDEF:w" + std::to_string(rng.Uniform(kWriters)) +
+                                 "v" + std::to_string(rng.Uniform(8))),
+                           o);
+      if (!page.ok()) failures.fetch_add(1);
+    }
+  });
+  threads.emplace_back([&] {  // Relaxed reader.
+    Random rng(8200);
+    while (!stop.load()) {
+      query::FindOptions o;
+      o.visibility = query::Visibility::kRelaxed;
+      auto page = fs->Find(Slice("UDEF:w" + std::to_string(rng.Uniform(kWriters)) +
+                                 "v" + std::to_string(rng.Uniform(8))),
+                           o);
+      if (!page.ok()) failures.fetch_add(1);
+    }
+  });
+  threads.emplace_back([&] {  // Live fsck: must complete without IO errors.
+    while (!stop.load()) {
+      auto report = CheckFileSystem(fs);
+      if (!report.ok()) failures.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  for (int w = 0; w < kWriters; w++) {
+    threads[w].join();
+  }
+  stop.store(true);
+  for (size_t i = kWriters; i < threads.size(); i++) {
+    threads[i].join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(fs->WaitForTagIndexing().ok());
+  EXPECT_TRUE(fs->PendingIndexIntents().empty());
+
+  auto report = CheckFileSystem(fs);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->ToString();
+  // Strict Find agrees with the authoritative reverse map for every value.
+  for (int w = 0; w < kWriters; w++) {
+    for (int v = 0; v < 8; v++) {
+      std::string value = "w" + std::to_string(w) + "v" + std::to_string(v);
+      std::vector<ObjectId> expect;
+      for (ObjectId oid : oids) {
+        if (fs->HasName(oid, {"UDEF", value})) {
+          expect.push_back(oid);
+        }
+      }
+      EXPECT_EQ(StrictFind(fs, "UDEF:" + value), expect) << value;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hfad

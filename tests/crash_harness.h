@@ -1,0 +1,94 @@
+// Shared torn-write crash harness for failure-injection tests.
+//
+// journal_test.cc, osd_test.cc, lazy_index_test.cc, and cluster_test.cc all drive the
+// same crash shape: build acknowledged state behind a FaultyBlockDevice, arm a write
+// budget with torn writes enabled, run the operation under test until the device dies
+// mid-write, hard-kill the device so teardown reaches nothing, then reopen from the
+// underlying MemoryBlockDevice and verify every acknowledged effect survived. This
+// header owns that plumbing so each test supplies only its workload and its checks.
+//
+// A sweep is the same run repeated at every write budget (typically via TEST_P over
+// ::testing::Range), which moves the tear across every device write the operation
+// issues — epilogue pages, in-place batches, superblock, journal reset.
+#ifndef HFAD_TESTS_CRASH_HARNESS_H_
+#define HFAD_TESTS_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace test {
+
+// Handle passed to the crash body. Tear() arms the fault: the next `budget` writes
+// succeed and the one after is torn in half, after which all writes fail. Crash()
+// kills the device outright so destructors and close paths reach nothing. The driver
+// calls Crash() again after the body returns, so a body only needs its own Crash()
+// when locals (an Osd, a FileSystem) would otherwise write during destruction.
+class CrashPoint {
+ public:
+  CrashPoint(FaultyBlockDevice* dev, int64_t budget) : dev_(dev), budget_(budget) {}
+
+  int64_t budget() const { return budget_; }
+
+  void Tear() {
+    dev_->SetWriteBudget(budget_);
+    dev_->EnableTornWrites(true);
+  }
+
+  void Crash() { dev_->SetWriteBudget(0); }
+
+ private:
+  FaultyBlockDevice* dev_;
+  int64_t budget_;
+};
+
+// Single-device torn-write crash: `body` builds state on the faulty device (budget
+// unlimited until it calls point->Tear()), the driver hard-crashes the device, and
+// `verify` reopens from the pristine base device — exactly what a real restart sees.
+inline void RunTornWriteCrash(
+    uint64_t device_bytes, int64_t budget,
+    const std::function<void(const std::shared_ptr<FaultyBlockDevice>&, CrashPoint*)>&
+        body,
+    const std::function<void(const std::shared_ptr<MemoryBlockDevice>&)>& verify) {
+  auto base = std::make_shared<MemoryBlockDevice>(device_bytes);
+  {
+    auto faulty = std::make_shared<FaultyBlockDevice>(base);
+    CrashPoint point(faulty.get(), budget);
+    body(faulty, &point);
+    point.Crash();
+  }
+  verify(base);
+}
+
+// Multi-device variant for sharded clusters: `count` backing devices with the fault
+// injected on shard `victim`. `body` receives the device vector with the victim slot
+// wrapped in the FaultyBlockDevice; `verify` receives the bare base devices.
+inline void RunTornWriteCrashMulti(
+    size_t count, uint64_t device_bytes, size_t victim, int64_t budget,
+    const std::function<void(const std::vector<std::shared_ptr<BlockDevice>>&,
+                             CrashPoint*)>& body,
+    const std::function<void(const std::vector<std::shared_ptr<BlockDevice>>&)>&
+        verify) {
+  std::vector<std::shared_ptr<BlockDevice>> bases;
+  for (size_t i = 0; i < count; i++) {
+    bases.push_back(std::make_shared<MemoryBlockDevice>(device_bytes));
+  }
+  {
+    auto faulty = std::make_shared<FaultyBlockDevice>(bases[victim]);
+    std::vector<std::shared_ptr<BlockDevice>> devices = bases;
+    devices[victim] = faulty;
+    CrashPoint point(faulty.get(), budget);
+    body(devices, &point);
+    point.Crash();
+  }
+  verify(bases);
+}
+
+}  // namespace test
+}  // namespace hfad
+
+#endif  // HFAD_TESTS_CRASH_HARNESS_H_

@@ -11,6 +11,7 @@
 #include "src/common/random.h"
 #include "src/journal/journal.h"
 #include "src/storage/block_device.h"
+#include "tests/crash_harness.h"
 
 namespace hfad {
 namespace journal {
@@ -175,29 +176,31 @@ TEST(JournalTest, RecoveryStopsAtStaleGenerationRecords) {
 }
 
 TEST(JournalTest, TornFinalRecordIsDiscarded) {
-  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
-  {
-    FaultyBlockDevice dev(base);
-    Journal j(&dev, 0, kRegion);
-    ASSERT_TRUE(j.Append("intact record").ok());
-    ASSERT_TRUE(j.Commit().ok());
-    // Second commit is torn mid-write.
-    ASSERT_TRUE(j.Append(std::string(1000, 'T')).ok());
-    dev.SetWriteBudget(0);
-    dev.EnableTornWrites(true);
-    EXPECT_FALSE(j.Commit().ok());
-  }
-  Journal j2(base.get(), 0, kRegion);
-  Records r = RecoverAll(&j2);
-  ASSERT_EQ(r.size(), 1u);
-  EXPECT_EQ(r[0].second, "intact record");
-  // The journal is positioned to append after the intact record; new appends work.
-  ASSERT_TRUE(j2.Append("after recovery").ok());
-  ASSERT_TRUE(j2.Commit().ok());
-  Journal j3(base.get(), 0, kRegion);
-  Records r3 = RecoverAll(&j3);
-  ASSERT_EQ(r3.size(), 2u);
-  EXPECT_EQ(r3[1].second, "after recovery");
+  test::RunTornWriteCrash(
+      kRegion, /*budget=*/0,
+      [&](const std::shared_ptr<FaultyBlockDevice>& dev, test::CrashPoint* point) {
+        Journal j(dev.get(), 0, kRegion);
+        ASSERT_TRUE(j.Append("intact record").ok());
+        ASSERT_TRUE(j.Commit().ok());
+        // Second commit is torn mid-write.
+        ASSERT_TRUE(j.Append(std::string(1000, 'T')).ok());
+        point->Tear();
+        EXPECT_FALSE(j.Commit().ok());
+      },
+      [&](const std::shared_ptr<MemoryBlockDevice>& base) {
+        Journal j2(base.get(), 0, kRegion);
+        Records r = RecoverAll(&j2);
+        ASSERT_EQ(r.size(), 1u);
+        EXPECT_EQ(r[0].second, "intact record");
+        // The journal is positioned to append after the intact record; new appends
+        // work.
+        ASSERT_TRUE(j2.Append("after recovery").ok());
+        ASSERT_TRUE(j2.Commit().ok());
+        Journal j3(base.get(), 0, kRegion);
+        Records r3 = RecoverAll(&j3);
+        ASSERT_EQ(r3.size(), 2u);
+        EXPECT_EQ(r3[1].second, "after recovery");
+      });
 }
 
 TEST(JournalTest, CorruptMiddleRecordTruncatesRecovery) {
@@ -385,35 +388,36 @@ TEST(JournalGroupCommitTest, CommittedSequenceWatermark) {
 // A torn commit never advances the watermark, and recovery replays exactly the covered
 // records plus at most a durable prefix of the torn batch — never a torn suffix.
 TEST(JournalGroupCommitTest, WatermarkNeverIncludesATornSuffix) {
-  auto base = std::make_shared<MemoryBlockDevice>(kRegion);
-  {
-    FaultyBlockDevice dev(base);
-    Journal j(&dev, 0, kRegion);
-    ASSERT_TRUE(j.Append("covered 1").ok());
-    ASSERT_TRUE(j.Append("covered 2").ok());
-    ASSERT_TRUE(j.Append("covered 3").ok());
-    ASSERT_TRUE(j.Commit().ok());
-    EXPECT_EQ(j.committed_sequence(), 3u);
-    ASSERT_TRUE(j.Append(std::string(900, 'd')).ok());
-    ASSERT_TRUE(j.Append(std::string(900, 'e')).ok());
-    dev.SetWriteBudget(0);
-    dev.EnableTornWrites(true);
-    EXPECT_FALSE(j.Commit().ok());
-    EXPECT_EQ(j.committed_sequence(), 3u);  // The failed window is not covered.
-    EXPECT_EQ(j.pending_records(), 2u);     // Its records remain pending.
-  }
-  Journal j2(base.get(), 0, kRegion);
-  Records r = RecoverAll(&j2);
-  ASSERT_GE(r.size(), 3u);
-  ASSERT_LE(r.size(), 4u);  // The torn half-write can preserve record 4, never 5.
-  EXPECT_EQ(r[0].second, "covered 1");
-  EXPECT_EQ(r[1].second, "covered 2");
-  EXPECT_EQ(r[2].second, "covered 3");
-  if (r.size() == 4) {
-    EXPECT_EQ(r[3].second, std::string(900, 'd'));
-  }
-  // The recovered journal's watermark covers exactly what the scan validated.
-  EXPECT_EQ(j2.committed_sequence(), r.empty() ? 0 : r.back().first);
+  test::RunTornWriteCrash(
+      kRegion, /*budget=*/0,
+      [&](const std::shared_ptr<FaultyBlockDevice>& dev, test::CrashPoint* point) {
+        Journal j(dev.get(), 0, kRegion);
+        ASSERT_TRUE(j.Append("covered 1").ok());
+        ASSERT_TRUE(j.Append("covered 2").ok());
+        ASSERT_TRUE(j.Append("covered 3").ok());
+        ASSERT_TRUE(j.Commit().ok());
+        EXPECT_EQ(j.committed_sequence(), 3u);
+        ASSERT_TRUE(j.Append(std::string(900, 'd')).ok());
+        ASSERT_TRUE(j.Append(std::string(900, 'e')).ok());
+        point->Tear();
+        EXPECT_FALSE(j.Commit().ok());
+        EXPECT_EQ(j.committed_sequence(), 3u);  // The failed window is not covered.
+        EXPECT_EQ(j.pending_records(), 2u);     // Its records remain pending.
+      },
+      [&](const std::shared_ptr<MemoryBlockDevice>& base) {
+        Journal j2(base.get(), 0, kRegion);
+        Records r = RecoverAll(&j2);
+        ASSERT_GE(r.size(), 3u);
+        ASSERT_LE(r.size(), 4u);  // The torn half-write can keep record 4, never 5.
+        EXPECT_EQ(r[0].second, "covered 1");
+        EXPECT_EQ(r[1].second, "covered 2");
+        EXPECT_EQ(r[2].second, "covered 3");
+        if (r.size() == 4) {
+          EXPECT_EQ(r[3].second, std::string(900, 'd'));
+        }
+        // The recovered journal's watermark covers exactly what the scan validated.
+        EXPECT_EQ(j2.committed_sequence(), r.empty() ? 0 : r.back().first);
+      });
 }
 
 // Property sweep: random append/commit/crash cycles always recover exactly the committed

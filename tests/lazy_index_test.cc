@@ -15,6 +15,7 @@
 #include "src/core/filesystem.h"
 #include "src/core/fsck.h"
 #include "src/storage/block_device.h"
+#include "tests/crash_harness.h"
 
 namespace hfad {
 namespace core {
@@ -168,53 +169,56 @@ class LazyIndexTearTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(LazyIndexTearTest, AcknowledgedIntentsSurviveATornCheckpoint) {
   const int64_t budget = GetParam();
-  auto base = std::make_shared<MemoryBlockDevice>(kDev);
-  auto faulty = std::make_shared<FaultyBlockDevice>(base);
   FileSystemOptions opts = LazyOptions();
   opts.osd.group_commit = false;  // Every op durable on return.
   std::vector<std::pair<ObjectId, std::string>> acked;  // (oid, UDEF value)
-  {
-    auto fs = MakeFs(faulty, opts);
-    ASSERT_NE(fs, nullptr);
-    std::vector<ObjectId> oids;
-    for (int i = 0; i < 6; i++) {
-      auto oid = fs->Create();
-      ASSERT_TRUE(oid.ok());
-      oids.push_back(*oid);
-    }
-    // First half: acknowledged AND applied.
-    for (int i = 0; i < 3; i++) {
-      ASSERT_TRUE(fs->AddTag(oids[i], {"UDEF", "crash" + std::to_string(i)}).ok());
-      acked.emplace_back(oids[i], "crash" + std::to_string(i));
-    }
-    ASSERT_TRUE(fs->WaitForTagIndexing().ok());
-    // Second half: acknowledged, pinned unapplied — the crash window the design is for.
-    fs->tag_indexer_for_testing()->SetPausedForTesting(true);
-    for (int i = 3; i < 6; i++) {
-      ASSERT_TRUE(fs->AddTag(oids[i], {"UDEF", "crash" + std::to_string(i)}).ok());
-      acked.emplace_back(oids[i], "crash" + std::to_string(i));
-    }
-    ASSERT_TRUE(fs->Sync().ok());
-    EXPECT_EQ(fs->PendingIndexIntents().size(), 3u);
+  test::RunTornWriteCrash(
+      kDev, budget,
+      [&](const std::shared_ptr<FaultyBlockDevice>& faulty, test::CrashPoint* point) {
+        auto fs = MakeFs(faulty, opts);
+        ASSERT_NE(fs, nullptr);
+        std::vector<ObjectId> oids;
+        for (int i = 0; i < 6; i++) {
+          auto oid = fs->Create();
+          ASSERT_TRUE(oid.ok());
+          oids.push_back(*oid);
+        }
+        // First half: acknowledged AND applied.
+        for (int i = 0; i < 3; i++) {
+          ASSERT_TRUE(fs->AddTag(oids[i], {"UDEF", "crash" + std::to_string(i)}).ok());
+          acked.emplace_back(oids[i], "crash" + std::to_string(i));
+        }
+        ASSERT_TRUE(fs->WaitForTagIndexing().ok());
+        // Second half: acknowledged, pinned unapplied — the crash window the design
+        // is for.
+        fs->tag_indexer_for_testing()->SetPausedForTesting(true);
+        for (int i = 3; i < 6; i++) {
+          ASSERT_TRUE(fs->AddTag(oids[i], {"UDEF", "crash" + std::to_string(i)}).ok());
+          acked.emplace_back(oids[i], "crash" + std::to_string(i));
+        }
+        ASSERT_TRUE(fs->Sync().ok());
+        EXPECT_EQ(fs->PendingIndexIntents().size(), 3u);
 
-    faulty->SetWriteBudget(budget);
-    faulty->EnableTornWrites(true);
-    (void)fs->Checkpoint();    // May fail anywhere, including mid-WriteBatch.
-    faulty->SetWriteBudget(0);  // Hard crash: the destructor reaches nothing.
-  }
-  auto reopened = FileSystem::Open(base, opts);
-  ASSERT_TRUE(reopened.ok()) << "budget " << budget << ": "
-                             << reopened.status().ToString();
-  FileSystem* fs = reopened->get();
-  ASSERT_TRUE(fs->WaitForTagIndexing().ok()) << "budget " << budget;
-  for (const auto& [oid, value] : acked) {
-    EXPECT_EQ(StrictFind(fs, "UDEF:" + value), std::vector<ObjectId>{oid})
-        << "budget " << budget << " lost acknowledged tag " << value;
-    EXPECT_TRUE(fs->HasName(oid, {"UDEF", value})) << "budget " << budget;
-  }
-  auto report = CheckFileSystem(fs);
-  ASSERT_TRUE(report.ok()) << "budget " << budget;
-  EXPECT_TRUE(report->clean()) << "budget " << budget << ": " << report->ToString();
+        point->Tear();
+        (void)fs->Checkpoint();  // May fail anywhere, including mid-WriteBatch.
+        point->Crash();          // Hard crash: the destructor reaches nothing.
+      },
+      [&](const std::shared_ptr<MemoryBlockDevice>& base) {
+        auto reopened = FileSystem::Open(base, opts);
+        ASSERT_TRUE(reopened.ok())
+            << "budget " << budget << ": " << reopened.status().ToString();
+        FileSystem* fs = reopened->get();
+        ASSERT_TRUE(fs->WaitForTagIndexing().ok()) << "budget " << budget;
+        for (const auto& [oid, value] : acked) {
+          EXPECT_EQ(StrictFind(fs, "UDEF:" + value), std::vector<ObjectId>{oid})
+              << "budget " << budget << " lost acknowledged tag " << value;
+          EXPECT_TRUE(fs->HasName(oid, {"UDEF", value})) << "budget " << budget;
+        }
+        auto report = CheckFileSystem(fs);
+        ASSERT_TRUE(report.ok()) << "budget " << budget;
+        EXPECT_TRUE(report->clean())
+            << "budget " << budget << ": " << report->ToString();
+      });
 }
 
 INSTANTIATE_TEST_SUITE_P(TearAtEveryWrite, LazyIndexTearTest, ::testing::Range(0, 26));

@@ -11,6 +11,7 @@
 #include "src/common/random.h"
 #include "src/osd/osd.h"
 #include "src/storage/block_device.h"
+#include "tests/crash_harness.h"
 
 namespace hfad {
 namespace osd {
@@ -244,39 +245,40 @@ class CheckpointTearTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CheckpointTearTest, SyncedOpsSurviveACheckpointTornAtAnyWrite) {
   const int64_t budget = GetParam();
-  auto base = std::make_shared<MemoryBlockDevice>(kDev);
-  auto faulty = std::make_shared<FaultyBlockDevice>(base);
   OsdOptions opts;
   std::vector<std::pair<ObjectId, std::string>> acked;
-  {
-    auto r = Osd::Create(faulty, opts);
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-    auto osd = std::move(r).value();
-    for (int i = 0; i < 8; i++) {
-      auto oid = osd->CreateObject();
-      ASSERT_TRUE(oid.ok());
-      std::string payload = "acknowledged payload #" + std::to_string(i) +
-                            std::string(200 + 50 * i, 'a' + static_cast<char>(i));
-      ASSERT_TRUE(osd->Write(*oid, 0, payload).ok());
-      acked.emplace_back(*oid, payload);
-    }
-    ASSERT_TRUE(osd->Sync().ok());  // Everything above is covered by the watermark.
+  test::RunTornWriteCrash(
+      kDev, budget,
+      [&](const std::shared_ptr<FaultyBlockDevice>& faulty, test::CrashPoint* point) {
+        auto r = Osd::Create(faulty, opts);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        auto osd = std::move(r).value();
+        for (int i = 0; i < 8; i++) {
+          auto oid = osd->CreateObject();
+          ASSERT_TRUE(oid.ok());
+          std::string payload = "acknowledged payload #" + std::to_string(i) +
+                                std::string(200 + 50 * i, 'a' + static_cast<char>(i));
+          ASSERT_TRUE(osd->Write(*oid, 0, payload).ok());
+          acked.emplace_back(*oid, payload);
+        }
+        ASSERT_TRUE(osd->Sync().ok());  // Covered by the watermark from here on.
 
-    faulty->SetWriteBudget(budget);
-    faulty->EnableTornWrites(true);
-    (void)osd->Checkpoint();  // May fail anywhere, including mid-WriteBatch.
-    faulty->SetWriteBudget(0);  // Hard crash: nothing else reaches the device.
-  }
-  auto reopened = Osd::Open(base, opts);
-  ASSERT_TRUE(reopened.ok()) << "budget " << budget << ": "
-                             << reopened.status().ToString();
-  for (const auto& [oid, payload] : acked) {
-    std::string out;
-    ASSERT_TRUE((*reopened)->Read(oid, 0, payload.size() + 16, &out).ok())
-        << "budget " << budget << " oid " << oid;
-    EXPECT_EQ(out, payload) << "budget " << budget << " oid " << oid;
-  }
-  EXPECT_EQ((*reopened)->object_count(), acked.size());
+        point->Tear();
+        (void)osd->Checkpoint();  // May fail anywhere, including mid-WriteBatch.
+        point->Crash();           // Hard crash: the destructor reaches nothing.
+      },
+      [&](const std::shared_ptr<MemoryBlockDevice>& base) {
+        auto reopened = Osd::Open(base, opts);
+        ASSERT_TRUE(reopened.ok())
+            << "budget " << budget << ": " << reopened.status().ToString();
+        for (const auto& [oid, payload] : acked) {
+          std::string out;
+          ASSERT_TRUE((*reopened)->Read(oid, 0, payload.size() + 16, &out).ok())
+              << "budget " << budget << " oid " << oid;
+          EXPECT_EQ(out, payload) << "budget " << budget << " oid " << oid;
+        }
+        EXPECT_EQ((*reopened)->object_count(), acked.size());
+      });
 }
 
 INSTANTIATE_TEST_SUITE_P(TearAtEveryWrite, CheckpointTearTest,

@@ -129,7 +129,9 @@ FileSystem::FileSystem(std::unique_ptr<osd::OsdCluster> cluster,
   }
   if (options_.lazy_tag_indexing) {
     tag_indexer_ = std::make_unique<LazyTagIndexer>(indexes_.get(),
-                                                    options_.tag_intent_queue_capacity);
+                                                    options_.tag_intent_queue_capacity,
+                                                    /*batch_limit=*/256,
+                                                    options_.tag_indexer_workers);
   }
 }
 
@@ -1018,18 +1020,32 @@ std::string FileSystem::DumpMetrics() const {
   // their single-volume meaning; the per-shard breakdown follows.
   double occupancy = 0.0;
   uint64_t pending_records = 0, resident_pages = 0, dirty_pages = 0;
+  uint64_t io_submitted = 0, io_completed = 0, io_in_flight = 0, io_max_qd = 0;
+  std::string io_backend = "none";
   for (size_t k = 0; k < cluster_->shard_count(); k++) {
     osd::Osd* shard = cluster_->shard(k);
     occupancy = std::max(occupancy, shard->journal_occupancy());
     pending_records += shard->journal_pending_records();
     resident_pages += shard->pager()->cached_pages();
     dirty_pages += shard->pager()->dirty_pages();
+    if (io::IoEngine* eng = shard->io_engine()) {
+      io_backend = eng->backend_name();
+      io_submitted += eng->submitted();
+      io_completed += eng->completed();
+      io_in_flight += eng->in_flight();
+      io_max_qd = std::max(io_max_qd, eng->max_queue_depth());
+    }
   }
   w.Key("gauges").BeginObject();
   w.Key("journal_occupancy_pct").Value(occupancy * 100.0);
   w.Key("journal_pending_records").Value(pending_records);
   w.Key("pager_resident_pages").Value(resident_pages);
   w.Key("pager_dirty_pages").Value(dirty_pages);
+  w.Key("io_backend").Value(io_backend);
+  w.Key("io_submitted").Value(io_submitted);
+  w.Key("io_completed").Value(io_completed);
+  w.Key("io_in_flight").Value(io_in_flight);
+  w.Key("io_max_queue_depth").Value(io_max_qd);
   w.Key("indexer_queue_depth")
       .Value(static_cast<uint64_t>(tag_indexer_ != nullptr ? tag_indexer_->PendingCount() : 0));
   w.Key("checkpointer_state").Value(static_cast<int64_t>(osd_->checkpointer_state()));

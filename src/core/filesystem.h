@@ -62,6 +62,9 @@ struct FileSystemOptions {
   bool lazy_tag_indexing = false;
   // Bound on acknowledged-but-unapplied tag intents; mutators block past it.
   size_t tag_intent_queue_capacity = 4096;
+  // Tag-indexer application threads. Tags are hash-partitioned across workers, so
+  // per-tag FIFO order (and strict visibility) holds at any count.
+  size_t tag_indexer_workers = 1;
   // Number of OSD shards (ROADMAP item 1). 1 (the default) is today's single-volume
   // behavior, byte-compatible with existing volumes; 0 means one shard per device
   // passed to the multi-device Create/Open. Any other value must match the device

@@ -10,11 +10,17 @@ namespace hfad {
 namespace core {
 
 LazyTagIndexer::LazyTagIndexer(index::IndexCollection* indexes, size_t queue_capacity,
-                               size_t batch_limit)
+                               size_t batch_limit, size_t worker_count)
     : indexes_(indexes),
       capacity_(queue_capacity == 0 ? 1 : queue_capacity),
-      batch_limit_(batch_limit == 0 ? 1 : batch_limit) {
-  worker_ = std::thread([this] { WorkerMain(); });
+      batch_limit_(batch_limit == 0 ? 1 : batch_limit),
+      worker_count_(worker_count == 0 ? 1 : worker_count),
+      queues_(worker_count_),
+      in_flights_(worker_count_) {
+  workers_.reserve(worker_count_);
+  for (size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
 }
 
 LazyTagIndexer::~LazyTagIndexer() {
@@ -25,14 +31,22 @@ LazyTagIndexer::~LazyTagIndexer() {
   work_cv_.notify_all();
   slots_cv_.notify_all();
   applied_cv_.notify_all();
-  worker_.join();
+  for (auto& w : workers_) w.join();
+}
+
+size_t LazyTagIndexer::UsedLocked() const {
+  size_t used = reserved_;
+  for (size_t i = 0; i < worker_count_; ++i) {
+    used += queues_[i].size() + in_flights_[i].size();
+  }
+  return used;
 }
 
 void LazyTagIndexer::ReserveSlots(size_t n) {
   std::unique_lock<std::mutex> lock(mu_);
   slots_cv_.wait(lock, [&] {
     if (shutdown_) return true;
-    size_t used = queue_.size() + in_flight_.size() + reserved_;
+    size_t used = UsedLocked();
     // Oversized batches (n > capacity_) are admitted against an empty queue rather
     // than blocking forever.
     return used + n <= capacity_ || used == 0;
@@ -55,10 +69,11 @@ void LazyTagIndexer::EnqueueReserved(std::vector<Op> ops) {
     for (auto& op : ops) {
       ++enqueued_total_;
       ++enqueued_by_tag_[op.name.tag];
-      queue_.push_back(std::move(op));
+      size_t w = WorkerFor(op.name.tag);
+      queues_[w].push_back(std::move(op));
     }
   }
-  work_cv_.notify_one();
+  work_cv_.notify_all();
 }
 
 void LazyTagIndexer::Seed(std::vector<Op> ops) {
@@ -67,10 +82,11 @@ void LazyTagIndexer::Seed(std::vector<Op> ops) {
     for (auto& op : ops) {
       ++enqueued_total_;
       ++enqueued_by_tag_[op.name.tag];
-      queue_.push_back(std::move(op));
+      size_t w = WorkerFor(op.name.tag);
+      queues_[w].push_back(std::move(op));
     }
   }
-  work_cv_.notify_one();
+  work_cv_.notify_all();
 }
 
 Status LazyTagIndexer::WaitForTags(const std::vector<std::string>& tags) {
@@ -104,15 +120,22 @@ Status LazyTagIndexer::Drain() {
 std::vector<LazyTagIndexer::Op> LazyTagIndexer::SnapshotUnapplied() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Op> out;
-  out.reserve(in_flight_.size() + queue_.size());
-  out.insert(out.end(), in_flight_.begin(), in_flight_.end());
-  out.insert(out.end(), queue_.begin(), queue_.end());
+  // Per worker: in-flight first, then queued — within a worker that is enqueue
+  // order, and per-tag order only depends on one worker (tags are partitioned).
+  for (size_t i = 0; i < worker_count_; ++i) {
+    out.insert(out.end(), in_flights_[i].begin(), in_flights_[i].end());
+    out.insert(out.end(), queues_[i].begin(), queues_[i].end());
+  }
   return out;
 }
 
 size_t LazyTagIndexer::PendingCount() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size() + in_flight_.size();
+  size_t n = 0;
+  for (size_t i = 0; i < worker_count_; ++i) {
+    n += queues_[i].size() + in_flights_[i].size();
+  }
+  return n;
 }
 
 Status LazyTagIndexer::first_error() const {
@@ -129,27 +152,29 @@ void LazyTagIndexer::SetPausedForTesting(bool paused) {
   applied_cv_.notify_all();
 }
 
-void LazyTagIndexer::WorkerMain() {
+void LazyTagIndexer::WorkerMain(size_t worker) {
+  std::deque<Op>& queue = queues_[worker];
+  std::vector<Op>& in_flight = in_flights_[worker];
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+    work_cv_.wait(lock, [&] { return shutdown_ || (!paused_ && !queue.empty()); });
     if (shutdown_) return;
 
-    size_t take = std::min(batch_limit_, queue_.size());
-    in_flight_.assign(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(take));
-    queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(take));
+    size_t take = std::min(batch_limit_, queue.size());
+    in_flight.assign(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(take));
+    queue.erase(queue.begin(), queue.begin() + static_cast<ptrdiff_t>(take));
 
     lock.unlock();
-    Status s = ApplyOps(in_flight_);
+    Status s = ApplyOps(in_flight);
     lock.lock();
 
     // Horizons advance even when application failed: the error is sticky and strict
     // readers must surface it rather than block forever.
-    for (const auto& op : in_flight_) {
+    for (const auto& op : in_flight) {
       ++applied_total_;
       ++applied_by_tag_[op.name.tag];
     }
-    in_flight_.clear();
+    in_flight.clear();
     if (!s.ok() && first_error_.ok()) first_error_ = s;
 
     applied_cv_.notify_all();

@@ -3,10 +3,17 @@
 //
 // In lazy mode the FileSystem journals a tag intent, updates the reverse map inline
 // (naming state stays authoritative), enqueues the forward posting-store update here,
-// and returns. One worker thread drains the queue into the posting btrees in sorted
-// bulk batches (IndexStore::ApplyBatch -> Btree::BulkLoad). Visibility is explicit:
-// strict readers wait on per-tag applied-sequence horizons (the PR 5 committed_seq_
-// idiom, one watermark pair per tag), relaxed readers take the postings as they are.
+// and returns. Worker threads (configurable count, default 1) drain per-worker queues
+// into the posting btrees in sorted bulk batches (IndexStore::ApplyBatch ->
+// Btree::BulkLoad). Visibility is explicit: strict readers wait on per-tag
+// applied-sequence horizons (the PR 5 committed_seq_ idiom, one watermark pair per
+// tag), relaxed readers take the postings as they are.
+//
+// With multiple workers, tags are partitioned across workers by hash: every op for a
+// given tag lands in the same worker's FIFO queue, so per-tag application order still
+// equals per-tag enqueue order and the horizon counters stay correct — the exact
+// invariant that makes strict visibility a counter comparison. Distinct tags may
+// apply out of mutual order, which was never guaranteed.
 //
 // Crash safety is owned by the layers around this class: intents are journaled before
 // they are enqueued (Osd::AppendForeign with the enqueue callback under the same volume
@@ -46,10 +53,11 @@ class LazyTagIndexer {
   };
 
   // `indexes` must outlive this object. `queue_capacity` bounds acknowledged-but-
-  // unapplied intents (mutators block in ReserveSlots beyond it); `batch_limit` caps
-  // ops taken per worker application round.
+  // unapplied intents across all workers (mutators block in ReserveSlots beyond it);
+  // `batch_limit` caps ops taken per worker application round; `worker_count` sets
+  // how many application threads partition the tag space (see file comment).
   LazyTagIndexer(index::IndexCollection* indexes, size_t queue_capacity,
-                 size_t batch_limit = 256);
+                 size_t batch_limit = 256, size_t worker_count = 1);
   ~LazyTagIndexer();
 
   LazyTagIndexer(const LazyTagIndexer&) = delete;
@@ -96,22 +104,32 @@ class LazyTagIndexer {
   void SetPausedForTesting(bool paused);
 
  private:
-  void WorkerMain();
+  void WorkerMain(size_t worker);
 
   // Apply one popped batch to the posting stores. Called with mu_ NOT held.
   Status ApplyOps(const std::vector<Op>& ops);
 
+  // Which worker owns a tag. All state stays under the single mu_; only the
+  // queues are per-worker, which is what the FIFO horizon invariant needs.
+  size_t WorkerFor(const std::string& tag) const {
+    return std::hash<std::string>{}(tag) % worker_count_;
+  }
+
+  // Ops enqueued or in application, summed across workers. Caller holds mu_.
+  size_t UsedLocked() const;
+
   index::IndexCollection* const indexes_;
   const size_t capacity_;
   const size_t batch_limit_;
+  const size_t worker_count_;
 
   mutable std::mutex mu_;
   std::condition_variable slots_cv_;    // Reservers waiting for queue room.
-  std::condition_variable work_cv_;     // Worker waiting for ops / unpause.
+  std::condition_variable work_cv_;     // Workers waiting for ops / unpause.
   std::condition_variable applied_cv_;  // Strict readers waiting on horizons.
 
-  std::deque<Op> queue_;         // Enqueued, not yet picked up.
-  std::vector<Op> in_flight_;    // Popped by the worker, application in progress.
+  std::vector<std::deque<Op>> queues_;       // Per worker: enqueued, not picked up.
+  std::vector<std::vector<Op>> in_flights_;  // Per worker: application in progress.
   size_t reserved_ = 0;          // Slots reserved but not yet enqueued.
   bool paused_ = false;
   bool shutdown_ = false;
@@ -125,7 +143,7 @@ class LazyTagIndexer {
   uint64_t enqueued_total_ = 0;
   uint64_t applied_total_ = 0;
 
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace core

@@ -1,0 +1,190 @@
+// Completion-based I/O engine: explicit submission/completion semantics over a
+// BlockDevice.
+//
+// Every op today burns a thread for the full device round-trip; the group-commit
+// leader still parks inside Sync(). The IoEngine splits each op into a non-blocking
+// Submit and an asynchronous completion, the DAOS/Ceph ObjectStore shape: callers
+// submit IoRequests (read | write | writev | sync) tagged with user_data, and
+// completions are delivered either to the request's on_complete callback (dispatched
+// on an engine-internal completion thread) or to a completion queue drained with
+// Poll()/Wait(). The thread count then stops being the ceiling on in-flight ops —
+// the journal keeps thousands of commits in flight on a handful of engine threads.
+//
+// Two backends behind one interface (CreateIoEngine picks at runtime):
+//
+//   * thread-pool — portable: N workers pop a submission queue and run the device's
+//     own virtual Read/Write/WriteBatch/Sync. Because the device methods themselves
+//     execute, FaultyBlockDevice write-budget and sync-hook accounting is identical
+//     through the async path by construction, so the crash harness torn-write sweeps
+//     exercise the engine unchanged.
+//   * io_uring — Linux, raw syscalls (no liburing dependency), compiled under
+//     HFAD_WITH_URING and selected only when the device exposes a native fd
+//     (FileBlockDevice) and io_uring_setup succeeds at runtime (seccomp-restricted
+//     environments fall back to the thread pool).
+//
+// Completion contract (the engine's one hard invariant): every successfully
+// submitted request completes EXACTLY once — executed, failed, or aborted by
+// Shutdown — and buffers referenced by a request (write data, writev extents) must
+// stay valid until its completion fires. Completion ordering across requests is
+// unspecified; callers needing write-then-sync ordering chain the second submit
+// from the first completion (see Journal's async commit state machine).
+//
+// Callback rules (docs/CONCURRENCY.md "completion threads"): on_complete runs on an
+// engine-internal thread with NO engine locks held. It may take leaf locks
+// (journal mu_, pager stripe/writeback locks) and may Submit follow-up requests,
+// but must never block on another completion or acquire the volume lock.
+#ifndef HFAD_SRC_IO_IO_ENGINE_H_
+#define HFAD_SRC_IO_IO_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace io {
+
+enum class IoOp : uint8_t {
+  kRead = 0,   // offset/size -> IoCompletion::read_data
+  kWrite = 1,  // offset/data
+  kWritev = 2, // extents (sorted + coalesced like BlockDevice::WriteBatch)
+  kSync = 3,   // durability barrier for previously COMPLETED writes
+};
+
+// Delivered exactly once per submitted request.
+struct IoCompletion {
+  uint64_t user_data = 0;
+  Status status;
+  std::string read_data;  // kRead only.
+};
+
+// One submission. Buffers behind `data` / `extents` must outlive the completion.
+struct IoRequest {
+  IoOp op = IoOp::kWrite;
+  uint64_t offset = 0;               // kRead / kWrite.
+  size_t size = 0;                   // kRead.
+  Slice data;                        // kWrite.
+  std::vector<WriteExtent> extents;  // kWritev.
+  uint64_t user_data = 0;
+  // When set, the completion is dispatched to this callback on an engine thread and
+  // never enters the Poll/Wait queue. When null, Poll()/Wait() deliver it.
+  std::function<void(IoCompletion)> on_complete;
+};
+
+// Opaque per-submission id (monotonic within an engine).
+using IoHandle = uint64_t;
+
+enum class IoBackend : uint8_t {
+  kAuto = 0,        // io_uring when built + device + kernel allow it, else thread pool.
+  kThreadPool = 1,  // Portable worker-pool backend.
+  kUring = 2,       // io_uring or bust (CreateIoEngine falls back with a note).
+};
+
+struct IoEngineOptions {
+  // Submission workers (thread-pool backend) / queue depth hint (io_uring).
+  int threads = 2;
+  IoBackend backend = IoBackend::kAuto;
+};
+
+// Shared engine shell: gauges and the no-callback completion queue. Backends call
+// Deliver() for every finished op; it routes to the callback or the queue.
+class IoEngine {
+ public:
+  virtual ~IoEngine() = default;
+
+  IoEngine(const IoEngine&) = delete;
+  IoEngine& operator=(const IoEngine&) = delete;
+
+  // Enqueue one request. Never blocks on device IO; fails only after Shutdown().
+  virtual Result<IoHandle> Submit(IoRequest req) = 0;
+
+  // Drain in-flight ops and stop. Requests accepted but not yet started complete
+  // with IoError("aborted by engine shutdown") — still exactly once. Idempotent;
+  // the destructor calls it.
+  virtual void Shutdown() = 0;
+
+  virtual const char* backend_name() const = 0;
+
+  // Non-blocking: move every queued no-callback completion into *out (appended).
+  // Returns the number delivered.
+  size_t Poll(std::vector<IoCompletion>* out);
+
+  // Block until at least one no-callback completion is available (delivering all
+  // queued), or until the engine is shut down with nothing left in flight
+  // (returns 0).
+  size_t Wait(std::vector<IoCompletion>* out);
+
+  // ---- Gauges (DumpMetrics "io" block) ----
+  uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
+  uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  uint64_t in_flight() const {
+    uint64_t s = submitted();
+    uint64_t c = completed();
+    return s > c ? s - c : 0;
+  }
+  uint64_t max_queue_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  IoEngine() = default;
+
+  // Account one accepted submission; returns its handle.
+  IoHandle RecordSubmit() {
+    uint64_t s = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t depth = s - completed_.load(std::memory_order_relaxed);
+    uint64_t prev = max_depth_.load(std::memory_order_relaxed);
+    while (depth > prev &&
+           !max_depth_.compare_exchange_weak(prev, depth, std::memory_order_relaxed)) {
+    }
+    return s;
+  }
+
+  // Deliver one finished op: run the callback (engine thread, no locks held) or
+  // queue it for Poll/Wait. The exactly-once contract is the caller's to uphold.
+  void Deliver(std::function<void(IoCompletion)> cb, IoCompletion completion);
+
+  // Wake Wait()ers blocked on an engine that is going idle-forever.
+  void NotifyShutdownForWaiters();
+
+ private:
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> max_depth_{0};
+
+  std::mutex cq_mu_;
+  std::condition_variable cq_cv_;
+  std::deque<IoCompletion> cq_;
+  bool cq_shutdown_ = false;
+};
+
+// Build an engine for `device`. Backend choice: kThreadPool always works; kAuto
+// (and kUring) use io_uring only when HFAD_WITH_URING is compiled in, the device
+// has a native fd, and io_uring_setup succeeds at runtime — otherwise the thread
+// pool is returned. Never fails: the thread-pool backend has no preconditions.
+std::unique_ptr<IoEngine> CreateIoEngine(BlockDevice* device,
+                                         const IoEngineOptions& options);
+
+// Convenience: submit one request and block until its completion, returning its
+// status. Used by synchronous paths (pager Flush) that still want the engine to
+// carry the IO so fault injection and gauges see one code path.
+Status SubmitAndWait(IoEngine* engine, IoRequest req);
+
+// Internal backend factories (io_engine.cc / thread_pool_engine.cc /
+// uring_engine.cc). CreateUringEngine returns null when unsupported.
+std::unique_ptr<IoEngine> CreateThreadPoolEngine(BlockDevice* device, int threads);
+std::unique_ptr<IoEngine> CreateUringEngine(BlockDevice* device, int depth_hint);
+
+}  // namespace io
+}  // namespace hfad
+
+#endif  // HFAD_SRC_IO_IO_ENGINE_H_

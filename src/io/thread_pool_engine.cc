@@ -1,0 +1,113 @@
+// Portable IoEngine backend: N workers draining a submission deque and executing
+// each request through the BlockDevice virtuals. Fault injection, write-budget
+// accounting, and sync hooks on FaultyBlockDevice therefore behave identically to
+// the synchronous paths — the device cannot tell who called it.
+#include <thread>
+#include <utility>
+
+#include "src/io/io_engine.h"
+
+namespace hfad {
+namespace io {
+namespace {
+
+class ThreadPoolEngine : public IoEngine {
+ public:
+  ThreadPoolEngine(BlockDevice* device, int threads) : device_(device) {
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+
+  ~ThreadPoolEngine() override { Shutdown(); }
+
+  Result<IoHandle> Submit(IoRequest req) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        return Status::IoError("io engine is shut down");
+      }
+      IoHandle handle = RecordSubmit();
+      queue_.push_back(std::move(req));
+      work_cv_.notify_one();
+      return handle;
+    }
+  }
+
+  void Shutdown() override {
+    std::deque<IoRequest> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      shutdown_ = true;
+      // Requests accepted but not yet picked up are aborted here (exactly once);
+      // requests a worker already holds run to normal completion below.
+      orphans.swap(queue_);
+    }
+    work_cv_.notify_all();
+    for (auto& req : orphans) {
+      IoCompletion c;
+      c.user_data = req.user_data;
+      c.status = Status::IoError("aborted by engine shutdown");
+      Deliver(std::move(req.on_complete), std::move(c));
+    }
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    NotifyShutdownForWaiters();
+  }
+
+  const char* backend_name() const override { return "thread_pool"; }
+
+ private:
+  void WorkerMain() {
+    for (;;) {
+      IoRequest req;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown_ with nothing left to run.
+        req = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      IoCompletion c;
+      c.user_data = req.user_data;
+      switch (req.op) {
+        case IoOp::kRead:
+          c.status = device_->Read(req.offset, req.size, &c.read_data);
+          break;
+        case IoOp::kWrite:
+          c.status = device_->Write(req.offset, req.data);
+          break;
+        case IoOp::kWritev:
+          c.status = device_->WriteBatch(req.extents);
+          break;
+        case IoOp::kSync:
+          c.status = device_->Sync();
+          break;
+      }
+      Deliver(std::move(req.on_complete), std::move(c));
+    }
+  }
+
+  BlockDevice* const device_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<IoRequest> queue_;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+std::unique_ptr<IoEngine> CreateThreadPoolEngine(BlockDevice* device,
+                                                 int threads) {
+  return std::unique_ptr<IoEngine>(
+      new ThreadPoolEngine(device, threads > 0 ? threads : 1));
+}
+
+}  // namespace io
+}  // namespace hfad

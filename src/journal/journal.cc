@@ -1,6 +1,7 @@
 #include "src/journal/journal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/common/coding.h"
@@ -8,6 +9,7 @@
 #include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
+#include "src/io/io_engine.h"
 
 namespace hfad {
 namespace journal {
@@ -25,6 +27,18 @@ uint32_t RecordCrc(uint32_t length, uint64_t sequence, Slice payload) {
 
 }  // namespace
 
+// One link of the async chain. Owns the drained batch bytes so the engine's
+// buffer-lifetime rule holds without copying, and carries the bookkeeping the
+// completion needs to finish what LeadCommit does synchronously.
+struct Journal::AsyncCommitState {
+  uint64_t gen = 0;             // Chain generation (lead-once accounting).
+  std::string batch;            // Drained pending_ bytes; Slice target for the write.
+  size_t count = 0;             // Records in the batch.
+  uint64_t batch_last = 0;      // Highest sequence in the batch.
+  uint64_t pos = 0;             // write_pos_ at drain time.
+  std::chrono::steady_clock::time_point start;
+};
+
 Journal::Journal(BlockDevice* device, uint64_t region_offset, uint64_t region_size,
                  uint64_t first_sequence)
     : device_(device),
@@ -32,6 +46,19 @@ Journal::Journal(BlockDevice* device, uint64_t region_offset, uint64_t region_si
       region_size_(region_size),
       next_seq_(first_sequence),
       committed_seq_(first_sequence - 1) {}
+
+Journal::~Journal() {
+  // An async chain link may still be in flight; its completion touches this
+  // object, so wait it out. (Engines owned above the journal are shut down
+  // before the journal is destroyed, which also drives this to quiescence.)
+  std::unique_lock<std::mutex> lock(mu_);
+  commit_cv_.wait(lock, [&] { return !commit_in_progress_; });
+}
+
+void Journal::SetIoEngine(io::IoEngine* engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_ = engine;
+}
 
 Result<uint64_t> Journal::Append(Slice payload) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -101,12 +128,146 @@ Status Journal::LeadCommit(std::unique_lock<std::mutex>& lock) {
   return s;
 }
 
+std::shared_ptr<Journal::AsyncCommitState> Journal::PrepareAsyncCommitLocked() {
+  auto st = std::make_shared<AsyncCommitState>();
+  st->gen = chain_next_gen_++;
+  st->batch.swap(pending_);
+  st->count = pending_count_;
+  pending_count_ = 0;
+  st->batch_last = next_seq_ - 1;
+  st->pos = write_pos_;
+  inflight_bytes_ = st->batch.size();
+  inflight_count_ = st->count;
+  commit_in_progress_ = true;
+  st->start = std::chrono::steady_clock::now();
+  return st;
+}
+
+void Journal::SubmitAsyncBatch(std::shared_ptr<AsyncCommitState> st) {
+  // The leader never parks in Sync(): the write's completion submits the sync,
+  // the sync's completion advances the watermark. Both callbacks run on engine
+  // completion threads and take only mu_ (a leaf lock on that path).
+  io::IoRequest write;
+  write.op = io::IoOp::kWrite;
+  write.offset = region_offset_ + st->pos;
+  write.data = Slice(st->batch);
+  write.on_complete = [this, st](io::IoCompletion c) {
+    if (!c.status.ok()) {
+      FinishAsyncCommit(st, c.status);
+      return;
+    }
+    io::IoRequest sync;
+    sync.op = io::IoOp::kSync;
+    sync.on_complete = [this, st](io::IoCompletion sc) {
+      FinishAsyncCommit(st, sc.status);
+    };
+    auto h = engine_->Submit(std::move(sync));
+    if (!h.ok()) {
+      FinishAsyncCommit(st, h.status());
+    }
+  };
+  auto h = engine_->Submit(std::move(write));
+  if (!h.ok()) {
+    FinishAsyncCommit(std::move(st), h.status());
+  }
+}
+
+void Journal::FinishAsyncCommit(std::shared_ptr<AsyncCommitState> st, Status s) {
+  std::vector<std::function<void(Status)>> fire;
+  Status fire_status = s;
+  std::shared_ptr<AsyncCommitState> next;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    inflight_bytes_ = 0;
+    inflight_count_ = 0;
+    if (s.ok()) {
+      write_pos_ += st->batch.size();
+      committed_seq_ = st->batch_last;
+      stats::Add(stats::Counter::kJournalCommits);
+      stats::Add(stats::Counter::kJournalRecords, st->count);
+      stats::Add(stats::Counter::kJournalBytes, st->batch.size());
+    } else {
+      // Failed batches stay pending, prepended ahead of anything appended while
+      // the chain link was in flight (records must stay in sequence order).
+      st->batch.append(pending_);
+      pending_.swap(st->batch);
+      pending_count_ += st->count;
+    }
+    chain_done_gen_ = st->gen;
+    last_chain_status_ = s;
+    commit_in_progress_ = false;
+    if (s.ok()) {
+      // Covered waiters resolve now; uncovered ones elect this completion thread
+      // as the next leader, keeping the chain dense under a commit storm.
+      auto split = std::partition(
+          async_waiters_.begin(), async_waiters_.end(),
+          [&](const auto& w) { return w.first > committed_seq_; });
+      for (auto it = split; it != async_waiters_.end(); ++it) {
+        fire.push_back(std::move(it->second));
+      }
+      async_waiters_.erase(split, async_waiters_.end());
+      fire_status = Status::Ok();
+      if (!async_waiters_.empty()) {
+        if (!pending_.empty()) {
+          next = PrepareAsyncCommitLocked();
+        } else {
+          // Unreachable by construction (an uncovered target implies records in
+          // pending_), but never strand a waiter if the invariant ever bends.
+          for (auto& w : async_waiters_) fire.push_back(std::move(w.second));
+          async_waiters_.clear();
+        }
+      }
+    } else {
+      // Every waiter learns this chain link's failure, exactly as a blocking
+      // follower of a failed sync leader retries/reports for itself.
+      for (auto& w : async_waiters_) fire.push_back(std::move(w.second));
+      async_waiters_.clear();
+    }
+    commit_cv_.notify_all();
+  }
+  metrics::Record(metrics::Hist::kJournalCommit,
+                  static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - st->start)
+                          .count()));
+  for (auto& f : fire) f(fire_status);
+  if (next) SubmitAsyncBatch(std::move(next));
+}
+
 Status Journal::CommitThrough(uint64_t sequence) {
   std::unique_lock<std::mutex> lock(mu_);
   // Clamp to what has actually been appended: sequences from before a Reset() are
   // durable by checkpoint, and asking beyond next_seq_-1 is a caller bug we degrade
   // to "everything appended so far".
   uint64_t target = std::min(sequence, next_seq_ - 1);
+  if (engine_ != nullptr) {
+    // Async mode: kick the chain instead of leading in place, then sleep on the
+    // watermark. Lead-once: after this caller's generation completes it reports
+    // that link's outcome rather than retrying forever on a failing device.
+    bool led = false;
+    uint64_t my_gen = 0;
+    for (;;) {
+      if (committed_seq_ >= target) {
+        return Status::Ok();
+      }
+      if (led && chain_done_gen_ >= my_gen) {
+        return last_chain_status_;
+      }
+      if (!commit_in_progress_ && !led) {
+        if (pending_.empty()) {
+          return Status::Ok();  // Reset raced ahead of us.
+        }
+        auto st = PrepareAsyncCommitLocked();
+        my_gen = st->gen;
+        led = true;
+        lock.unlock();
+        SubmitAsyncBatch(std::move(st));
+        lock.lock();
+        continue;
+      }
+      commit_cv_.wait(lock);
+    }
+  }
   for (;;) {
     if (committed_seq_ >= target) {
       return Status::Ok();
@@ -121,6 +282,31 @@ Status Journal::CommitThrough(uint64_t sequence) {
   }
   commit_in_progress_ = true;
   return LeadCommit(lock);
+}
+
+void Journal::CommitAsync(uint64_t sequence, std::function<void(Status)> done) {
+  std::shared_ptr<AsyncCommitState> st;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (engine_ == nullptr) {
+      lock.unlock();
+      done(CommitThrough(sequence));  // Degraded mode: block, then report.
+      return;
+    }
+    uint64_t target = std::min(sequence, next_seq_ - 1);
+    if (committed_seq_ >= target ||
+        (!commit_in_progress_ && pending_.empty())) {
+      lock.unlock();  // Covered already (or Reset raced): resolve immediately.
+      done(Status::Ok());
+      return;
+    }
+    async_waiters_.emplace_back(target, std::move(done));
+    if (commit_in_progress_) {
+      return;  // The in-flight link (or its successor) will resolve us.
+    }
+    st = PrepareAsyncCommitLocked();
+  }
+  SubmitAsyncBatch(std::move(st));
 }
 
 Status Journal::Commit() {
@@ -157,18 +343,32 @@ double Journal::Occupancy() const {
 }
 
 Status Journal::Reset() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // An in-flight leader still owns [write_pos_, +inflight_bytes_); wait it out so the
-  // head zeroes below cannot be overwritten by its batch.
-  commit_cv_.wait(lock, [&] { return !commit_in_progress_; });
-  pending_.clear();
-  pending_count_ = 0;
-  write_pos_ = 0;
-  committed_seq_ = next_seq_ - 1;  // Everything before the reset is checkpoint-durable.
-  // Zero one header so a recovery scan terminates immediately.
-  std::string zeroes(kRecordHeaderSize, '\0');
-  HFAD_RETURN_IF_ERROR(device_->Write(region_offset_, Slice(zeroes)));
-  return device_->Sync();
+  std::vector<std::function<void(Status)>> fire;
+  Status result;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // An in-flight leader still owns [write_pos_, +inflight_bytes_); wait it out so
+    // the head zeroes below cannot be overwritten by its batch.
+    commit_cv_.wait(lock, [&] { return !commit_in_progress_; });
+    pending_.clear();
+    pending_count_ = 0;
+    write_pos_ = 0;
+    committed_seq_ = next_seq_ - 1;  // Everything before the reset is checkpoint-durable.
+    // Any async waiter still parked is now covered by the checkpoint that mandated
+    // this reset (in steady state the chain epilogue already drained them all).
+    // Fired after the head is zeroed: releasing mu_ earlier would let a resolved
+    // caller kick a new chain writing at write_pos_ 0 concurrently with the zeroes.
+    for (auto& w : async_waiters_) fire.push_back(std::move(w.second));
+    async_waiters_.clear();
+    // Zero one header so a recovery scan terminates immediately.
+    std::string zeroes(kRecordHeaderSize, '\0');
+    result = device_->Write(region_offset_, Slice(zeroes));
+    if (result.ok()) {
+      result = device_->Sync();
+    }
+  }
+  for (auto& f : fire) f(Status::Ok());
+  return result;
 }
 
 Result<uint64_t> Journal::Recover(
@@ -177,6 +377,16 @@ Result<uint64_t> Journal::Recover(
   commit_cv_.wait(lock, [&] { return !commit_in_progress_; });
   pending_.clear();
   pending_count_ = 0;
+  // Recovery supersedes any parked async waiter (their records either survived on
+  // disk or are gone with the crash being recovered from); resolve rather than
+  // strand them. Ok mirrors Reset: the caller owns interpreting recovered state.
+  if (!async_waiters_.empty()) {
+    auto orphans = std::move(async_waiters_);
+    async_waiters_.clear();
+    lock.unlock();
+    for (auto& w : orphans) w.second(Status::Ok());
+    lock.lock();
+  }
   uint64_t pos = 0;
   uint64_t recovered = 0;
   bool have_prev_seq = false;

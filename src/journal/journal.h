@@ -35,8 +35,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/slice.h"
@@ -44,6 +46,11 @@
 #include "src/storage/block_device.h"
 
 namespace hfad {
+
+namespace io {
+class IoEngine;
+}  // namespace io
+
 namespace journal {
 
 // Fixed per-record framing overhead (CRC + length + sequence).
@@ -59,6 +66,18 @@ class Journal {
 
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
+
+  // Waits out any in-flight commit chain. Callers owning an IoEngine must destroy
+  // (or Shutdown) the engine first so its completion threads have quiesced.
+  ~Journal();
+
+  // Route commits through `engine` (null reverts to synchronous leader commits).
+  // The group-commit leader then becomes a completion-driven state machine:
+  // reserve -> submit write -> submit sync -> advance the watermark from the sync
+  // completion. No thread parks inside Sync(); CommitThrough waiters sleep on the
+  // journal condvar and thousands of CommitAsync callers can be in flight at
+  // once. Call before the journal is shared across threads.
+  void SetIoEngine(io::IoEngine* engine);
 
   // Buffer one record. It is durable only after a Commit() covers its sequence. Returns
   // the record's sequence number, or NoSpace when the region cannot hold it (checkpoint,
@@ -77,6 +96,14 @@ class Journal {
   // Sequences from a previous log generation (at or below the last Reset) count as
   // covered. Commit() is CommitThrough(<highest appended>).
   Status CommitThrough(uint64_t sequence);
+
+  // Non-blocking CommitThrough: `done` fires with the commit outcome once the
+  // watermark covers `sequence` (immediately, from this call, when it already
+  // does). Requires no dedicated thread per caller — completions ride the engine's
+  // completion thread, so `done` must follow the completion-thread rules in
+  // docs/CONCURRENCY.md (leaf locks only, never block on another completion).
+  // Without an engine this degrades to a synchronous CommitThrough + callback.
+  void CommitAsync(uint64_t sequence, std::function<void(Status)> done);
 
   // Number of records appended but not yet durable (pending buffer + in-flight batch).
   size_t pending_records() const;
@@ -109,10 +136,28 @@ class Journal {
   uint64_t committed_bytes() const;
 
  private:
+  // One link of the async commit chain: the batch drained by an async leader, alive
+  // (via shared_ptr) until its sync completion lands — the engine requires request
+  // buffers to outlive their completions.
+  struct AsyncCommitState;
+
   // Leader body: drain pending_, Write+Sync with `lock` released, advance the watermark
   // (or restore the batch on failure), wake followers. Caller holds `lock` and has
   // already set commit_in_progress_.
   Status LeadCommit(std::unique_lock<std::mutex>& lock);
+
+  // Async leader election: drain pending_ into a chain link and mark the commit in
+  // progress. Caller holds mu_ and must call SubmitAsyncBatch with mu_ released.
+  std::shared_ptr<AsyncCommitState> PrepareAsyncCommitLocked();
+
+  // Submit the link's write; its completion submits the sync; the sync's completion
+  // calls FinishAsyncCommit. Called with mu_ RELEASED (engine locks are leaves).
+  void SubmitAsyncBatch(std::shared_ptr<AsyncCommitState> st);
+
+  // Chain epilogue, called from a completion thread: advance the watermark (or
+  // restore the batch), fire covered waiters, and lead the next link if uncovered
+  // waiters remain. Takes mu_; fires callbacks only after releasing it.
+  void FinishAsyncCommit(std::shared_ptr<AsyncCommitState> st, Status s);
 
   BlockDevice* const device_;
   const uint64_t region_offset_;
@@ -131,6 +176,18 @@ class Journal {
   std::string pending_;          // Encoded records awaiting a commit batch.
   size_t pending_count_ = 0;
   size_t inflight_count_ = 0;    // Records in the in-flight batch.
+
+  // ---- Async commit chain (engine_ != nullptr) ----
+  io::IoEngine* engine_ = nullptr;
+  // CommitAsync callers whose target the watermark does not yet cover.
+  std::vector<std::pair<uint64_t, std::function<void(Status)>>> async_waiters_;
+  // Lead-once bookkeeping for async CommitThrough: a blocking caller that kicked
+  // chain generation G returns last_chain_status_ once chain_done_gen_ >= G,
+  // mirroring the sync mode where each caller leads at most once and reports its
+  // own batch's outcome.
+  uint64_t chain_next_gen_ = 1;
+  uint64_t chain_done_gen_ = 0;
+  Status last_chain_status_;
 };
 
 }  // namespace journal

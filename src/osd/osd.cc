@@ -108,6 +108,14 @@ void Osd::InitStructures() {
       std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.object_table_root);
   named_roots_ =
       std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.index_dir_root);
+  if (options_.io_threads > 0) {
+    io::IoEngineOptions eopts;
+    eopts.threads = options_.io_threads;
+    eopts.backend = options_.io_backend;
+    io_engine_ = io::CreateIoEngine(device_.get(), eopts);
+    journal_->SetIoEngine(io_engine_.get());
+    pager_->SetIoEngine(io_engine_.get());
+  }
   next_oid_.store(sb_.next_oid);
 }
 
@@ -898,6 +906,11 @@ std::string Osd::DumpMetrics() const {
   w.Key("checkpointer_state").Value(static_cast<int64_t>(checkpointer_state()));
   w.Key("object_count").Value(object_count());
   w.Key("heap_allocated_bytes").Value(heap_allocated_bytes());
+  w.Key("io_backend").Value(io_engine_ ? io_engine_->backend_name() : "none");
+  w.Key("io_submitted").Value(io_engine_ ? io_engine_->submitted() : 0);
+  w.Key("io_completed").Value(io_engine_ ? io_engine_->completed() : 0);
+  w.Key("io_in_flight").Value(io_engine_ ? io_engine_->in_flight() : 0);
+  w.Key("io_max_queue_depth").Value(io_engine_ ? io_engine_->max_queue_depth() : 0);
   w.EndObject();
 
   w.Key("locks").BeginObject();

@@ -45,6 +45,7 @@
 #include "src/common/sharded_lock.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
+#include "src/io/io_engine.h"
 #include "src/journal/journal.h"
 #include "src/storage/block_device.h"
 #include "src/storage/buddy_allocator.h"
@@ -84,6 +85,16 @@ struct OsdOptions {
   // so a checkpoint is usually already done (or in flight) before any op ever sees
   // NoSpace and has to checkpoint synchronously. <= 0 or >= 1 disables the kick.
   double checkpoint_kick_occupancy = 0.7;
+  // IoEngine worker threads for this volume. The engine turns the group-commit
+  // leader and pager write-back into completion-driven state machines (see
+  // src/io/io_engine.h): commits ride Journal::CommitAsync chains and eviction
+  // write-back clears dirty bits from completions, so a handful of threads
+  // sustains thousands of in-flight commits. 0 disables the engine entirely and
+  // restores the fully synchronous pre-engine paths (crash tests sweep both).
+  int io_threads = 2;
+  // Engine backend selection; kAuto probes io_uring (when built and the device
+  // has a native fd) and falls back to the portable thread pool.
+  io::IoBackend io_backend = io::IoBackend::kAuto;
 };
 
 class Osd {
@@ -262,6 +273,10 @@ class Osd {
   double journal_occupancy() const;
   uint64_t journal_pending_records() const;
 
+  // This volume's IoEngine (null when io_threads == 0). OsdCluster aggregates the
+  // per-shard engines' gauges in FileSystem::DumpMetrics.
+  io::IoEngine* io_engine() const { return io_engine_.get(); }
+
   // One JSON document: process counters + latency histograms + this volume's gauges
   // (journal occupancy, pager residency, checkpointer state) + per-shard lock hot
   // spots. Schema documented in docs/OBSERVABILITY.md.
@@ -333,6 +348,9 @@ class Osd {
   std::unique_ptr<journal::Journal> journal_;
   std::unique_ptr<btree::BTree> object_table_;
   std::unique_ptr<btree::BTree> named_roots_;
+  // Declared after everything it serves: destroyed FIRST, so its Shutdown drains
+  // every completion callback into still-live journal/pager state.
+  std::unique_ptr<io::IoEngine> io_engine_;
 
   // Ops hold shared; Checkpoint holds exclusive.
   mutable std::shared_mutex volume_mu_;

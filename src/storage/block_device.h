@@ -58,6 +58,11 @@ class BlockDevice {
 
   // Device capacity in bytes.
   virtual uint64_t Size() const = 0;
+
+  // File descriptor for kernel-submitted IO (io_uring), or -1 when the device has
+  // no native fd (memory-backed, fault-injection wrappers). A wrapper device must
+  // NOT forward its base's fd: bypassing the wrapper would bypass its semantics.
+  virtual int native_fd() const { return -1; }
 };
 
 namespace blockdev_internal {
@@ -107,6 +112,7 @@ class FileBlockDevice : public BlockDevice {
   Status WriteBatch(std::vector<WriteExtent> extents) override;
   Status Sync() override;
   uint64_t Size() const override { return size_; }
+  int native_fd() const override { return fd_; }
 
  private:
   FileBlockDevice(int fd, uint64_t size) : fd_(fd), size_(size) {}

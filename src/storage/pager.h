@@ -26,9 +26,11 @@
 #define HFAD_SRC_STORAGE_PAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -39,6 +41,10 @@
 #include "src/storage/block_device.h"
 
 namespace hfad {
+
+namespace io {
+class IoEngine;
+}  // namespace io
 
 constexpr size_t kPageSize = 4096;
 
@@ -101,6 +107,26 @@ class Pager {
   // no-steal buffer policy the journaled OSD depends on — between checkpoints the on-disk
   // state is exactly the last checkpoint, so crash recovery can replay the journal onto it.
   Pager(BlockDevice* device, size_t capacity_pages, bool no_steal = false);
+
+  // Waits out in-flight async write-backs (their completions touch the stripes).
+  // Callers owning an IoEngine must destroy (or Shutdown) the engine first.
+  ~Pager();
+
+  // Route write-back IO through `engine` (null reverts to synchronous device
+  // calls). Eviction write-back becomes completion-driven: the sweep submits the
+  // sorted coalesced batch and returns; dirty bits are cleared on the completion
+  // thread under the existing epoch validation. Flush() stays synchronous to its
+  // caller but carries its batch + sync through the engine so fault injection and
+  // io gauges see one code path. Call before the pager is shared across threads.
+  void SetIoEngine(io::IoEngine* engine);
+
+  // First error from an async eviction write-back, sticky. Not a data-loss signal:
+  // the victims' dirty bits stay set, so a later sweep or Flush rewrites them; the
+  // accessor exists so callers can surface repeated device trouble.
+  Status writeback_error() const {
+    std::lock_guard<std::mutex> lock(wb_mu_);
+    return writeback_error_;
+  }
 
   // Fetch the page at the given byte offset (must be page-aligned), reading on miss.
   Result<PageRef> Get(uint64_t offset);
@@ -207,8 +233,26 @@ class Pager {
 
   // Issue one sorted WriteBatch for `writeback` (no locks held), then, under s.mu, clear
   // the dirty bit of every page whose epoch is unchanged and evict it if the stripe is
-  // still over budget. No-op on an empty list.
+  // still over budget. No-op on an empty list. With an engine set the batch is submitted
+  // asynchronously and the post-IO pass runs in WritebackDone on a completion thread.
   Status FlushWriteback(Stripe& s, std::vector<Writeback>* writeback);
+
+  // One in-flight async eviction batch: pins (and snapshots) live here until the
+  // completion lands, satisfying the engine's buffer-lifetime rule.
+  struct WritebackBatch {
+    std::vector<Writeback> items;
+  };
+
+  // Async epilogue of FlushWriteback, run on an engine completion thread: on success,
+  // the exact same epoch/identity validation + ClearDirty as the synchronous path
+  // (stripe lock only — a leaf, so this never deadlocks a Flush); then drop the pins
+  // and retire the batch from pending_writebacks_.
+  void WritebackDone(Stripe& s, std::shared_ptr<WritebackBatch> st, Status status);
+
+  // Block until no async write-back is in flight. Called under an exclusive
+  // flush_mu_: submission increments pending_writebacks_ while holding flush_mu_
+  // shared, so after this returns no batch can race the caller's snapshot.
+  void AwaitPendingWritebacks() const;
 
   BlockDevice* const device_;
   const size_t capacity_;
@@ -219,6 +263,13 @@ class Pager {
   mutable std::atomic<int64_t> dirty_count_{0};
   // See SharedMutationHold().
   mutable std::shared_mutex flush_mu_;
+
+  // ---- Async write-back (engine_ != nullptr) ----
+  io::IoEngine* engine_ = nullptr;
+  mutable std::mutex wb_mu_;  // Guards the two fields below; leaf under flush_mu_.
+  mutable std::condition_variable wb_cv_;
+  mutable size_t pending_writebacks_ = 0;
+  Status writeback_error_;  // See writeback_error().
 };
 
 }  // namespace hfad

@@ -1,0 +1,462 @@
+// Tests for the src/io/ completion-based IoEngine: exactly-once user_data
+// round-trips through Poll/Wait, callback delivery, error propagation from
+// fault-injected runs, shutdown with in-flight ops, multi-submitter stress
+// (run under TSan in CI), and parity of FaultyBlockDevice accounting between
+// the synchronous device API and the engine path. The io_uring backend is
+// exercised when the runtime allows it, with a skip (not a failure) otherwise.
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/io/io_engine.h"
+#include "src/storage/block_device.h"
+
+namespace hfad {
+namespace io {
+namespace {
+
+constexpr uint64_t kMiB = 1024 * 1024;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("hfad_io_engine_test_" + name))
+      .string();
+}
+
+// Engine factory parameterization: every behavioral test runs against the
+// thread-pool backend; the io_uring-specific suite below covers the other
+// backend when the environment permits.
+std::unique_ptr<IoEngine> MakePoolEngine(BlockDevice* dev, int threads = 3) {
+  IoEngineOptions opts;
+  opts.threads = threads;
+  opts.backend = IoBackend::kThreadPool;
+  return CreateIoEngine(dev, opts);
+}
+
+TEST(IoEngineTest, UserDataRoundTripsExactlyOnceThroughPollAndWait) {
+  MemoryBlockDevice dev(kMiB);
+  auto engine = MakePoolEngine(&dev, 4);
+
+  constexpr uint64_t kOps = 200;
+  for (uint64_t i = 0; i < kOps; ++i) {
+    IoRequest req;
+    req.user_data = 1000 + i;
+    switch (i % 3) {
+      case 0:
+        req.op = IoOp::kWrite;
+        req.offset = 4096 + i * 16;
+        req.data = Slice("payload");
+        break;
+      case 1:
+        req.op = IoOp::kRead;
+        req.offset = 0;
+        req.size = 8;
+        break;
+      default:
+        req.op = IoOp::kSync;
+        break;
+    }
+    auto h = engine->Submit(std::move(req));
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+  }
+
+  // Completion order is unspecified; the contract is each user_data arrives
+  // exactly once. Mix Poll and Wait while draining.
+  std::multiset<uint64_t> seen;
+  std::vector<IoCompletion> batch;
+  while (seen.size() < kOps) {
+    batch.clear();
+    if (engine->Poll(&batch) == 0) {
+      engine->Wait(&batch);
+    }
+    for (const auto& c : batch) {
+      EXPECT_TRUE(c.status.ok()) << c.status.ToString();
+      seen.insert(c.user_data);
+    }
+  }
+  EXPECT_EQ(seen.size(), kOps);
+  for (uint64_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(seen.count(1000 + i), 1u) << "user_data " << 1000 + i;
+  }
+  EXPECT_EQ(engine->submitted(), kOps);
+  EXPECT_EQ(engine->completed(), kOps);
+  EXPECT_EQ(engine->in_flight(), 0u);
+  EXPECT_GE(engine->max_queue_depth(), 1u);
+}
+
+TEST(IoEngineTest, CallbacksBypassTheCompletionQueue) {
+  MemoryBlockDevice dev(kMiB);
+  auto engine = MakePoolEngine(&dev);
+
+  IoRequest write;
+  write.op = IoOp::kWrite;
+  write.offset = 512;
+  write.data = Slice("callback data");
+  ASSERT_TRUE(SubmitAndWait(engine.get(), std::move(write)).ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::string read_back;
+  IoRequest read;
+  read.op = IoOp::kRead;
+  read.offset = 512;
+  read.size = 13;
+  read.on_complete = [&](IoCompletion c) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+    read_back = std::move(c.read_data);
+    done = true;
+    cv.notify_one();
+  };
+  ASSERT_TRUE(engine->Submit(std::move(read)).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  EXPECT_EQ(read_back, "callback data");
+
+  // Nothing may have leaked into the Poll/Wait queue.
+  std::vector<IoCompletion> leaked;
+  EXPECT_EQ(engine->Poll(&leaked), 0u);
+}
+
+TEST(IoEngineTest, ErrorsFromAFailedRunPropagateToTheCompletion) {
+  auto base = std::make_unique<MemoryBlockDevice>(kMiB);
+  FaultyBlockDevice faulty(std::move(base));
+  auto engine = MakePoolEngine(&faulty, 1);
+
+  faulty.SetWriteBudget(2);
+  std::vector<Status> results;
+  for (int i = 0; i < 4; ++i) {
+    IoRequest req;
+    req.op = IoOp::kWrite;
+    req.offset = 4096 * (1 + i);
+    req.data = Slice("x");
+    results.push_back(SubmitAndWait(engine.get(), std::move(req)));
+  }
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_FALSE(results[3].ok());
+
+  // Sync after the injected crash fails through the engine exactly as it does
+  // through the direct device API.
+  IoRequest sync;
+  sync.op = IoOp::kSync;
+  EXPECT_FALSE(SubmitAndWait(engine.get(), std::move(sync)).ok());
+}
+
+TEST(IoEngineTest, FaultyDeviceAccountingIsIdenticalThroughTheEngine) {
+  // Same op sequence executed (a) directly and (b) via the engine must land on
+  // identical writes_attempted / syncs_attempted counts — the crash harness
+  // depends on budget positions meaning the same thing on both paths.
+  auto run_ops = [](FaultyBlockDevice* dev, IoEngine* engine) {
+    std::vector<WriteExtent> batch = {{8192, Slice("tail")},
+                                      {4096, Slice("head")},
+                                      {4100, Slice("-mid-")}};
+    if (engine == nullptr) {
+      ASSERT_TRUE(dev->Write(0, Slice("one")).ok());
+      ASSERT_TRUE(dev->WriteBatch(std::move(batch)).ok());
+      ASSERT_TRUE(dev->Sync().ok());
+    } else {
+      IoRequest w;
+      w.op = IoOp::kWrite;
+      w.offset = 0;
+      w.data = Slice("one");
+      ASSERT_TRUE(SubmitAndWait(engine, std::move(w)).ok());
+      IoRequest v;
+      v.op = IoOp::kWritev;
+      v.extents = std::move(batch);
+      ASSERT_TRUE(SubmitAndWait(engine, std::move(v)).ok());
+      IoRequest s;
+      s.op = IoOp::kSync;
+      ASSERT_TRUE(SubmitAndWait(engine, std::move(s)).ok());
+    }
+  };
+
+  FaultyBlockDevice direct(std::make_unique<MemoryBlockDevice>(kMiB));
+  run_ops(&direct, nullptr);
+
+  FaultyBlockDevice via_engine(std::make_unique<MemoryBlockDevice>(kMiB));
+  auto engine = MakePoolEngine(&via_engine, 2);
+  run_ops(&via_engine, engine.get());
+
+  EXPECT_EQ(direct.writes_attempted(), via_engine.writes_attempted());
+  EXPECT_EQ(direct.syncs_attempted(), via_engine.syncs_attempted());
+}
+
+TEST(IoEngineTest, ShutdownAbortsQueuedOpsAndCompletesEverySubmission) {
+  auto base = std::make_unique<MemoryBlockDevice>(kMiB);
+  FaultyBlockDevice faulty(std::move(base));
+
+  // Park the single worker inside Sync() so later submissions stack up in the
+  // engine queue, then shut down with them in flight.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool parked = false;
+  faulty.SetSyncHook([&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    parked = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  auto engine = MakePoolEngine(&faulty, 1);
+
+  std::atomic<int> completions{0};
+  std::atomic<int> aborted{0};
+  auto counting_cb = [&](IoCompletion c) {
+    completions.fetch_add(1);
+    if (!c.status.ok()) aborted.fetch_add(1);
+  };
+
+  IoRequest sync;
+  sync.op = IoOp::kSync;
+  sync.on_complete = counting_cb;
+  ASSERT_TRUE(engine->Submit(std::move(sync)).ok());
+  {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return parked; });
+  }
+  constexpr int kQueued = 5;
+  for (int i = 0; i < kQueued; ++i) {
+    IoRequest w;
+    w.op = IoOp::kWrite;
+    w.offset = 4096 * (1 + i);
+    w.data = Slice("queued");
+    w.on_complete = counting_cb;
+    ASSERT_TRUE(engine->Submit(std::move(w)).ok());
+  }
+
+  std::thread shutdown_thread([&] { engine->Shutdown(); });
+  // Shutdown flips the refusal flag and swaps out the queue in one critical
+  // section, so keep submitting until one is refused: at that point every
+  // accepted write above (and in this loop) is provably in the orphan set,
+  // since the lone worker is still parked inside the sync hook.
+  int extra = 0;
+  for (;;) {
+    IoRequest w;
+    w.op = IoOp::kWrite;
+    w.offset = 4096 * (1 + kQueued + extra);
+    w.data = Slice("racing");
+    w.on_complete = counting_cb;
+    if (!engine->Submit(std::move(w)).ok()) break;
+    ++extra;
+    std::this_thread::yield();
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  shutdown_thread.join();
+
+  // Exactly-once across the board: the parked sync ran to completion, every
+  // queued write was aborted — no completion lost, none duplicated.
+  EXPECT_EQ(completions.load(), 1 + kQueued + extra);
+  EXPECT_EQ(aborted.load(), kQueued + extra);
+  EXPECT_EQ(engine->completed(), engine->submitted());
+
+  auto refused = engine->Submit(IoRequest{});
+  EXPECT_FALSE(refused.ok());
+
+  // Wait() on a drained, shut-down engine returns 0 instead of blocking.
+  std::vector<IoCompletion> none;
+  EXPECT_EQ(engine->Wait(&none), 0u);
+}
+
+TEST(IoEngineTest, EightSubmitterStress) {
+  MemoryBlockDevice dev(8 * kMiB);
+  auto engine = MakePoolEngine(&dev, 4);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> done_count{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        IoRequest req;
+        if (i % 7 == 0) {
+          req.op = IoOp::kSync;
+        } else {
+          req.op = IoOp::kWrite;
+          req.offset =
+              static_cast<uint64_t>(t) * kMiB + static_cast<uint64_t>(i) * 64;
+          req.data = Slice("stress");
+        }
+        req.user_data = static_cast<uint64_t>(t) * 1000 + i;
+        req.on_complete = [&](IoCompletion c) {
+          if (c.status.ok()) ok_count.fetch_add(1);
+          if (done_count.fetch_add(1) + 1 == kThreads * kOpsPerThread) {
+            std::lock_guard<std::mutex> lock(done_mu);
+            done_cv.notify_all();
+          }
+        };
+        auto h = engine->Submit(std::move(req));
+        ASSERT_TRUE(h.ok());
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock,
+                 [&] { return done_count.load() == kThreads * kOpsPerThread; });
+  }
+  EXPECT_EQ(ok_count.load(), kThreads * kOpsPerThread);
+  EXPECT_EQ(engine->submitted(), static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(engine->in_flight(), 0u);
+}
+
+TEST(IoEngineTest, CompletionCallbackMaySubmitFollowUpRequests) {
+  // The journal's async chain submits the sync from the write's completion;
+  // prove that re-entrant Submit from a completion thread is safe.
+  MemoryBlockDevice dev(kMiB);
+  auto engine = MakePoolEngine(&dev, 2);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool chain_done = false;
+  Status chain_status;
+
+  IoRequest write;
+  write.op = IoOp::kWrite;
+  write.offset = 4096;
+  write.data = Slice("chained");
+  write.on_complete = [&](IoCompletion wc) {
+    if (!wc.status.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      chain_status = wc.status;
+      chain_done = true;
+      cv.notify_one();
+      return;
+    }
+    IoRequest sync;
+    sync.op = IoOp::kSync;
+    sync.on_complete = [&](IoCompletion sc) {
+      std::lock_guard<std::mutex> lock(mu);
+      chain_status = sc.status;
+      chain_done = true;
+      cv.notify_one();
+    };
+    ASSERT_TRUE(engine->Submit(std::move(sync)).ok());
+  };
+  ASSERT_TRUE(engine->Submit(std::move(write)).ok());
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return chain_done; });
+  EXPECT_TRUE(chain_status.ok()) << chain_status.ToString();
+}
+
+// ------------------------------------------------------------------ io_uring
+
+TEST(UringEngineTest, RoundTripsThroughTheKernelWhenAvailable) {
+  std::string path = TempPath("uring_roundtrip");
+  std::filesystem::remove(path);
+  auto dev = FileBlockDevice::Open(path, kMiB);
+  ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+
+  IoEngineOptions opts;
+  opts.backend = IoBackend::kAuto;
+  auto engine = CreateIoEngine(dev->get(), opts);
+  if (std::string(engine->backend_name()) != "io_uring") {
+    GTEST_SKIP() << "io_uring unavailable (not built or kernel refused); "
+                    "thread-pool fallback covered by IoEngineTest";
+  }
+
+  IoRequest write;
+  write.op = IoOp::kWrite;
+  write.offset = 4096;
+  write.data = Slice("via the ring");
+  ASSERT_TRUE(SubmitAndWait(engine.get(), std::move(write)).ok());
+
+  // Out-of-order adjacent extents: the engine must coalesce exactly like the
+  // synchronous WriteBatch path before handing runs to the kernel.
+  IoRequest writev;
+  writev.op = IoOp::kWritev;
+  writev.extents = {{16384, Slice("tail")}, {8192, Slice("head")},
+                    {8196, Slice("-mid-")}};
+  ASSERT_TRUE(SubmitAndWait(engine.get(), std::move(writev)).ok());
+
+  IoRequest sync;
+  sync.op = IoOp::kSync;
+  ASSERT_TRUE(SubmitAndWait(engine.get(), std::move(sync)).ok());
+
+  struct ReadCase {
+    uint64_t offset;
+    size_t size;
+    std::string expect;
+  };
+  for (const auto& rc : {ReadCase{4096, 12, "via the ring"},
+                         ReadCase{8192, 9, "head-mid-"},
+                         ReadCase{16384, 4, "tail"}}) {
+    IoRequest read;
+    read.op = IoOp::kRead;
+    read.offset = rc.offset;
+    read.size = rc.size;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string got;
+    Status st;
+    read.on_complete = [&](IoCompletion c) {
+      std::lock_guard<std::mutex> lock(mu);
+      st = c.status;
+      got = std::move(c.read_data);
+      done = true;
+      cv.notify_one();
+    };
+    ASSERT_TRUE(engine->Submit(std::move(read)).ok());
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(got, rc.expect);
+  }
+
+  // Reads/writes beyond the fixed capacity must fail instead of growing the
+  // file the way a raw kernel write would.
+  IoRequest oob;
+  oob.op = IoOp::kWrite;
+  oob.offset = kMiB;
+  oob.data = Slice("x");
+  EXPECT_FALSE(SubmitAndWait(engine.get(), std::move(oob)).ok());
+
+  engine->Shutdown();
+  EXPECT_EQ(engine->completed(), engine->submitted());
+  std::filesystem::remove(path);
+}
+
+TEST(UringEngineTest, MemoryDevicesNeverSelectUring) {
+  // No native fd -> CreateIoEngine must pick the thread pool even on kAuto,
+  // because kernel IO would bypass MemoryBlockDevice/FaultyBlockDevice
+  // semantics entirely.
+  MemoryBlockDevice dev(kMiB);
+  IoEngineOptions opts;
+  opts.backend = IoBackend::kAuto;
+  auto engine = CreateIoEngine(&dev, opts);
+  EXPECT_STREQ(engine->backend_name(), "thread_pool");
+
+  FaultyBlockDevice faulty(std::make_unique<MemoryBlockDevice>(kMiB));
+  EXPECT_EQ(faulty.native_fd(), -1);
+  auto faulty_engine = CreateIoEngine(&faulty, opts);
+  EXPECT_STREQ(faulty_engine->backend_name(), "thread_pool");
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace hfad

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
+#include "src/io/io_engine.h"
 #include "src/journal/journal.h"
 #include "src/storage/block_device.h"
 #include "tests/crash_harness.h"
@@ -387,11 +388,23 @@ TEST(JournalGroupCommitTest, CommittedSequenceWatermark) {
 
 // A torn commit never advances the watermark, and recovery replays exactly the covered
 // records plus at most a durable prefix of the torn batch — never a torn suffix.
-TEST(JournalGroupCommitTest, WatermarkNeverIncludesATornSuffix) {
+// Parameterized over the commit path: sync leader vs the IoEngine completion chain,
+// which must tear identically (same device ops in the same order).
+class JournalTearModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(JournalTearModeTest, WatermarkNeverIncludesATornSuffix) {
+  const bool async = GetParam();
   test::RunTornWriteCrash(
       kRegion, /*budget=*/0,
       [&](const std::shared_ptr<FaultyBlockDevice>& dev, test::CrashPoint* point) {
         Journal j(dev.get(), 0, kRegion);
+        // Declared after the journal so the engine shuts down (draining its
+        // completions into the still-live journal) before the journal dies.
+        std::unique_ptr<io::IoEngine> engine;
+        if (async) {
+          engine = io::CreateThreadPoolEngine(dev.get(), 2);
+          j.SetIoEngine(engine.get());
+        }
         ASSERT_TRUE(j.Append("covered 1").ok());
         ASSERT_TRUE(j.Append("covered 2").ok());
         ASSERT_TRUE(j.Append("covered 3").ok());
@@ -420,11 +433,17 @@ TEST(JournalGroupCommitTest, WatermarkNeverIncludesATornSuffix) {
       });
 }
 
+INSTANTIATE_TEST_SUITE_P(SyncAndAsync, JournalTearModeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "AsyncEngine" : "SyncLeader";
+                         });
+
 // Property sweep: random append/commit/crash cycles always recover exactly the committed
 // prefix, across payload-size regimes.
 struct JournalWorkload {
   uint64_t seed;
   uint64_t max_payload;
+  bool async = false;  // Commit through the IoEngine completion chain.
 };
 
 class JournalPropertyTest : public ::testing::TestWithParam<JournalWorkload> {};
@@ -438,6 +457,11 @@ TEST_P(JournalPropertyTest, RecoversExactlyCommittedPrefix) {
   {
     FaultyBlockDevice dev(base);
     Journal j(&dev, 0, 4 * 1024 * 1024);
+    std::unique_ptr<io::IoEngine> engine;  // After j: engine drains first.
+    if (p.async) {
+      engine = io::CreateThreadPoolEngine(&dev, 2);
+      j.SetIoEngine(engine.get());
+    }
     Records batch;
     for (int op = 0; op < 500; op++) {
       if (rng.OneIn(4)) {
@@ -484,7 +508,11 @@ INSTANTIATE_TEST_SUITE_P(Workloads, JournalPropertyTest,
                          ::testing::Values(JournalWorkload{11, 32},
                                            JournalWorkload{22, 512},
                                            JournalWorkload{33, 4096},
-                                           JournalWorkload{44, 1}));
+                                           JournalWorkload{44, 1},
+                                           JournalWorkload{11, 32, true},
+                                           JournalWorkload{22, 512, true},
+                                           JournalWorkload{33, 4096, true},
+                                           JournalWorkload{44, 1, true}));
 
 }  // namespace
 }  // namespace journal

@@ -357,6 +357,41 @@ TEST(LazyIndexDifferentialTest, StrictFindMatchesInlineReference) {
   }
 }
 
+// ---------------------------------------------------------------- multi-worker
+
+// With several application workers, tags are hash-partitioned so per-tag FIFO order
+// is preserved; add/remove/add sequences queued before any of them apply must net to
+// the same final postings as single-worker operation.
+TEST(LazyIndexTest, MultiWorkerAppliesPerTagFifoOrder) {
+  FileSystemOptions opts = LazyOptions();
+  opts.tag_indexer_workers = 4;
+  auto fs = MakeFs(std::make_shared<MemoryBlockDevice>(kDev), opts);
+  ASSERT_NE(fs, nullptr);
+  auto oid = fs->Create();
+  ASSERT_TRUE(oid.ok());
+  fs->tag_indexer_for_testing()->SetPausedForTesting(true);
+  for (int t = 0; t < 32; t++) {
+    TagValue name{"UDEF", "mw" + std::to_string(t)};
+    ASSERT_TRUE(fs->AddTag(*oid, name).ok());
+    ASSERT_TRUE(fs->RemoveTag(*oid, name).ok());
+    if (t % 2 == 0) ASSERT_TRUE(fs->AddTag(*oid, name).ok());
+  }
+  EXPECT_FALSE(fs->PendingIndexIntents().empty());
+  fs->tag_indexer_for_testing()->SetPausedForTesting(false);
+  ASSERT_TRUE(fs->WaitForTagIndexing().ok());
+  for (int t = 0; t < 32; t++) {
+    std::string q = "UDEF:mw" + std::to_string(t);
+    if (t % 2 == 0) {
+      EXPECT_EQ(StrictFind(fs.get(), q), std::vector<ObjectId>{*oid}) << q;
+    } else {
+      EXPECT_TRUE(StrictFind(fs.get(), q).empty()) << q;
+    }
+  }
+  auto report = CheckFileSystem(fs.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->clean()) << report->ToString();
+}
+
 // ---------------------------------------------------------------- concurrency
 
 // 8 threads against one lazy filesystem: 4 tag-storm writers, a strict reader, a
@@ -367,8 +402,10 @@ TEST(LazyIndexDifferentialTest, StrictFindMatchesInlineReference) {
 TEST(LazyIndexStressTest, TagStormWithConcurrentReadersAndFsck) {
   FileSystemOptions opts = LazyOptions();
   // A small queue so writers regularly block in ReserveSlots and exercise the
-  // backpressure path against the worker and checkpoints.
+  // backpressure path against the worker and checkpoints. Three workers (uneven
+  // hash split) so the TSan job covers multi-worker draining too.
   opts.tag_intent_queue_capacity = 64;
+  opts.tag_indexer_workers = 3;
   auto fs = MakeFs(std::make_shared<MemoryBlockDevice>(kDev), opts);
   ASSERT_NE(fs, nullptr);
 

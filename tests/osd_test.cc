@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -241,11 +242,17 @@ TEST(OsdCheckpointTest, ThresholdCheckpointsAbsorbSustainedLoad) {
 // the tear position — mid page-image epilogue, mid in-place WriteBatch, before the
 // superblock, before the journal reset — recovery must replay exactly the covered
 // watermark: every acknowledged op, never a torn suffix.
-class CheckpointTearTest : public ::testing::TestWithParam<int> {};
+// Parameterized over (write budget, async): the sweep runs once with the IoEngine
+// disabled (io_threads = 0, the pre-async sync path) and once through the engine.
+// The engine issues the same device ops in the same order, so every tear position
+// must behave identically on both paths.
+class CheckpointTearTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
 TEST_P(CheckpointTearTest, SyncedOpsSurviveACheckpointTornAtAnyWrite) {
-  const int64_t budget = GetParam();
+  const int64_t budget = std::get<0>(GetParam());
+  const bool async = std::get<1>(GetParam());
   OsdOptions opts;
+  if (!async) opts.io_threads = 0;
   std::vector<std::pair<ObjectId, std::string>> acked;
   test::RunTornWriteCrash(
       kDev, budget,
@@ -282,7 +289,8 @@ TEST_P(CheckpointTearTest, SyncedOpsSurviveACheckpointTornAtAnyWrite) {
 }
 
 INSTANTIATE_TEST_SUITE_P(TearAtEveryWrite, CheckpointTearTest,
-                         ::testing::Range(0, 14));
+                         ::testing::Combine(::testing::Range(0, 14),
+                                            ::testing::Bool()));
 
 TEST(OsdTest, PersistsAcrossCleanReopen) {
   auto dev = std::make_shared<MemoryBlockDevice>(kDev);

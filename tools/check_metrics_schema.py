@@ -31,6 +31,19 @@ REQUIRED_GAUGES = [
     "pager_resident_pages",
     "pager_dirty_pages",
     "checkpointer_state",
+    "io_backend",
+    "io_submitted",
+    "io_completed",
+    "io_in_flight",
+    "io_max_queue_depth",
+]
+
+# Gauges that must be integers (io_backend is a string label).
+INT_IO_GAUGES = [
+    "io_submitted",
+    "io_completed",
+    "io_in_flight",
+    "io_max_queue_depth",
 ]
 
 LOCK_FIELDS = ["total_acquisitions", "total_contentions", "top_contended"]
@@ -88,6 +101,11 @@ def main():
             fail(f"missing gauge '{name}'")
     if len(gauges) < 4:
         fail("fewer than 4 gauges")
+    if not isinstance(gauges["io_backend"], str):
+        fail("gauge 'io_backend' must be a string")
+    for name in INT_IO_GAUGES:
+        if not isinstance(gauges[name], int):
+            fail(f"gauge '{name}' must be an integer")
 
     locks = doc["locks"]
     if "pager_stripes" not in locks:

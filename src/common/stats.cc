@@ -47,6 +47,22 @@ std::string_view CounterName(Counter c) {
       return "fulltext_docs_indexed";
     case Counter::kFulltextTermsPosted:
       return "fulltext_terms_posted";
+    case Counter::kChecksumVerifies:
+      return "checksum_verifies";
+    case Counter::kChecksumFailures:
+      return "checksum_failures";
+    case Counter::kIoRetries:
+      return "io_retries";
+    case Counter::kPagerWritebackErrors:
+      return "pager_writeback_errors";
+    case Counter::kScrubPagesScanned:
+      return "scrub_pages_scanned";
+    case Counter::kScrubErrorsFound:
+      return "scrub_errors_found";
+    case Counter::kScrubPagesRepaired:
+      return "scrub_pages_repaired";
+    case Counter::kScrubPagesQuarantined:
+      return "scrub_pages_quarantined";
     case Counter::kNumCounters:
       break;
   }

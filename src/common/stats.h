@@ -37,6 +37,14 @@ enum class Counter : int {
   kOsdCloseErrors,       // Osd destructors whose final checkpoint failed.
   kFulltextDocsIndexed,
   kFulltextTermsPosted,
+  kChecksumVerifies,       // Page checksum comparisons performed (read path + scrub).
+  kChecksumFailures,       // Comparisons that mismatched: latent corruption detected.
+  kIoRetries,              // Transient device errors retried by a RetryPolicy.
+  kPagerWritebackErrors,   // Async eviction write-backs that failed (sticky per pager).
+  kScrubPagesScanned,      // Pages a scrub pass verified against the device.
+  kScrubErrorsFound,       // Scrub-detected checksum mismatches.
+  kScrubPagesRepaired,     // Mismatched pages rewritten from a clean cached copy.
+  kScrubPagesQuarantined,  // Mismatched pages with no clean source; reads now fail loudly.
   kNumCounters,  // Sentinel.
 };
 

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
   }
   return "Unknown";
 }

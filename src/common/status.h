@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kBusy = 8,             // Resource locked or has active references.
   kIoError = 9,          // Underlying device failed.
   kInternal = 10,        // Invariant violation inside the library.
+  kReadOnly = 11,        // Volume degraded to read-only; mutations rejected, reads still served.
 };
 
 // Human-readable name for a code ("NotFound", ...).
@@ -55,6 +56,7 @@ class Status {
   static Status Busy(std::string_view msg) { return Status(StatusCode::kBusy, msg); }
   static Status IoError(std::string_view msg) { return Status(StatusCode::kIoError, msg); }
   static Status Internal(std::string_view msg) { return Status(StatusCode::kInternal, msg); }
+  static Status ReadOnly(std::string_view msg) { return Status(StatusCode::kReadOnly, msg); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -63,6 +65,8 @@ class Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsReadOnly() const { return code_ == StatusCode::kReadOnly; }
 
   const std::string& message() const { return message_; }
 

@@ -8,6 +8,7 @@
 #include "src/common/metrics.h"
 #include "src/common/stats.h"
 #include "src/common/trace.h"
+#include "src/osd/scrubber.h"
 
 namespace hfad {
 namespace core {
@@ -1021,6 +1022,8 @@ std::string FileSystem::DumpMetrics() const {
   double occupancy = 0.0;
   uint64_t pending_records = 0, resident_pages = 0, dirty_pages = 0;
   uint64_t io_submitted = 0, io_completed = 0, io_in_flight = 0, io_max_qd = 0;
+  uint64_t scrub_passes = 0, quarantined = 0;
+  bool writeback_error = false, checksums_enabled = false;
   std::string io_backend = "none";
   for (size_t k = 0; k < cluster_->shard_count(); k++) {
     osd::Osd* shard = cluster_->shard(k);
@@ -1028,6 +1031,14 @@ std::string FileSystem::DumpMetrics() const {
     pending_records += shard->journal_pending_records();
     resident_pages += shard->pager()->cached_pages();
     dirty_pages += shard->pager()->dirty_pages();
+    writeback_error = writeback_error || !shard->pager()->writeback_error().ok();
+    checksums_enabled = checksums_enabled || shard->checksums() != nullptr;
+    if (shard->scrubber() != nullptr) {
+      scrub_passes += shard->scrubber()->passes();
+    }
+    if (shard->checksums() != nullptr) {
+      quarantined += shard->checksums()->QuarantinedPages().size();
+    }
     if (io::IoEngine* eng = shard->io_engine()) {
       io_backend = eng->backend_name();
       io_submitted += eng->submitted();
@@ -1036,6 +1047,7 @@ std::string FileSystem::DumpMetrics() const {
       io_max_qd = std::max(io_max_qd, eng->max_queue_depth());
     }
   }
+  const HealthState worst_health = cluster_->worst_health();
   w.Key("gauges").BeginObject();
   w.Key("journal_occupancy_pct").Value(occupancy * 100.0);
   w.Key("journal_pending_records").Value(pending_records);
@@ -1051,6 +1063,12 @@ std::string FileSystem::DumpMetrics() const {
   w.Key("checkpointer_state").Value(static_cast<int64_t>(osd_->checkpointer_state()));
   w.Key("object_count").Value(cluster_->object_count());
   w.Key("shard_count").Value(static_cast<uint64_t>(cluster_->shard_count()));
+  w.Key("volume_health").Value(static_cast<int64_t>(worst_health));
+  w.Key("volume_health_name").Value(std::string(HealthStateName(worst_health)));
+  w.Key("pager_writeback_error").Value(static_cast<uint64_t>(writeback_error ? 1 : 0));
+  w.Key("checksums_enabled").Value(static_cast<uint64_t>(checksums_enabled ? 1 : 0));
+  w.Key("scrub_passes").Value(scrub_passes);
+  w.Key("quarantined_pages").Value(quarantined);
   w.EndObject();
 
   if (cluster_->shard_count() > 1) {
@@ -1066,6 +1084,7 @@ std::string FileSystem::DumpMetrics() const {
       w.Key("pager_dirty_pages").Value(static_cast<uint64_t>(shard->pager()->dirty_pages()));
       w.Key("checkpointer_state").Value(static_cast<int64_t>(shard->checkpointer_state()));
       w.Key("object_count").Value(shard->object_count());
+      w.Key("volume_health").Value(static_cast<int64_t>(shard->health_state()));
       w.EndObject();
     }
     w.EndArray();

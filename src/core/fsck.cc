@@ -145,6 +145,20 @@ Result<FsckReport> CheckFileSystem(FileSystem* fs) {
     return true;
   }));
 
+  // 5. Pages the scrubber quarantined are lost until something rewrites them; surface
+  // each one so the operator knows which shard/offset needs attention.
+  for (size_t k = 0; k < cluster->shard_count(); k++) {
+    const PageChecksums* cksums = cluster->shard(k)->checksums();
+    if (cksums == nullptr) {
+      continue;
+    }
+    for (uint64_t offset : cksums->QuarantinedPages()) {
+      report.quarantined_pages++;
+      report.problems.push_back("shard " + std::to_string(k) + ": quarantined page at offset " +
+                                std::to_string(offset) + " (scrub-confirmed corruption)");
+    }
+  }
+
   return report;
 }
 

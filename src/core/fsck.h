@@ -33,6 +33,9 @@ struct FsckReport {
   uint64_t postings_checked = 0;
   // OSD shards the object pass covered (1 on a single-volume filesystem).
   uint64_t shards_checked = 0;
+  // Device pages quarantined by the scrubber (corrupt with no clean cached copy).
+  // Each is also listed in problems with its shard and offset.
+  uint64_t quarantined_pages = 0;
   // Human-readable description of every inconsistency found.
   std::vector<std::string> problems;
 

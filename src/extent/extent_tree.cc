@@ -98,7 +98,14 @@ class ExtentTree::Impl {
       : pager_(pager), alloc_(alloc), root_(root) {
     if (root_ != 0) {
       auto page = pager_->Get(root_);
-      size_ = page.ok() ? SumBytes(**page) : 0;
+      if (page.ok()) {
+        size_ = SumBytes(**page);
+      } else {
+        // An unreadable root (IO fault, checksum rejection) must not masquerade
+        // as an empty tree: size_ = 0 would turn every read into a silent
+        // zero-byte success. Park the error and surface it from every op.
+        root_status_ = page.status();
+      }
     }
   }
 
@@ -106,6 +113,7 @@ class ExtentTree::Impl {
   uint64_t Size() const { return size_; }
 
   Status Read(uint64_t offset, size_t n, std::string* out) const {
+    HFAD_RETURN_IF_ERROR(root_status_);
     out->clear();
     if (offset > size_) {
       return Status::OutOfRange("read at " + std::to_string(offset) + " beyond size " +
@@ -128,6 +136,7 @@ class ExtentTree::Impl {
   }
 
   Status Write(uint64_t offset, Slice data) {
+    HFAD_RETURN_IF_ERROR(root_status_);
     if (offset > size_) {
       return Status::OutOfRange("write at " + std::to_string(offset) + " beyond size " +
                                 std::to_string(size_));
@@ -155,6 +164,7 @@ class ExtentTree::Impl {
   }
 
   Status Insert(uint64_t offset, Slice data) {
+    HFAD_RETURN_IF_ERROR(root_status_);
     if (offset > size_) {
       return Status::OutOfRange("insert at " + std::to_string(offset) + " beyond size " +
                                 std::to_string(size_));
@@ -184,6 +194,7 @@ class ExtentTree::Impl {
   }
 
   Status RemoveRange(uint64_t offset, uint64_t length) {
+    HFAD_RETURN_IF_ERROR(root_status_);
     if (offset > size_ || length > size_ - offset) {
       return Status::OutOfRange("remove [" + std::to_string(offset) + ", +" +
                                 std::to_string(length) + ") beyond size " +
@@ -232,6 +243,7 @@ class ExtentTree::Impl {
   }
 
   Status Clear() {
+    HFAD_RETURN_IF_ERROR(root_status_);
     if (root_ != 0) {
       HFAD_RETURN_IF_ERROR(FreeSubtree(root_));
       root_ = 0;
@@ -241,6 +253,7 @@ class ExtentTree::Impl {
   }
 
   Result<uint64_t> CountExtents() const {
+    HFAD_RETURN_IF_ERROR(root_status_);
     if (root_ == 0) {
       return uint64_t{0};
     }
@@ -248,6 +261,7 @@ class ExtentTree::Impl {
   }
 
   Status CheckInvariants() const {
+    HFAD_RETURN_IF_ERROR(root_status_);
     if (root_ == 0) {
       return size_ == 0 ? Status::Ok() : Status::Corruption("empty tree with nonzero size");
     }
@@ -664,6 +678,9 @@ class ExtentTree::Impl {
   BuddyAllocator* const alloc_;
   uint64_t root_;
   uint64_t size_ = 0;
+  // Set when the constructor could not load the root page; every op fails with
+  // it rather than treating the tree as empty.
+  Status root_status_;
 };
 
 ExtentTree::ExtentTree(Pager* pager, BuddyAllocator* allocator, uint64_t root_offset)

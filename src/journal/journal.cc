@@ -36,6 +36,7 @@ struct Journal::AsyncCommitState {
   size_t count = 0;             // Records in the batch.
   uint64_t batch_last = 0;      // Highest sequence in the batch.
   uint64_t pos = 0;             // write_pos_ at drain time.
+  int attempts = 1;             // Submissions so far (retry accounting).
   std::chrono::steady_clock::time_point start;
 };
 
@@ -58,6 +59,11 @@ Journal::~Journal() {
 void Journal::SetIoEngine(io::IoEngine* engine) {
   std::lock_guard<std::mutex> lock(mu_);
   engine_ = engine;
+}
+
+void Journal::SetRetryPolicy(const RetryPolicy& retry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retry_ = retry;
 }
 
 Result<uint64_t> Journal::Append(Slice payload) {
@@ -101,10 +107,13 @@ Status Journal::LeadCommit(std::unique_lock<std::mutex>& lock) {
     // leading thread is inside a sampled operation.
     metrics::ScopedLatency latency(metrics::Hist::kJournalCommit);
     trace::SpanScope span("journal_commit");
-    s = device_->Write(region_offset_ + pos, Slice(batch));
-    if (s.ok()) {
-      s = device_->Sync();
-    }
+    s = retry_.RunWithRetry([&] {
+      Status ws = device_->Write(region_offset_ + pos, Slice(batch));
+      if (ws.ok()) {
+        ws = device_->Sync();
+      }
+      return ws;
+    });
   }
   lock.lock();
 
@@ -153,12 +162,24 @@ void Journal::SubmitAsyncBatch(std::shared_ptr<AsyncCommitState> st) {
   write.data = Slice(st->batch);
   write.on_complete = [this, st](io::IoCompletion c) {
     if (!c.status.ok()) {
+      // Transient failure: resubmit the whole link immediately (completion
+      // threads never sleep; rewriting the same batch bytes is idempotent).
+      if (retry_.ShouldRetry(c.status, st->attempts)) {
+        st->attempts++;
+        SubmitAsyncBatch(st);
+        return;
+      }
       FinishAsyncCommit(st, c.status);
       return;
     }
     io::IoRequest sync;
     sync.op = io::IoOp::kSync;
     sync.on_complete = [this, st](io::IoCompletion sc) {
+      if (!sc.status.ok() && retry_.ShouldRetry(sc.status, st->attempts)) {
+        st->attempts++;
+        SubmitAsyncBatch(st);
+        return;
+      }
       FinishAsyncCommit(st, sc.status);
     };
     auto h = engine_->Submit(std::move(sync));
@@ -362,10 +383,13 @@ Status Journal::Reset() {
     async_waiters_.clear();
     // Zero one header so a recovery scan terminates immediately.
     std::string zeroes(kRecordHeaderSize, '\0');
-    result = device_->Write(region_offset_, Slice(zeroes));
-    if (result.ok()) {
-      result = device_->Sync();
-    }
+    result = retry_.RunWithRetry([&] {
+      Status ws = device_->Write(region_offset_, Slice(zeroes));
+      if (ws.ok()) {
+        ws = device_->Sync();
+      }
+      return ws;
+    });
   }
   for (auto& f : fire) f(Status::Ok());
   return result;
@@ -393,7 +417,8 @@ Result<uint64_t> Journal::Recover(
   uint64_t prev_seq = 0;
   while (pos + kRecordHeaderSize <= region_size_) {
     std::string hdr;
-    HFAD_RETURN_IF_ERROR(device_->Read(region_offset_ + pos, kRecordHeaderSize, &hdr));
+    HFAD_RETURN_IF_ERROR(retry_.RunWithRetry(
+        [&] { return device_->Read(region_offset_ + pos, kRecordHeaderSize, &hdr); }));
     const uint8_t* h = reinterpret_cast<const uint8_t*>(hdr.data());
     uint32_t masked = DecodeFixed32(h);
     uint32_t length = DecodeFixed32(h + 4);
@@ -405,8 +430,9 @@ Result<uint64_t> Journal::Recover(
       break;  // Length field runs off the region: torn header.
     }
     std::string payload;
-    HFAD_RETURN_IF_ERROR(
-        device_->Read(region_offset_ + pos + kRecordHeaderSize, length, &payload));
+    HFAD_RETURN_IF_ERROR(retry_.RunWithRetry([&] {
+      return device_->Read(region_offset_ + pos + kRecordHeaderSize, length, &payload);
+    }));
     if (UnmaskCrc(masked) != RecordCrc(length, seq, Slice(payload))) {
       break;  // Torn or corrupt record: the log ends here.
     }

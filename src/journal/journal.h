@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/storage/block_device.h"
@@ -78,6 +79,12 @@ class Journal {
   // journal condvar and thousands of CommitAsync callers can be in flight at
   // once. Call before the journal is shared across threads.
   void SetIoEngine(io::IoEngine* engine);
+
+  // Retry transiently failing commit IO. Sync leaders sleep the policy's
+  // backoff between attempts (journal lock released); async chain links
+  // resubmit immediately from the completion thread — a completion thread
+  // must never sleep. Call before the journal is shared across threads.
+  void SetRetryPolicy(const RetryPolicy& retry);
 
   // Buffer one record. It is durable only after a Commit() covers its sequence. Returns
   // the record's sequence number, or NoSpace when the region cannot hold it (checkpoint,
@@ -176,6 +183,9 @@ class Journal {
   std::string pending_;          // Encoded records awaiting a commit batch.
   size_t pending_count_ = 0;
   size_t inflight_count_ = 0;    // Records in the in-flight batch.
+
+  // Transient-failure policy for commit IO (write, sync, Reset's head zeroing).
+  RetryPolicy retry_ = RetryPolicy::None();
 
   // ---- Async commit chain (engine_ != nullptr) ----
   io::IoEngine* engine_ = nullptr;

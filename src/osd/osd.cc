@@ -10,6 +10,7 @@
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/extent/extent_tree.h"
+#include "src/osd/scrubber.h"
 
 namespace hfad {
 namespace osd {
@@ -104,10 +105,30 @@ void Osd::InitStructures() {
                                    /*no_steal=*/options_.journaling);
   journal_ = std::make_unique<journal::Journal>(device_.get(), sb_.journal_offset,
                                                 sb_.journal_size);
+  // cksum_offset == 0 means the volume predates checksums (pre-v3 superblock)
+  // or was created with them off; it keeps running unverified.
+  if (sb_.cksum_offset != 0 && sb_.cksum_size != 0) {
+    checksums_ = std::make_unique<PageChecksums>(sb_.device_size, kPageSize);
+    pager_->SetChecksums(checksums_.get());
+  }
+  pager_->SetVolumeHealth(&health_);
+  pager_->SetRetryPolicy(options_.retry);
+  journal_->SetRetryPolicy(options_.retry);
   object_table_ =
       std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.object_table_root);
   named_roots_ =
       std::make_unique<btree::BTree>(pager_.get(), allocator_.get(), sb_.index_dir_root);
+  if (checksums_) {
+    Scrubber::Options sopts;
+    sopts.device_size = sb_.device_size;
+    sopts.interval_ms = options_.scrub_interval_ms;
+    sopts.pages_per_batch = options_.scrub_pages_per_batch;
+    sopts.pause_us = options_.scrub_pause_us;
+    sopts.retry = options_.retry;
+    scrubber_ = std::make_unique<Scrubber>(device_.get(), pager_.get(), checksums_.get(),
+                                           &health_, sopts);
+    scrubber_->SetRepairKick([this] { RequestCheckpoint(); });
+  }
   if (options_.io_threads > 0) {
     io::IoEngineOptions eopts;
     eopts.threads = options_.io_threads;
@@ -130,6 +151,14 @@ Result<std::unique_ptr<Osd>> Osd::Create(std::shared_ptr<BlockDevice> device,
   }
   journal_size = (journal_size + kPageSize - 1) / kPageSize * kPageSize;
 
+  // The checksum region holds one 8-byte entry per device page (plus header and
+  // CRC), page-rounded; it sits between the journal and the heap.
+  uint64_t cksum_area = 0;
+  if (options.page_checksums) {
+    cksum_area = (PageChecksums::SerializedSize(dev_size, kPageSize) + kPageSize - 1) /
+                 kPageSize * kPageSize;
+  }
+
   // Heap is the largest power of two that fits after the fixed regions. The allocator
   // snapshot area must hold one entry (~16 B) per minimum-size allocation.
   uint64_t heap_size = kPageSize;
@@ -138,7 +167,7 @@ Result<std::unique_ptr<Osd>> Osd::Create(std::shared_ptr<BlockDevice> device,
   for (uint64_t trial = kPageSize; ; trial *= 2) {
     uint64_t area = std::max<uint64_t>(64 * 1024, trial / 256);
     area = (area + kPageSize - 1) / kPageSize * kPageSize;
-    uint64_t off = Superblock::kSuperblockSize + area + journal_size;
+    uint64_t off = Superblock::kSuperblockSize + area + journal_size + cksum_area;
     if (off + trial > dev_size) {
       break;
     }
@@ -160,20 +189,31 @@ Result<std::unique_ptr<Osd>> Osd::Create(std::shared_ptr<BlockDevice> device,
   sb.journal_size = journal_size;
   sb.heap_offset = heap_offset;
   sb.heap_size = heap_size;
+  if (options.page_checksums) {
+    sb.cksum_offset = Superblock::kSuperblockSize + alloc_area + journal_size;
+    sb.cksum_size = cksum_area;
+    sb.cksum_generation = 0;  // First checkpoint bumps to 1 and persists the table.
+  }
 
   std::unique_ptr<Osd> osd(new Osd(std::move(device), options, sb));
   osd->InitStructures();
   HFAD_RETURN_IF_ERROR(osd->journal_->Reset());
   HFAD_RETURN_IF_ERROR(osd->CheckpointLocked());
   osd->StartCheckpointThread();
+  if (osd->scrubber_) {
+    osd->scrubber_->Start();
+  }
   return osd;
 }
 
 Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
                                        const OsdOptions& options,
                                        ForeignReplayFn replay_foreign) {
+  // Open-path reads retry like runtime reads: a transient fault while mounting
+  // should not fail the whole volume.
   std::string buf;
-  HFAD_RETURN_IF_ERROR(device->Read(0, Superblock::kSuperblockSize, &buf));
+  HFAD_RETURN_IF_ERROR(options.retry.RunWithRetry(
+      [&] { return device->Read(0, Superblock::kSuperblockSize, &buf); }));
   HFAD_ASSIGN_OR_RETURN(Superblock sb, Superblock::Decode(buf));
   if (sb.device_size != device->Size()) {
     return Status::Corruption("superblock device size mismatch");
@@ -182,12 +222,36 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
   std::unique_ptr<Osd> osd(new Osd(std::move(device), options, sb));
   osd->InitStructures();
 
-  // Restore the allocator to the last checkpoint's state.
+  // Restore the allocator to the last checkpoint's state. A decode failure is
+  // deferred, not fatal yet: a crash between the in-place alloc-area write and
+  // the superblock commit leaves the OLD superblock's snapshot size pointing at
+  // NEW area bytes, and the journal's checkpoint epilogue (durable before any
+  // in-place write) carries the authoritative snapshot that replay redoes below.
+  Status alloc_restore;
   if (sb.alloc_snapshot_size > 0) {
     std::string snap;
-    HFAD_RETURN_IF_ERROR(osd->device_->Read(sb.alloc_area_offset,
-                                            sb.alloc_snapshot_size, &snap));
-    HFAD_RETURN_IF_ERROR(osd->allocator_->Deserialize(snap));
+    alloc_restore = options.retry.RunWithRetry([&] {
+      return osd->device_->Read(sb.alloc_area_offset, sb.alloc_snapshot_size, &snap);
+    });
+    if (alloc_restore.ok()) {
+      alloc_restore = osd->allocator_->Deserialize(snap);
+    }
+  }
+
+  // Load the persisted checksum table. ANY failure — torn region, rotted region
+  // bytes, a generation left stale by a crash between the region write and the
+  // superblock commit — degrades to an absent table: pages go unverified until
+  // the next checkpoint re-persists, never falsely rejected.
+  if (osd->checksums_ && sb.cksum_generation > 0) {
+    uint64_t table_size = PageChecksums::SerializedSize(sb.device_size, kPageSize);
+    std::string table;
+    if (table_size <= sb.cksum_size &&
+        options.retry
+            .RunWithRetry(
+                [&] { return osd->device_->Read(sb.cksum_offset, table_size, &table); })
+            .ok()) {
+      (void)osd->checksums_->Deserialize(Slice(table), sb.cksum_generation);
+    }
   }
 
   // Scan the journal. The LAST complete checkpoint epilogue (ending in a commit
@@ -209,6 +273,27 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
     }
   }
 
+  if (!alloc_restore.ok()) {
+    // Only redo can rebuild the allocator now; without a journaled snapshot in
+    // the covered epilogue the volume is genuinely corrupt.
+    bool snapshot_in_redo = false;
+    for (size_t i = 0; i < replay_from && !snapshot_in_redo; i++) {
+      snapshot_in_redo = !records[i].second.empty() &&
+                         static_cast<uint8_t>(records[i].second[0]) == kRtAllocSnapshot;
+    }
+    if (!snapshot_in_redo) {
+      return alloc_restore;
+    }
+  }
+
+  // Replay rewrites pages whose persisted CRCs are legitimately stale (a
+  // force-synced raw overwrite changed device bytes after the table was
+  // persisted); reads during replay must not trip over them. Stamping stays on,
+  // so the table is consistent again once replay finishes.
+  if (osd->checksums_ && !records.empty()) {
+    osd->checksums_->set_verify_enabled(false);
+  }
+
   if (replay_from > 0) {
     // Redo: write every journaled page image in place, restore the allocator snapshot,
     // then adopt the committed roots. All of it is idempotent.
@@ -222,10 +307,22 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
           return Status::Corruption("bad page-image record");
         }
         HFAD_RETURN_IF_ERROR(osd->device_->Write(off, in));
+        if (osd->checksums_) {
+          // The image IS the page's full content: restamp rather than dropping
+          // coverage (this device write bypasses the pager's stamping paths).
+          osd->checksums_->Stamp(off, in);
+        }
       } else if (type == kRtAllocSnapshot) {
         HFAD_RETURN_IF_ERROR(osd->allocator_->Deserialize(in.ToString()));
         HFAD_RETURN_IF_ERROR(osd->device_->Write(osd->sb_.alloc_area_offset, in));
         osd->sb_.alloc_snapshot_size = in.size();
+        if (osd->checksums_) {
+          // The redo writes only the snapshot bytes; trailing area pages keep
+          // whatever the interrupted checkpoint left. The final checkpoint below
+          // rewrites the padded area and restamps.
+          osd->checksums_->InvalidateRange(osd->sb_.alloc_area_offset,
+                                           osd->sb_.alloc_area_size);
+        }
       } else if (type == kRtCheckpointCommit) {
         uint64_t table_root, named_root, next_oid;
         if (!GetFixed64(&in, &table_root) || !GetFixed64(&in, &named_root) ||
@@ -312,6 +409,11 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
     }
   }
   osd->in_recovery_ = false;
+  if (osd->checksums_) {
+    // Every stale entry has been restamped by now (redo images directly, raw
+    // overwrites by their replayed — force-synced, hence present — records).
+    osd->checksums_->set_verify_enabled(true);
+  }
   // Make the recovered state the new checkpoint; only its success empties the journal,
   // so a crash inside it still finds every record next time. One pathological escape:
   // if the surviving journal content leaves no room for this checkpoint's epilogue,
@@ -324,6 +426,9 @@ Result<std::unique_ptr<Osd>> Osd::Open(std::shared_ptr<BlockDevice> device,
   }
   HFAD_RETURN_IF_ERROR(ck);
   osd->StartCheckpointThread();
+  if (osd->scrubber_) {
+    osd->scrubber_->Start();
+  }
   return osd;
 }
 
@@ -341,6 +446,9 @@ Status Osd::Close() {
       return last_close_status_;
     }
     closed_ = true;
+  }
+  if (scrubber_) {
+    scrubber_->Stop();  // Before the checkpointer: a repair kick must find it alive or gone.
   }
   StopCheckpointThread();
   Status s = Checkpoint();
@@ -421,6 +529,53 @@ void Osd::CheckpointThreadMain() {
     trace::OpScope op("bg_checkpoint");
     (void)Checkpoint();
   }
+}
+
+// ---------------------------------------------------------------- health gates
+
+Status Osd::CheckWritable() const {
+  HealthState s = health_.state();
+  if (s == HealthState::kFailed) {
+    return Status::IoError("volume failed: " + health_.reason());
+  }
+  if (s == HealthState::kReadOnly) {
+    return Status::ReadOnly("volume is read-only: " + health_.reason());
+  }
+  return Status::Ok();
+}
+
+Status Osd::CheckReadable() const {
+  if (!health_.readable()) {
+    return Status::IoError("volume failed: " + health_.reason());
+  }
+  return Status::Ok();
+}
+
+void Osd::ReconcileChecksumsWithAllocator() {
+  if (!checksums_) {
+    return;
+  }
+  uint64_t pos = sb_.heap_offset;
+  const uint64_t heap_end = sb_.heap_offset + sb_.heap_size;
+  for (const auto& ext : allocator_->LiveExtents()) {  // Sorted by offset.
+    if (ext.offset > pos) {
+      checksums_->InvalidateRange(pos, ext.offset - pos);
+    }
+    pos = ext.offset + ext.length;
+  }
+  if (heap_end > pos) {
+    checksums_->InvalidateRange(pos, heap_end - pos);
+  }
+}
+
+Status Osd::ScrubNow(ScrubReport* report) {
+  if (!scrubber_) {
+    if (report != nullptr) {
+      *report = ScrubReport{};
+    }
+    return Status::Ok();  // No checksums: nothing to scrub against.
+  }
+  return scrubber_->ScrubPass(report);
 }
 
 // ---------------------------------------------------------------- journaling core
@@ -589,15 +744,54 @@ Status Osd::CheckpointLocked() {
     HFAD_RETURN_IF_ERROR(journal_->Commit());
   }
 
-  // In-place phase: now redo-able from the journal if we crash.
-  HFAD_RETURN_IF_ERROR(pager_->Flush());
-  HFAD_RETURN_IF_ERROR(device_->Write(sb_.alloc_area_offset, Slice(alloc_snap)));
-  sb_.alloc_snapshot_size = alloc_snap.size();
-  sb_.object_table_root = object_table_->root();
-  sb_.index_dir_root = named_roots_->root();
-  sb_.next_oid = next_oid_.load();
-  HFAD_RETURN_IF_ERROR(device_->Write(0, sb_.Encode()));
-  HFAD_RETURN_IF_ERROR(device_->Sync());
+  // In-place phase: now redo-able from the journal if we crash. A persistent IO
+  // failure here means durability can no longer be promised — the volume goes
+  // read-only (reads and Finds keep serving off the intact last checkpoint).
+  Status in_place = [&]() -> Status {
+    HFAD_RETURN_IF_ERROR(pager_->Flush());
+    if (checksums_ != nullptr) {
+      // Write the snapshot padded to whole pages and stamp them, so the alloc
+      // area is under scrub/verify coverage like any heap page.
+      std::string padded = alloc_snap;
+      padded.resize((padded.size() + kPageSize - 1) / kPageSize * kPageSize, '\0');
+      HFAD_RETURN_IF_ERROR(options_.retry.RunWithRetry(
+          [&] { return device_->Write(sb_.alloc_area_offset, Slice(padded)); }));
+      for (uint64_t off = 0; off < padded.size(); off += kPageSize) {
+        checksums_->Stamp(sb_.alloc_area_offset + off, Slice(padded.data() + off, kPageSize));
+      }
+    } else {
+      HFAD_RETURN_IF_ERROR(options_.retry.RunWithRetry(
+          [&] { return device_->Write(sb_.alloc_area_offset, Slice(alloc_snap)); }));
+    }
+    sb_.alloc_snapshot_size = alloc_snap.size();
+    sb_.object_table_root = object_table_->root();
+    sb_.index_dir_root = named_roots_->root();
+    sb_.next_oid = next_oid_.load();
+    if (checksums_ != nullptr) {
+      // Drop entries for heap pages the allocator no longer considers live: a
+      // post-checkpoint raw write whose record never committed leaves device
+      // bytes under a stale CRC, but its extent shows as free after recovery —
+      // so free pages must carry no entry in the persisted table.
+      ReconcileChecksumsWithAllocator();
+      // Region before superblock: a crash in between leaves the superblock
+      // holding the old generation, so the new region is dropped at Open —
+      // never trusted half-written.
+      sb_.cksum_generation++;
+      std::string table = checksums_->Serialize(sb_.cksum_generation);
+      HFAD_RETURN_IF_ERROR(options_.retry.RunWithRetry(
+          [&] { return device_->Write(sb_.cksum_offset, Slice(table)); }));
+    }
+    HFAD_RETURN_IF_ERROR(options_.retry.RunWithRetry(
+        [&] { return device_->Write(0, sb_.Encode()); }));
+    return options_.retry.RunWithRetry([&] { return device_->Sync(); });
+  }();
+  if (!in_place.ok()) {
+    if (in_place.IsIoError()) {
+      health_.Escalate(HealthState::kReadOnly,
+                       "checkpoint in-place phase failed: " + in_place.ToString());
+    }
+    return in_place;
+  }
 
   if (options_.journaling) {
     HFAD_RETURN_IF_ERROR(journal_->Reset());
@@ -622,11 +816,17 @@ Status Osd::CheckpointLocked() {
 }
 
 Status Osd::Checkpoint() {
+  // A read-only or failed volume cannot promise durability: reporting success
+  // here would let a cluster trim replicated intents a dead shard still needs.
+  // (Close() bypasses this gate via CheckpointLocked and surfaces the raw IO
+  // error if the device really cannot take the final flush.)
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   std::unique_lock<std::shared_mutex> vlock(volume_mu_);
   return CheckpointLocked();
 }
 
 Status Osd::Sync() {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   if (!options_.journaling) {
     return Checkpoint();
   }
@@ -637,6 +837,7 @@ Status Osd::Sync() {
 }
 
 Status Osd::AppendForeign(Slice payload) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   if (!options_.journaling) {
     return Status::Ok();  // No journal: higher layers get checkpoint durability only.
   }
@@ -656,6 +857,7 @@ Status Osd::AppendForeign(Slice payload) {
 }
 
 Status Osd::AppendForeign(Slice payload, const std::function<void()>& with_lock) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   if (!options_.journaling) {
     // No record to write, but the callback still needs the volume lock so its effect
     // is atomic against a checkpoint's unapplied-foreign snapshot.
@@ -785,6 +987,7 @@ Status Osd::ReplayRecord(Slice payload, const ForeignReplayFn& replay_foreign) {
 // ---------------------------------------------------------------- lifecycle ops
 
 Result<ObjectId> Osd::CreateObject() {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   std::string rec_payload;
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
@@ -804,6 +1007,7 @@ Result<ObjectId> Osd::CreateObject() {
 }
 
 Result<ObjectId> Osd::CreateObjectAt(ObjectId oid) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   std::string rec_payload;
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
@@ -842,6 +1046,7 @@ Result<ObjectId> Osd::DoCreate(ObjectId oid, uint64_t now_ns) {
 }
 
 Status Osd::DeleteObject(ObjectId oid) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
   (void)fits;
@@ -911,6 +1116,13 @@ std::string Osd::DumpMetrics() const {
   w.Key("io_completed").Value(io_engine_ ? io_engine_->completed() : 0);
   w.Key("io_in_flight").Value(io_engine_ ? io_engine_->in_flight() : 0);
   w.Key("io_max_queue_depth").Value(io_engine_ ? io_engine_->max_queue_depth() : 0);
+  w.Key("volume_health").Value(static_cast<int64_t>(health_.state()));
+  w.Key("volume_health_name").Value(std::string(HealthStateName(health_.state())));
+  w.Key("pager_writeback_error").Value(int64_t{pager_->writeback_error().ok() ? 0 : 1});
+  w.Key("checksums_enabled").Value(int64_t{checksums_ ? 1 : 0});
+  w.Key("scrub_passes").Value(scrubber_ ? scrubber_->passes() : 0);
+  w.Key("quarantined_pages")
+      .Value(checksums_ ? static_cast<uint64_t>(checksums_->QuarantinedPages().size()) : 0);
   w.EndObject();
 
   w.Key("locks").BeginObject();
@@ -940,6 +1152,7 @@ Status Osd::ScanObjects(const std::function<bool(ObjectId, const ObjectMeta&)>& 
 
 Status Osd::ScanObjects(ObjectId start,
                         const std::function<bool(ObjectId, const ObjectMeta&)>& fn) const {
+  HFAD_RETURN_IF_ERROR(CheckReadable());
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   Status decode_status;
   // Big-endian OID keys make the numeric lower bound a plain key lower bound.
@@ -959,6 +1172,7 @@ Status Osd::ScanObjects(ObjectId start,
 // ---------------------------------------------------------------- metadata ops
 
 Result<ObjectMeta> Osd::Stat(ObjectId oid) const {
+  HFAD_RETURN_IF_ERROR(CheckReadable());
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   auto olock = object_mu_.LockShared(oid);
   HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));
@@ -967,6 +1181,7 @@ Result<ObjectMeta> Osd::Stat(ObjectId oid) const {
 }
 
 Status Osd::SetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t gid) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(32, &reserved));
   (void)fits;
@@ -1004,6 +1219,7 @@ Status Osd::DoSetAttributes(ObjectId oid, uint32_t mode, uint32_t uid, uint32_t 
 // ---------------------------------------------------------------- byte access
 
 Status Osd::Read(ObjectId oid, uint64_t offset, size_t n, std::string* out) const {
+  HFAD_RETURN_IF_ERROR(CheckReadable());
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   // Plain reads hold the object shard shared; atime maintenance mutates the record,
   // so it needs the exclusive hold.
@@ -1045,6 +1261,7 @@ std::string EncodeDataRecord(uint8_t type, ObjectId oid, uint64_t offset, uint64
 }  // namespace
 
 Status Osd::Write(ObjectId oid, uint64_t offset, Slice data) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(data.size() + 64, &reserved));
   if (!fits) {
@@ -1073,6 +1290,7 @@ Status Osd::Write(ObjectId oid, uint64_t offset, Slice data) {
 }
 
 Status Osd::Insert(ObjectId oid, uint64_t offset, Slice data) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(data.size() + 64, &reserved));
   if (!fits) {
@@ -1096,6 +1314,7 @@ Status Osd::Insert(ObjectId oid, uint64_t offset, Slice data) {
 }
 
 Status Osd::RemoveRange(ObjectId oid, uint64_t offset, uint64_t length) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(64, &reserved));
   (void)fits;
@@ -1119,6 +1338,7 @@ Status Osd::RemoveRange(ObjectId oid, uint64_t offset, uint64_t length) {
 }
 
 Status Osd::Truncate(ObjectId oid, uint64_t new_size) {
+  HFAD_RETURN_IF_ERROR(CheckWritable());
   uint64_t reserved = 0;
   HFAD_ASSIGN_OR_RETURN(bool fits, EnsureJournalSpace(64, &reserved));
   (void)fits;
@@ -1138,6 +1358,7 @@ Status Osd::Truncate(ObjectId oid, uint64_t new_size) {
 }
 
 Result<uint64_t> Osd::Size(ObjectId oid) const {
+  HFAD_RETURN_IF_ERROR(CheckReadable());
   std::shared_lock<std::shared_mutex> vlock(volume_mu_);
   auto olock = object_mu_.LockShared(oid);
   HFAD_ASSIGN_OR_RETURN(std::string raw, object_table_->Get(OidKey(oid)));

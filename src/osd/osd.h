@@ -42,6 +42,7 @@
 #include <thread>
 
 #include "src/btree/btree.h"
+#include "src/common/retry.h"
 #include "src/common/sharded_lock.h"
 #include "src/common/slice.h"
 #include "src/common/status.h"
@@ -49,11 +50,16 @@
 #include "src/journal/journal.h"
 #include "src/storage/block_device.h"
 #include "src/storage/buddy_allocator.h"
+#include "src/storage/checksums.h"
 #include "src/storage/pager.h"
 #include "src/storage/superblock.h"
+#include "src/storage/volume_health.h"
 
 namespace hfad {
 namespace osd {
+
+class Scrubber;
+struct ScrubReport;
 
 using ObjectId = uint64_t;
 
@@ -95,6 +101,20 @@ struct OsdOptions {
   // Engine backend selection; kAuto probes io_uring (when built and the device
   // has a native fd) and falls back to the portable thread pool.
   io::IoBackend io_backend = io::IoBackend::kAuto;
+  // Maintain per-page CRC32C checksums (fresh volumes only; existing volumes keep
+  // whatever their superblock says). Verified on every pager miss and by scrub.
+  bool page_checksums = true;
+  // Transient-IO retry policy for the pager miss path, journal commit chain, and
+  // write-back completions. RetryPolicy::None() disables retry (crash tests that
+  // count device writes sweep with it disabled).
+  RetryPolicy retry;
+  // Background scrub cadence; 0 disables the scrub thread (ScrubNow() still
+  // works). Each pass walks every checksummed page of the volume.
+  uint64_t scrub_interval_ms = 0;
+  // Scrub pacing against live traffic: verify this many pages, then sleep
+  // scrub_pause_us before the next batch.
+  size_t scrub_pages_per_batch = 256;
+  uint64_t scrub_pause_us = 500;
 };
 
 class Osd {
@@ -291,6 +311,29 @@ class Osd {
   // recorded size matches the tree. Expensive; used by fsck.
   Status CheckObject(ObjectId oid) const;
 
+  // ---- Fault-domain hardening ----
+
+  // This volume's health state machine. Mutations are rejected with
+  // Status::ReadOnly once the state passes kDegraded; nothing is served at
+  // kFailed. Escalation is driven by the pager (read faults, checksum
+  // mismatches), the checkpoint path (persistent write/sync failures), and
+  // the scrubber (quarantines).
+  VolumeHealth& health() { return health_; }
+  const VolumeHealth& health() const { return health_; }
+  HealthState health_state() const { return health_.state(); }
+
+  // Per-page checksum table; null when the volume predates checksums (pre-v3
+  // superblock) or was created with page_checksums off.
+  PageChecksums* checksums() const { return checksums_.get(); }
+
+  // Run one full synchronous scrub pass (independent of the background
+  // thread). Unavailable (Ok, empty report) when checksums are off.
+  Status ScrubNow(ScrubReport* report);
+
+  // The scrubber, for gauges (pass count, last report). Null when checksums
+  // are off.
+  Scrubber* scrubber() const { return scrubber_.get(); }
+
  private:
   Osd(std::shared_ptr<BlockDevice> device, const OsdOptions& options, Superblock sb);
 
@@ -312,6 +355,19 @@ class Osd {
 
   // Object size with the object + volume locks already held.
   Result<uint64_t> LockedSize(ObjectId oid) const;
+
+  // Health gates: every mutating entry point rejects with Status::ReadOnly
+  // (or IoError at kFailed) before touching any state; reads are rejected only
+  // at kFailed. Cheap — one relaxed atomic load on the happy path.
+  Status CheckWritable() const;
+  Status CheckReadable() const;
+
+  // Drop checksum entries for heap pages the allocator no longer considers
+  // live. Called under the exclusive volume lock during checkpoint: an extent
+  // freed (or an orphaned post-checkpoint raw write whose record never
+  // committed) must not leave a stale entry that a future reallocation-less
+  // read could trip over after recovery loads the persisted table.
+  void ReconcileChecksumsWithAllocator();
 
   // Reserve journal space for a record of `record_bytes` plus its share of the checkpoint
   // epilogue, checkpointing first when needed. Returns false when the op is too large to
@@ -344,10 +400,13 @@ class Osd {
   Superblock sb_;
 
   std::unique_ptr<BuddyAllocator> allocator_;
+  std::unique_ptr<PageChecksums> checksums_;  // Null when disabled; see checksums().
+  VolumeHealth health_;
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<journal::Journal> journal_;
   std::unique_ptr<btree::BTree> object_table_;
   std::unique_ptr<btree::BTree> named_roots_;
+  std::unique_ptr<Scrubber> scrubber_;  // Null when checksums are off.
   // Declared after everything it serves: destroyed FIRST, so its Shutdown drains
   // every completion callback into still-live journal/pager state.
   std::unique_ptr<io::IoEngine> io_engine_;

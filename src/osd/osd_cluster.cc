@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/coding.h"
+#include "src/osd/scrubber.h"
 
 namespace hfad {
 namespace osd {
@@ -187,18 +188,61 @@ Status OsdCluster::ScanObjects(
 // ---------------------------------------------------------------- durability
 
 Status OsdCluster::Sync() {
+  // Attempt every shard even after a failure: a degraded shard must not starve
+  // the healthy ones of durability. First error wins the return value.
+  Status first;
   for (auto& osd : osds_) {
-    HFAD_RETURN_IF_ERROR(osd->Sync());
+    Status s = osd->Sync();
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
   }
-  return Status::Ok();
+  return first;
 }
 
 Status OsdCluster::Checkpoint() {
   // Index order puts the metadata shard first; see Close() for why that matters.
+  // As with Sync, an unhealthy shard does not block the others' checkpoints.
+  Status first;
   for (auto& osd : osds_) {
-    HFAD_RETURN_IF_ERROR(osd->Checkpoint());
+    Status s = osd->Checkpoint();
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
   }
-  return Status::Ok();
+  return first;
+}
+
+// ---------------------------------------------------------------- health
+
+HealthState OsdCluster::worst_health() const {
+  HealthState worst = HealthState::kHealthy;
+  for (const auto& osd : osds_) {
+    worst = std::max(worst, osd->health_state());
+  }
+  return worst;
+}
+
+Status OsdCluster::ScrubAll(ScrubReport* total) {
+  if (total != nullptr) {
+    *total = ScrubReport{};
+  }
+  Status first;
+  for (auto& osd : osds_) {
+    ScrubReport one;
+    Status s = osd->ScrubNow(&one);
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
+    if (total != nullptr) {
+      total->pages_scanned += one.pages_scanned;
+      total->errors_found += one.errors_found;
+      total->pages_repaired += one.pages_repaired;
+      total->pages_quarantined += one.pages_quarantined;
+      total->io_errors += one.io_errors;
+    }
+  }
+  return first;
 }
 
 // ---------------------------------------------------------------- foreign records

@@ -191,6 +191,22 @@ class OsdCluster {
   // Retention-list size across shards (test support).
   size_t retained_for_testing() const;
 
+  // ---- Fault-domain health ----
+  //
+  // Health is per shard: every routed op already hits the owning volume's own
+  // gate, so a failed shard fails exactly its objects while the others keep
+  // serving. A cross-shard batch with a read-only participant aborts at that
+  // participant's prepare append, before any commit record exists.
+
+  HealthState shard_health(size_t k) const { return osds_[k]->health_state(); }
+
+  // Worst health across shards — the cluster-level degradation gauge.
+  HealthState worst_health() const;
+
+  // One synchronous scrub pass per shard, reports summed. Shards without
+  // checksums contribute empty reports.
+  Status ScrubAll(ScrubReport* total);
+
  private:
   OsdCluster() = default;
 

@@ -220,6 +220,42 @@ Status FileBlockDevice::Sync() {
   return Status::Ok();
 }
 
+Status FaultyBlockDevice::Read(uint64_t offset, size_t size, std::string* out) const {
+  reads_attempted_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (reads_until_fault_ == 0) {
+      if (read_faults_left_ < 0) {
+        return Status::IoError("injected persistent read fault");
+      }
+      if (read_faults_left_ > 0) {
+        read_faults_left_--;
+        if (read_faults_left_ == 0) {
+          reads_until_fault_ = -1;  // Transient fault healed.
+        }
+        return Status::IoError("injected transient read fault");
+      }
+      reads_until_fault_ = -1;
+    } else if (reads_until_fault_ > 0) {
+      reads_until_fault_--;
+    }
+  }
+  return base_->Read(offset, size, out);
+}
+
+void FaultyBlockDevice::SetReadFaults(int64_t after_reads, int64_t fail_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reads_until_fault_ = after_reads;
+  read_faults_left_ = fail_count;
+}
+
+Status FaultyBlockDevice::FlipBit(uint64_t offset, int bit) {
+  std::string byte;
+  HFAD_RETURN_IF_ERROR(base_->Read(offset, 1, &byte));
+  byte[0] = static_cast<char>(byte[0] ^ (1 << (bit & 7)));
+  return base_->Write(offset, Slice(byte));
+}
+
 Status FaultyBlockDevice::WriteLocked(uint64_t offset, Slice data) {
   writes_attempted_.fetch_add(1, std::memory_order_relaxed);
   if (write_budget_ < 0) {

@@ -125,15 +125,15 @@ class FileBlockDevice : public BlockDevice {
 // fail with IoError; if torn_writes is enabled the failing write persists only a prefix,
 // simulating a crash mid-sector. A WriteBatch counts one write per coalesced run, so the
 // budget can exhaust mid-batch: earlier runs persist, the failing run tears, later runs are
-// lost — exactly the torn-batch crash the journal watermark must survive. Used by journal
-// and checkpoint recovery tests.
+// lost — exactly the torn-batch crash the journal watermark must survive. Read faults
+// (SetReadFaults) and bit-flip corruption (FlipBit/CorruptRange) model the other two fault
+// domains: transient/persistent EIO on read, and latent media corruption the checksum layer
+// must catch. Used by journal, checkpoint, and scrub recovery tests.
 class FaultyBlockDevice : public BlockDevice {
  public:
   explicit FaultyBlockDevice(std::shared_ptr<BlockDevice> base) : base_(std::move(base)) {}
 
-  Status Read(uint64_t offset, size_t size, std::string* out) const override {
-    return base_->Read(offset, size, out);
-  }
+  Status Read(uint64_t offset, size_t size, std::string* out) const override;
   Status Write(uint64_t offset, Slice data) override;
   Status WriteBatch(std::vector<WriteExtent> extents) override;
   Status Sync() override;
@@ -146,6 +146,14 @@ class FaultyBlockDevice : public BlockDevice {
   // Called at the top of every Sync(), before it is applied — park the caller here to
   // model a slow device flush (group-commit tests prove appends proceed meanwhile).
   void SetSyncHook(std::function<void()> hook);
+  // Inject read faults: the next reads succeed until `after_reads` more have been
+  // served, then the following `fail_count` reads fail with IoError (transient fault
+  // that heals), or every later read fails when fail_count is -1 (persistent fault).
+  // Passing after_reads = -1 clears injection.
+  void SetReadFaults(int64_t after_reads, int64_t fail_count);
+  // Flip one bit of the byte at `offset` directly in the base device, bypassing the
+  // write budget — models latent media corruption, not a failed IO.
+  Status FlipBit(uint64_t offset, int bit);
   // Count of writes attempted since construction (each coalesced batch run counts once).
   uint64_t writes_attempted() const {
     return writes_attempted_.load(std::memory_order_relaxed);
@@ -153,6 +161,10 @@ class FaultyBlockDevice : public BlockDevice {
   // Count of Syncs attempted since construction.
   uint64_t syncs_attempted() const {
     return syncs_attempted_.load(std::memory_order_relaxed);
+  }
+  // Count of Reads attempted since construction.
+  uint64_t reads_attempted() const {
+    return reads_attempted_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -163,8 +175,12 @@ class FaultyBlockDevice : public BlockDevice {
   mutable std::mutex mu_;
   int64_t write_budget_ = -1;
   bool torn_writes_ = false;
+  // Read-fault plan, guarded by mu_ (mutable: Read is const).
+  mutable int64_t reads_until_fault_ = -1;  // -1: no injection.
+  mutable int64_t read_faults_left_ = 0;    // -1: persistent.
   std::atomic<uint64_t> writes_attempted_{0};
   std::atomic<uint64_t> syncs_attempted_{0};
+  mutable std::atomic<uint64_t> reads_attempted_{0};
   std::function<void()> sync_hook_;
 };
 

@@ -146,6 +146,16 @@ double BuddyAllocator::ExternalFragmentation() const {
   return 1.0 - static_cast<double>(largest) / static_cast<double>(free);
 }
 
+std::vector<BuddyAllocator::Extent> BuddyAllocator::LiveExtents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Extent> out;
+  out.reserve(allocations_.size());
+  for (const auto& [offset, order] : allocations_) {
+    out.push_back(Extent{offset, SizeForOrder(order)});
+  }
+  return out;
+}
+
 std::string BuddyAllocator::Serialize() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

@@ -53,6 +53,10 @@ class BuddyAllocator {
   // External fragmentation in [0,1]: 1 - largest_free_block / free_bytes (0 when empty/full).
   double ExternalFragmentation() const;
 
+  // Sorted snapshot of live extents (offset ascending). Checkpoints use it to
+  // reconcile per-page checksum state against what is actually allocated.
+  std::vector<Extent> LiveExtents() const;
+
   // Snapshot of live allocations (offset, order), suitable for persistence.
   std::string Serialize() const;
   // Rebuild allocator state from a Serialize() snapshot. Region geometry must match.

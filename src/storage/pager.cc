@@ -7,6 +7,8 @@
 #include "src/common/stats.h"
 #include "src/common/trace.h"
 #include "src/io/io_engine.h"
+#include "src/storage/checksums.h"
+#include "src/storage/volume_health.h"
 
 namespace hfad {
 
@@ -123,12 +125,29 @@ Result<PageRef> Pager::Get(uint64_t offset) {
     }
   }
   // Miss: read the device BEFORE taking the stripe exclusively — no device IO under
-  // stripe locks. A racing miss on the same offset wins harmlessly (we drop our copy).
+  // stripe locks (and so no lock held across a retry backoff). A racing miss on the
+  // same offset wins harmlessly (we drop our copy).
   stats::Add(stats::Counter::kPageReads);
   metrics::ScopedLatency latency(metrics::Hist::kPageRead);
   trace::SpanScope span("page_read");
   std::string buf;
-  HFAD_RETURN_IF_ERROR(device_->Read(offset, kPageSize, &buf));
+  Status read = retry_.RunWithRetry([&] { return device_->Read(offset, kPageSize, &buf); });
+  if (!read.ok()) {
+    if (health_ != nullptr && retry_.IsTransient(read)) {
+      health_->Escalate(HealthState::kDegraded,
+                        "read fault persisted past retry at offset " + std::to_string(offset));
+    }
+    return read;
+  }
+  if (checksums_ != nullptr) {
+    Status verify = checksums_->Verify(offset, Slice(buf));
+    if (!verify.ok()) {
+      if (health_ != nullptr) {
+        health_->Escalate(HealthState::kDegraded, verify.message());
+      }
+      return verify;
+    }
+  }
   std::vector<Writeback> writeback;
   PageRef page;
   {
@@ -148,6 +167,16 @@ Result<PageRef> Pager::Get(uint64_t offset) {
   }
   HFAD_RETURN_IF_ERROR(FlushWriteback(s, &writeback));
   return page;
+}
+
+PageRef Pager::Peek(uint64_t offset) const {
+  if (offset % kPageSize != 0) {
+    return nullptr;
+  }
+  const Stripe& s = StripeFor(offset);
+  std::shared_lock<std::shared_mutex> lock = LockStripeShared(s);
+  auto it = s.map.find(offset);
+  return it != s.map.end() ? it->second : nullptr;
 }
 
 Result<PageRef> Pager::GetZeroed(uint64_t offset) {
@@ -269,13 +298,24 @@ Status Pager::FlushWriteback(Stripe& s, std::vector<Writeback>* writeback) {
       }
       return Status::Ok();
     }
-    std::vector<WriteExtent> extents;
-    extents.reserve(writeback->size());
-    for (const Writeback& w : *writeback) {
-      extents.push_back(WriteExtent{w.page->offset(), Slice(w.image)});
-    }
     stats::Add(stats::Counter::kPageWrites, writeback->size());
-    HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
+    Status wrote = retry_.RunWithRetry([&] {
+      std::vector<WriteExtent> extents;
+      extents.reserve(writeback->size());
+      for (const Writeback& w : *writeback) {
+        extents.push_back(WriteExtent{w.page->offset(), Slice(w.image)});
+      }
+      return device_->WriteBatch(std::move(extents));
+    });
+    HFAD_RETURN_IF_ERROR(wrote);
+    if (checksums_ != nullptr) {
+      // Stamp the snapshotted images unconditionally: the device now holds exactly
+      // these bytes even for pages re-dirtied since the snapshot (their newer content
+      // gets written — and restamped — by a later sweep or Flush).
+      for (const Writeback& w : *writeback) {
+        checksums_->Stamp(w.page->offset(), Slice(w.image));
+      }
+    }
     std::unique_lock<std::shared_mutex> lock = LockStripeExclusive(s);
     for (const Writeback& w : *writeback) {
       auto it = s.map.find(w.page->offset());
@@ -299,7 +339,37 @@ Status Pager::FlushWriteback(Stripe& s, std::vector<Writeback>* writeback) {
 
 void Pager::WritebackDone(Stripe& s, std::shared_ptr<WritebackBatch> st,
                           Status status) {
+  if (!status.ok() && engine_ != nullptr && retry_.ShouldRetry(status, st->attempts)) {
+    // Completion-thread retry: resubmit immediately (never sleep here — backoff
+    // would stall the engine's completion loop). The batch stays counted in
+    // pending_writebacks_, so an exclusive Flush keeps draining it before
+    // snapshotting dirty bits.
+    st->attempts++;
+    std::vector<WriteExtent> extents;
+    extents.reserve(st->items.size());
+    for (const Writeback& w : st->items) {
+      extents.push_back(WriteExtent{w.page->offset(), Slice(w.image)});
+    }
+    io::IoRequest req;
+    req.op = io::IoOp::kWritev;
+    req.extents = std::move(extents);
+    Stripe* stripe = &s;
+    req.on_complete = [this, st, stripe](io::IoCompletion c) {
+      WritebackDone(*stripe, st, c.status);
+    };
+    auto h = engine_->Submit(std::move(req));
+    if (h.ok()) {
+      return;
+    }
+    status = h.status();  // Resubmission itself failed: give up below.
+  }
   if (status.ok()) {
+    if (checksums_ != nullptr) {
+      // Same rationale as the synchronous path: the device holds these images now.
+      for (const Writeback& w : st->items) {
+        checksums_->Stamp(w.page->offset(), Slice(w.image));
+      }
+    }
     // Identical validation to the synchronous path — the only difference is which
     // thread runs it. Stripe locks are leaves, so taking one on a completion
     // thread cannot deadlock (docs/CONCURRENCY.md).
@@ -320,6 +390,9 @@ void Pager::WritebackDone(Stripe& s, std::shared_ptr<WritebackBatch> st,
     }
   }
   st->items.clear();  // Drop the pins.
+  if (!status.ok()) {
+    stats::Add(stats::Counter::kPagerWritebackErrors);
+  }
   {
     std::lock_guard<std::mutex> wb_lock(wb_mu_);
     pending_writebacks_--;
@@ -351,32 +424,41 @@ Status Pager::Flush() {
     }
   }
   if (!dirty.empty()) {
-    std::vector<WriteExtent> extents;
-    extents.reserve(dirty.size());
-    for (const PageRef& page : dirty) {
-      extents.push_back(WriteExtent{page->offset(), Slice(page->cdata(), kPageSize)});
-    }
     stats::Add(stats::Counter::kPageWrites, dirty.size());
-    if (engine_ != nullptr) {
-      // Blocking by contract, but carried by the engine: one IO path for gauges
-      // and fault injection, and identical device-op counts either way.
-      io::IoRequest batch;
-      batch.op = io::IoOp::kWritev;
-      batch.extents = std::move(extents);
-      HFAD_RETURN_IF_ERROR(io::SubmitAndWait(engine_, std::move(batch)));
-    } else {
-      HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
-    }
+    Status wrote = retry_.RunWithRetry([&]() -> Status {
+      std::vector<WriteExtent> extents;
+      extents.reserve(dirty.size());
+      for (const PageRef& page : dirty) {
+        extents.push_back(WriteExtent{page->offset(), Slice(page->cdata(), kPageSize)});
+      }
+      if (engine_ != nullptr) {
+        // Blocking by contract, but carried by the engine: one IO path for gauges
+        // and fault injection, and identical device-op counts either way.
+        io::IoRequest batch;
+        batch.op = io::IoOp::kWritev;
+        batch.extents = std::move(extents);
+        return io::SubmitAndWait(engine_, std::move(batch));
+      }
+      return device_->WriteBatch(std::move(extents));
+    });
+    HFAD_RETURN_IF_ERROR(wrote);
     for (const PageRef& page : dirty) {
+      if (checksums_ != nullptr) {
+        // Safe to stamp from the live buffer: flush_mu_ is held exclusive, so no
+        // mutator can change page content between the device write and this stamp.
+        checksums_->Stamp(page->offset(), Slice(page->cdata(), kPageSize));
+      }
       page->ClearDirty();
     }
   }
-  if (engine_ != nullptr) {
-    io::IoRequest sync;
-    sync.op = io::IoOp::kSync;
-    return io::SubmitAndWait(engine_, std::move(sync));
-  }
-  return device_->Sync();
+  return retry_.RunWithRetry([&]() -> Status {
+    if (engine_ != nullptr) {
+      io::IoRequest sync;
+      sync.op = io::IoOp::kSync;
+      return io::SubmitAndWait(engine_, std::move(sync));
+    }
+    return device_->Sync();
+  });
 }
 
 void Pager::CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) const {
@@ -404,10 +486,70 @@ void Pager::CollectDirty(std::vector<std::pair<uint64_t, std::string>>* out) con
 }
 
 Status Pager::ReadRaw(uint64_t offset, size_t size, std::string* out) const {
-  return device_->Read(offset, size, out);
+  Status read = retry_.RunWithRetry([&] { return device_->Read(offset, size, out); });
+  if (!read.ok()) {
+    if (health_ != nullptr && retry_.IsTransient(read)) {
+      health_->Escalate(HealthState::kDegraded,
+                        "raw read fault persisted past retry at offset " +
+                            std::to_string(offset));
+    }
+    return read;
+  }
+  if (checksums_ != nullptr) {
+    // Verify every page the read touches. Fully contained pages check straight from
+    // the buffer; partially covered head/tail pages that carry an entry (or are
+    // quarantined) are read back whole — one extra page read per boundary, only when
+    // there is actually something to check, so a bit flip in the uncovered half of a
+    // boundary page can never ride out silently.
+    uint64_t first = offset / kPageSize * kPageSize;
+    uint64_t end = offset + size;
+    for (uint64_t page = first; page < end; page += kPageSize) {
+      Status verify;
+      if (page >= offset && page + kPageSize <= end) {
+        verify = checksums_->Verify(page, Slice(out->data() + (page - offset), kPageSize));
+      } else if (checksums_->HasChecksum(page) || checksums_->IsQuarantined(page)) {
+        std::string full;
+        verify = retry_.RunWithRetry([&] { return device_->Read(page, kPageSize, &full); });
+        if (verify.ok()) {
+          verify = checksums_->Verify(page, Slice(full));
+        }
+      }
+      if (!verify.ok()) {
+        if (health_ != nullptr) {
+          health_->Escalate(HealthState::kDegraded, verify.message());
+        }
+        return verify;
+      }
+    }
+  }
+  return Status::Ok();
 }
 
-Status Pager::WriteRaw(uint64_t offset, Slice data) { return device_->Write(offset, data); }
+Status Pager::WriteRaw(uint64_t offset, Slice data) {
+  Status wrote = retry_.RunWithRetry([&] { return device_->Write(offset, data); });
+  if (!wrote.ok() || checksums_ == nullptr || data.empty()) {
+    return wrote;
+  }
+  // Keep the CRC table in step with the raw write: fully covered pages are stamped
+  // straight from the payload; partially covered head/tail pages are read back (the
+  // device now holds the merged content — raw ranges belong to exactly one extent
+  // owner, so nothing races the read-back) and stamped whole.
+  uint64_t first_page = offset / kPageSize * kPageSize;
+  uint64_t end = offset + data.size();
+  for (uint64_t page = first_page; page < end; page += kPageSize) {
+    if (page >= offset && page + kPageSize <= end) {
+      checksums_->Stamp(page, Slice(data.data() + (page - offset), kPageSize));
+      continue;
+    }
+    std::string merged;
+    if (device_->Read(page, kPageSize, &merged).ok()) {
+      checksums_->Stamp(page, Slice(merged));
+    } else {
+      checksums_->Invalidate(page);  // Unverifiable now; the scrubber restamps later.
+    }
+  }
+  return Status::Ok();
+}
 
 void Pager::Invalidate(uint64_t offset) {
   Stripe& s = StripeFor(offset);
@@ -440,6 +582,9 @@ Status Pager::DropCacheForTesting() {
     }
     HFAD_RETURN_IF_ERROR(device_->WriteBatch(std::move(extents)));
     for (const PageRef& page : dirty) {
+      if (checksums_ != nullptr) {
+        checksums_->Stamp(page->offset(), Slice(page->cdata(), kPageSize));
+      }
       page->ClearDirty();
     }
   }

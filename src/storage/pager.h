@@ -37,10 +37,14 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/storage/block_device.h"
 
 namespace hfad {
+
+class PageChecksums;
+class VolumeHealth;
 
 namespace io {
 class IoEngine;
@@ -128,8 +132,30 @@ class Pager {
     return writeback_error_;
   }
 
+  // Attach the volume's per-page CRC table (null disables, the default). Every miss
+  // read and raw read verifies against it; every successful device write of page
+  // content (Flush, eviction write-back, WriteRaw) stamps it. Call before the pager
+  // is shared across threads; the table must outlive the pager.
+  void SetChecksums(PageChecksums* checksums) { checksums_ = checksums; }
+  PageChecksums* checksums() const { return checksums_; }
+
+  // Attach the volume health to escalate on checksum mismatches and reads that stay
+  // failed past the retry policy (null disables, the default).
+  void SetVolumeHealth(VolumeHealth* health) { health_ = health; }
+
+  // Retry policy for transient device IO errors on the miss-read, raw-IO, flush,
+  // and write-back paths. Sync paths back off and retry in place (no stripe lock is
+  // ever held across device IO, so none is held across a backoff sleep); async
+  // write-back completions resubmit without sleeping.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+
   // Fetch the page at the given byte offset (must be page-aligned), reading on miss.
   Result<PageRef> Get(uint64_t offset);
+
+  // The cached page at offset, or null when not resident. Never touches the device —
+  // the scrubber uses this to ask "is there a clean cached copy to repair from?"
+  // without perturbing residency.
+  PageRef Peek(uint64_t offset) const;
 
   // Return a zeroed page at offset without reading the device (for freshly allocated pages).
   Result<PageRef> GetZeroed(uint64_t offset);
@@ -238,9 +264,11 @@ class Pager {
   Status FlushWriteback(Stripe& s, std::vector<Writeback>* writeback);
 
   // One in-flight async eviction batch: pins (and snapshots) live here until the
-  // completion lands, satisfying the engine's buffer-lifetime rule.
+  // completion lands, satisfying the engine's buffer-lifetime rule. `attempts`
+  // counts submissions for the completion-thread retry (no sleeping there).
   struct WritebackBatch {
     std::vector<Writeback> items;
+    int attempts = 1;
   };
 
   // Async epilogue of FlushWriteback, run on an engine completion thread: on success,
@@ -255,6 +283,9 @@ class Pager {
   void AwaitPendingWritebacks() const;
 
   BlockDevice* const device_;
+  PageChecksums* checksums_ = nullptr;  // Optional; see SetChecksums.
+  VolumeHealth* health_ = nullptr;      // Optional; see SetVolumeHealth.
+  RetryPolicy retry_ = RetryPolicy::None();
   const size_t capacity_;
   const bool no_steal_;
   const size_t stripe_count_;

@@ -25,6 +25,9 @@ std::string EncodeSlot(const Superblock& sb) {
   PutFixed64(&out, sb.index_dir_root);
   PutFixed64(&out, sb.next_oid);
   PutFixed64(&out, sb.journal_sequence);
+  PutFixed64(&out, sb.cksum_offset);
+  PutFixed64(&out, sb.cksum_size);
+  PutFixed64(&out, sb.cksum_generation);
   out.resize(Superblock::kSlotSize - 4, 0);
   uint32_t crc = MaskCrc(Crc32c(Slice(out)));
   PutFixed32(&out, crc);
@@ -44,7 +47,10 @@ Result<Superblock> DecodeSlot(const char* data) {
   if (!GetFixed32(&in, &magic) || magic != Superblock::kMagic) {
     return Status::Corruption("superblock: bad magic");
   }
-  if (!GetFixed32(&in, &version) || version != Superblock::kVersion) {
+  // v2 slots differ only by the absent checksum-region fields; accept both and
+  // leave cksum_* zeroed (checksums disabled) for v2.
+  if (!GetFixed32(&in, &version) ||
+      (version != Superblock::kVersion && version != 2)) {
     return Status::Corruption("superblock: unsupported version");
   }
   bool ok = GetFixed64(&in, &sb.device_size) && GetFixed64(&in, &sb.alloc_area_offset) &&
@@ -53,6 +59,10 @@ Result<Superblock> DecodeSlot(const char* data) {
             GetFixed64(&in, &sb.heap_offset) && GetFixed64(&in, &sb.heap_size) &&
             GetFixed64(&in, &sb.object_table_root) && GetFixed64(&in, &sb.index_dir_root) &&
             GetFixed64(&in, &sb.next_oid) && GetFixed64(&in, &sb.journal_sequence);
+  if (ok && version >= 3) {
+    ok = GetFixed64(&in, &sb.cksum_offset) && GetFixed64(&in, &sb.cksum_size) &&
+         GetFixed64(&in, &sb.cksum_generation);
+  }
   if (!ok) {
     return Status::Corruption("superblock: truncated");
   }

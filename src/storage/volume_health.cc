@@ -1,0 +1,44 @@
+#include "src/storage/volume_health.h"
+
+namespace hfad {
+
+std::string_view HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kReadOnly:
+      return "read_only";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool VolumeHealth::Escalate(HealthState to, std::string_view reason) {
+  HealthState cur = state_.load(std::memory_order_relaxed);
+  while (cur < to) {
+    if (state_.compare_exchange_weak(cur, to, std::memory_order_relaxed)) {
+      transitions_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(reason_mu_);
+      reason_ = std::string(HealthStateName(to)) + ": " + std::string(reason);
+      return true;
+    }
+  }
+  return false;
+}
+
+void VolumeHealth::Reset() {
+  state_.store(HealthState::kHealthy, std::memory_order_relaxed);
+  transitions_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(reason_mu_);
+  reason_.clear();
+}
+
+std::string VolumeHealth::reason() const {
+  std::lock_guard<std::mutex> lock(reason_mu_);
+  return reason_;
+}
+
+}  // namespace hfad

@@ -1,0 +1,68 @@
+// Per-volume health state machine: healthy → degraded → read-only → failed.
+//
+// Escalation is monotonic — a volume never silently heals back to a better
+// state; an operator (or a test) resets it explicitly after repair. The state
+// is a single atomic so every OSD entry point can gate on it with one relaxed
+// load, and transitions record a reason string for DumpMetrics / logs.
+//
+// Who drives transitions:
+//   kDegraded   checksum mismatch detected (read path or scrub), or a read
+//               fault that persisted past the retry policy — data is suspect
+//               but mutations are still safe (journal + checkpoint intact).
+//   kReadOnly   persistent write/sync/checkpoint failure — durability can no
+//               longer be promised, so mutations are rejected with
+//               Status::ReadOnly while reads and Finds keep serving.
+//   kFailed     the volume cannot even serve reads (superblock unreadable,
+//               unrecoverable journal) — every operation is rejected.
+#ifndef HFAD_SRC_STORAGE_VOLUME_HEALTH_H_
+#define HFAD_SRC_STORAGE_VOLUME_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hfad {
+
+enum class HealthState : int {
+  kHealthy = 0,
+  kDegraded = 1,   // Suspect data detected; serving everything, scrub advised.
+  kReadOnly = 2,   // Mutations rejected; reads/Finds still served.
+  kFailed = 3,     // Nothing served.
+};
+
+std::string_view HealthStateName(HealthState s);
+
+class VolumeHealth {
+ public:
+  VolumeHealth() = default;
+
+  HealthState state() const { return state_.load(std::memory_order_relaxed); }
+  bool writable() const { return state() <= HealthState::kDegraded; }
+  bool readable() const { return state() != HealthState::kFailed; }
+
+  // Escalate to `to` (no-op if already at or past it). Records the reason of
+  // the first transition into each state. Returns true if this call moved the
+  // state forward.
+  bool Escalate(HealthState to, std::string_view reason);
+
+  // Operator reset after external repair (tests, future admin surface).
+  void Reset();
+
+  // Reason for the most recent forward transition ("" while healthy).
+  std::string reason() const;
+
+  // Number of forward transitions since construction/reset.
+  uint64_t transitions() const { return transitions_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<HealthState> state_{HealthState::kHealthy};
+  std::atomic<uint64_t> transitions_{0};
+  mutable std::mutex reason_mu_;
+  std::string reason_;
+};
+
+}  // namespace hfad
+
+#endif  // HFAD_SRC_STORAGE_VOLUME_HEALTH_H_

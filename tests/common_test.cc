@@ -323,6 +323,25 @@ TEST(Crc32Test, DifferentInputsDiffer) {
   EXPECT_NE(Crc32c(Slice("abc")), Crc32c(Slice("ab")));
 }
 
+TEST(Crc32Test, OddLengthsAndSplitsAgree) {
+  // The check-value vector, plus a length sweep that forces every 8-byte-chunk /
+  // byte-tail combination through the hardware path (when present) and pins it
+  // against streamed recombination at every split point.
+  EXPECT_EQ(Crc32c(Slice("123456789")), 0xe3069283u);
+  std::string buf(41, '\0');
+  for (size_t i = 0; i < buf.size(); i++) {
+    buf[i] = static_cast<char>(i * 7 + 3);
+  }
+  for (size_t len = 0; len <= buf.size(); len++) {
+    uint32_t whole = Crc32c(Slice(buf.data(), len));
+    for (size_t split = 0; split <= len; split++) {
+      uint32_t streamed = Crc32cExtend(Crc32c(Slice(buf.data(), split)),
+                                       Slice(buf.data() + split, len - split));
+      ASSERT_EQ(whole, streamed) << "len=" << len << " split=" << split;
+    }
+  }
+}
+
 TEST(Crc32Test, MaskRoundTrip) {
   for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, Crc32c(Slice("x"))}) {
     EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/storage/block_device.h"
@@ -86,6 +87,45 @@ inline void RunTornWriteCrashMulti(
     point.Crash();
   }
   verify(bases);
+}
+
+// Read-fault sweep: run `round` once per arming position in [0, max_after], with the
+// device failing `fail_count` consecutive reads (transient; -1 = persistent) starting
+// `after` successful reads into the round. Moves the fault across every device read
+// the operation under test issues, the read-side analogue of the write-budget sweep.
+// Injection is cleared between rounds.
+inline void RunReadFaultSweep(FaultyBlockDevice* dev, int64_t max_after, int64_t fail_count,
+                              const std::function<void(int64_t after)>& round) {
+  for (int64_t after = 0; after <= max_after; after++) {
+    dev->SetReadFaults(after, fail_count);
+    round(after);
+    dev->SetReadFaults(-1, 0);
+  }
+}
+
+// Bit-flip sweep: for every page of `device_bytes`, save the pristine page, flip one
+// bit (position varied deterministically per page so the corruption lands in headers,
+// payloads, and CRC fields alike), run `check(page_offset)` with the corruption
+// present, then restore the saved bytes — each page's round is independent even when
+// the check repairs or rewrites the page.
+inline void RunBitFlipSweep(const std::shared_ptr<MemoryBlockDevice>& base,
+                            FaultyBlockDevice* dev, uint64_t device_bytes,
+                            uint64_t page_size,
+                            const std::function<void(uint64_t page_offset)>& check) {
+  for (uint64_t off = 0; off + page_size <= device_bytes; off += page_size) {
+    std::string saved;
+    if (!base->Read(off, page_size, &saved).ok()) {
+      continue;
+    }
+    uint64_t page_index = off / page_size;
+    uint64_t byte = (page_index * 131) % page_size;
+    int bit = static_cast<int>(page_index % 8);
+    if (!dev->FlipBit(off + byte, bit).ok()) {
+      continue;
+    }
+    check(off);
+    (void)base->Write(off, Slice(saved));
+  }
 }
 
 }  // namespace test

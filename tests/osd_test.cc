@@ -727,7 +727,43 @@ INSTANTIATE_TEST_SUITE_P(
                       OsdWorkload{3, false, false, 800},  // No journal.
                       OsdWorkload{4, true, true, 1500})); // Longer journaled run.
 
+// Fault sweep: a two-read transient burst injected at every point in the device read
+// stream is invisible — the default RetryPolicy (3 attempts) absorbs it, every object
+// reads back byte-exact, and the volume never leaves healthy. A tiny page cache forces
+// real device reads so the sweep actually exercises the miss path, not the cache.
+TEST(OsdFaultSweepTest, TransientReadBurstsAtEveryOffsetAreAbsorbed) {
+  auto base = std::make_shared<MemoryBlockDevice>(kDev);
+  auto faulty = std::make_shared<FaultyBlockDevice>(base);
+  OsdOptions opts;
+  opts.io_threads = 0;
+  opts.pager_capacity_pages = 16;
+  auto osd = MakeOsd(faulty, opts);
+  ASSERT_NE(osd, nullptr);
 
+  std::vector<ObjectId> oids;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 24; i++) {
+    auto oid = osd->CreateObject();
+    ASSERT_TRUE(oid.ok());
+    payloads.push_back("sweep-payload-" + std::to_string(i) +
+                       std::string(6000, static_cast<char>('a' + i % 26)));
+    ASSERT_TRUE(osd->Write(*oid, 0, payloads.back()).ok());
+    oids.push_back(*oid);
+  }
+  ASSERT_TRUE(osd->Checkpoint().ok());
+
+  test::RunReadFaultSweep(faulty.get(), /*max_after=*/40, /*fail_count=*/2,
+                          [&](int64_t after) {
+                            std::string out;
+                            for (size_t i = 0; i < oids.size(); i++) {
+                              Status s = osd->Read(oids[i], 0, payloads[i].size(), &out);
+                              ASSERT_TRUE(s.ok()) << "after=" << after << " oid#" << i
+                                                  << ": " << s.ToString();
+                              ASSERT_EQ(out, payloads[i]) << "after=" << after;
+                            }
+                          });
+  EXPECT_EQ(osd->health_state(), HealthState::kHealthy);
+}
 
 }  // namespace
 }  // namespace osd

@@ -36,7 +36,33 @@ REQUIRED_GAUGES = [
     "io_completed",
     "io_in_flight",
     "io_max_queue_depth",
+    # Fault-domain health (both scopes).
+    "volume_health",
+    "volume_health_name",
+    "pager_writeback_error",
+    "checksums_enabled",
+    "scrub_passes",
+    "quarantined_pages",
 ]
+
+# Every gauge DumpMetrics may emit, per scope. An emitter adding a gauge without
+# updating this list (and docs/OBSERVABILITY.md) fails the check: unknown keys
+# are how schema drift sneaks past dashboards.
+KNOWN_GAUGES = {
+    "filesystem": set(REQUIRED_GAUGES)
+    | {
+        "journal_pending_records",
+        "indexer_queue_depth",
+        "object_count",
+        "shard_count",
+    },
+    "osd": set(REQUIRED_GAUGES)
+    | {
+        "journal_pending_records",
+        "object_count",
+        "heap_allocated_bytes",
+    },
+}
 
 # Gauges that must be integers (io_backend is a string label).
 INT_IO_GAUGES = [
@@ -99,13 +125,31 @@ def main():
     for name in REQUIRED_GAUGES:
         if name not in gauges:
             fail(f"missing gauge '{name}'")
-    if len(gauges) < 4:
-        fail("fewer than 4 gauges")
+    unknown = sorted(set(gauges) - KNOWN_GAUGES[doc["scope"]])
+    if unknown:
+        fail(
+            f"unknown gauge(s) {unknown} for scope '{doc['scope']}' — "
+            "add them to KNOWN_GAUGES and docs/OBSERVABILITY.md"
+        )
     if not isinstance(gauges["io_backend"], str):
         fail("gauge 'io_backend' must be a string")
+    if not isinstance(gauges["volume_health_name"], str):
+        fail("gauge 'volume_health_name' must be a string")
+    if gauges["volume_health_name"] not in ("healthy", "degraded", "read_only", "failed"):
+        fail(f"unexpected volume_health_name '{gauges['volume_health_name']}'")
     for name in INT_IO_GAUGES:
         if not isinstance(gauges[name], int):
             fail(f"gauge '{name}' must be an integer")
+    for name in ("volume_health", "pager_writeback_error", "checksums_enabled",
+                 "scrub_passes", "quarantined_pages"):
+        if not isinstance(gauges[name], int):
+            fail(f"gauge '{name}' must be an integer")
+    if not 0 <= gauges["volume_health"] <= 3:
+        fail(f"gauge 'volume_health' out of range: {gauges['volume_health']}")
+    if gauges["pager_writeback_error"] not in (0, 1):
+        fail("gauge 'pager_writeback_error' must be 0 or 1")
+    if gauges["checksums_enabled"] not in (0, 1):
+        fail("gauge 'checksums_enabled' must be 0 or 1")
 
     locks = doc["locks"]
     if "pager_stripes" not in locks:
